@@ -1,0 +1,69 @@
+// Ablation A / B (paper §5.1): sampling-domain size and sample selection.
+//
+// "The number of sampled assignments in a domain trades off the desired
+//  degrees of precision versus computational complexity" - we sweep the
+// domain size N and report the false-positive rate (candidates that the
+// sampling domain accepted but SAT refuted) and runtime.
+//
+// "the computation yields fewer false positives when sampled assignments
+//  are from the error domain E" - we run the same sweep with uniform
+// sampling for comparison.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "eco/syseco.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace syseco;
+  Timer total;
+  const std::vector<EcoCase> suite = bench::makeAblationSuite();
+
+  std::printf("Ablation: sampling-domain size N and sample selection "
+              "(aggregated over %zu cases)\n",
+              suite.size());
+  std::printf("%-8s %-8s | %10s %10s %12s | %8s %8s %9s\n", "sampler", "N",
+              "tried", "false-pos", "fp-rate", "gates", "fallbks",
+              "time,s");
+  bench::printRule(88);
+
+  for (const bool errorDomain : {true, false}) {
+    for (const std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+      SysecoOptions opt;
+      opt.numSamples = n;
+      opt.useErrorDomainSampling = errorDomain;
+
+      std::size_t tried = 0, falsePos = 0, gates = 0, fallbacks = 0;
+      Timer sweep;
+      bool allOk = true;
+      for (const EcoCase& c : suite) {
+        SysecoDiagnostics diag;
+        const EcoResult r = runSyseco(c.impl, c.spec, opt, &diag);
+        allOk &= r.success;
+        // A sampling false positive is any Xi(c)-approved choice that the
+        // exact world (sim screen or SAT) refuted.
+        tried += diag.candidatesScreenRejected + diag.candidatesValidated;
+        falsePos += diag.candidatesScreenRejected + diag.candidatesRefuted;
+        gates += r.stats.gates;
+        fallbacks += diag.outputsViaFallback;
+      }
+      const double fpRate =
+          tried == 0 ? 0.0
+                     : static_cast<double>(falsePos) /
+                           static_cast<double>(tried);
+      std::printf("%-8s %-8zu | %10zu %10zu %11.1f%% | %8zu %8zu %9.2f%s\n",
+                  errorDomain ? "error" : "uniform", n, tried, falsePos,
+                  100.0 * fpRate, gates, fallbacks, sweep.seconds(),
+                  allOk ? "" : "  [UNVERIFIED]");
+      std::fflush(stdout);
+    }
+    bench::printRule(88);
+  }
+  std::printf("expected shape: larger N lowers the false-positive rate at "
+              "growing symbolic cost\n(the paper's precision/complexity "
+              "trade-off); final patch quality is invariant -\nthe CEGAR "
+              "validation absorbs whatever optimism the domain leaves.\n");
+  std::printf("total harness time: %s\n", formatHms(total.seconds()).c_str());
+  return 0;
+}

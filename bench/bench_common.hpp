@@ -1,0 +1,41 @@
+#pragma once
+// Shared helpers for the table-reproduction harnesses.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/eco_case.hpp"
+
+namespace syseco::bench {
+
+/// Generates the full 11-case evaluation suite (deterministic).
+inline std::vector<EcoCase> makeSuite() {
+  std::vector<EcoCase> cases;
+  for (const CaseRecipe& r : suiteRecipes()) cases.push_back(makeCase(r));
+  return cases;
+}
+
+/// Generates the 4 timing-critical cases of Table 3 (ids 12-15).
+inline std::vector<EcoCase> makeTimingSuite() {
+  std::vector<EcoCase> cases;
+  for (const CaseRecipe& r : timingRecipes()) cases.push_back(makeCase(r));
+  return cases;
+}
+
+/// A small sub-suite for the ablation studies (kept cheap so that every
+/// binary in bench/ can run in one sitting).
+inline std::vector<EcoCase> makeAblationSuite() {
+  const auto recipes = suiteRecipes();
+  std::vector<EcoCase> cases;
+  for (std::size_t idx : {1u, 4u, 8u, 9u, 10u})  // eco02/05/09/10/11
+    cases.push_back(makeCase(recipes[idx]));
+  return cases;
+}
+
+inline void printRule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace syseco::bench

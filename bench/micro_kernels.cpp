@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks of the reasoning kernels the engine is
+// built on: BDD operations, SAT solving, bit-parallel simulation,
+// structural hashing and Tseitin encoding.
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "cnf/encode.hpp"
+#include "gen/spec_builder.hpp"
+#include "opt/passes.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+SpecCircuit& benchCircuit() {
+  static SpecCircuit sc = [] {
+    Rng rng(424242);
+    return buildSpec(SpecParams{6, 12, 6, 4, 10, 6, 4, 4}, rng);
+  }();
+  return sc;
+}
+
+void BM_SimulatorRun(benchmark::State& state) {
+  const Netlist& nl = benchCircuit().netlist;
+  Simulator sim(nl, static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  sim.randomizeInputs(rng);
+  for (auto _ : state) {
+    sim.run();
+    benchmark::DoNotOptimize(sim.outputValue(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.countLiveGates()) *
+                          state.range(0) * 64);
+}
+BENCHMARK(BM_SimulatorRun)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_BddFromTruthTable(benchmark::State& state) {
+  Rng rng(7);
+  const std::uint32_t nz = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint32_t> zVars(nz);
+  for (std::uint32_t i = 0; i < nz; ++i) zVars[i] = i;
+  std::vector<std::uint64_t> bits((std::size_t{1} << nz) / 64 + 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bdd mgr(nz);
+    for (auto& w : bits) w = rng.next();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.fromTruthTable(bits, zVars));
+  }
+}
+BENCHMARK(BM_BddFromTruthTable)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_BddQuantification(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bdd mgr(16);
+    // Random function of 16 variables built from cubes.
+    Bdd::Ref f = Bdd::kFalse;
+    for (int c = 0; c < 24; ++c) {
+      Bdd::Ref cube = Bdd::kTrue;
+      for (std::uint32_t v = 0; v < 16; ++v) {
+        const auto k = rng.below(3);
+        if (k == 0) cube = mgr.bAnd(cube, mgr.var(v));
+        if (k == 1) cube = mgr.bAnd(cube, mgr.nvar(v));
+      }
+      f = mgr.bOr(f, cube);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.forall(f, {0, 2, 4, 6, 8, 10}));
+    benchmark::DoNotOptimize(mgr.exists(f, {1, 3, 5, 7, 9}));
+  }
+}
+BENCHMARK(BM_BddQuantification);
+
+void BM_SatEquivalenceCheck(benchmark::State& state) {
+  // Swept miter between a circuit and its heavily restructured twin (the
+  // validation kernel of the ECO engines).
+  const Netlist spec = lightSynth(benchCircuit().netlist);
+  Rng rng(3);
+  const Netlist impl = heavyOptimize(benchCircuit().netlist, rng, 1);
+  for (auto _ : state) {
+    PairEncoding pe(impl, spec);
+    Rng sweepRng(9);
+    benchmark::DoNotOptimize(pe.solveDiffSwept(0, 0, -1, sweepRng));
+  }
+}
+BENCHMARK(BM_SatEquivalenceCheck)->Unit(benchmark::kMillisecond);
+
+void BM_Strash(benchmark::State& state) {
+  const Netlist& nl = benchCircuit().netlist;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strash(nl).countLiveGates());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.countLiveGates()));
+}
+BENCHMARK(BM_Strash)->Unit(benchmark::kMillisecond);
+
+void BM_TseitinEncoding(benchmark::State& state) {
+  const Netlist& nl = benchCircuit().netlist;
+  for (auto _ : state) {
+    Solver solver;
+    std::unordered_map<std::string, Var> inputVars;
+    NetlistEncoder enc(solver, nl, inputVars);
+    for (std::uint32_t o = 0; o < nl.numOutputs(); ++o)
+      benchmark::DoNotOptimize(enc.outputVar(o));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.countLiveGates()));
+}
+BENCHMARK(BM_TseitinEncoding)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace syseco
+
+BENCHMARK_MAIN();

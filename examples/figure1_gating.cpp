@@ -1,0 +1,88 @@
+// The paper's Figure 1 / Example 1 scenario, end to end.
+//
+// Current implementation: two single-bit multi-sink signals v(0) and v(1)
+// gate the words w_in1 and w_in2:
+//     w_out = GATE(w_in1, v0) | GATE(w_in2, v1)
+// v(0) additionally drives logic (signal d) that the revision must NOT
+// disturb.
+//
+// Revised specification: a new signal c = a AND b replaces the gating:
+//     w_out = GATE(w_in1, c) | GATE(w_in2, !c),   d unchanged.
+//
+// The rectification of choice (Figure 1): rewire all gating sinks of v(0)
+// and v(1) to c and !c respectively while *protecting* the remaining sink
+// of v(0) that feeds d - small patch, no re-synthesis of the word logic.
+
+#include <cstdio>
+
+#include "eco/syseco.hpp"
+#include "netlist/netlist.hpp"
+
+using namespace syseco;
+
+namespace {
+
+constexpr int kWidth = 8;
+
+Netlist buildCircuit(bool revised) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId v0 = nl.addInput("v0");
+  const NetId v1 = nl.addInput("v1");
+  std::vector<NetId> w1(kWidth), w2(kWidth);
+  for (int i = 0; i < kWidth; ++i) {
+    w1[i] = nl.addInput("w1_" + std::to_string(i));
+    w2[i] = nl.addInput("w2_" + std::to_string(i));
+  }
+
+  NetId gate0 = v0, gate1 = v1;
+  if (revised) {
+    const NetId c = nl.addGate(GateType::And, {a, b});
+    gate0 = c;
+    gate1 = nl.addGate(GateType::Not, {c});
+  }
+  for (int i = 0; i < kWidth; ++i) {
+    const NetId t1 = nl.addGate(GateType::And, {w1[i], gate0});
+    const NetId t2 = nl.addGate(GateType::And, {w2[i], gate1});
+    nl.addOutput("out" + std::to_string(i),
+                 nl.addGate(GateType::Or, {t1, t2}));
+  }
+  // The protected signal d = v0 AND a keeps depending on v0 in BOTH
+  // versions: the patch must not disturb it.
+  nl.addOutput("d", nl.addGate(GateType::And, {v0, a}));
+  return nl;
+}
+
+}  // namespace
+
+int main() {
+  const Netlist impl = buildCircuit(/*revised=*/false);
+  const Netlist spec = buildCircuit(/*revised=*/true);
+
+  std::printf("Figure 1 scenario: %d-bit word gating, revision introduces "
+              "c = a AND b\n",
+              kWidth);
+  std::printf("implementation: %zu gates; ideal patch: 2 gates (c, !c)\n",
+              impl.countLiveGates());
+
+  SysecoDiagnostics diag;
+  const EcoResult result = runSyseco(impl, spec, SysecoOptions{}, &diag);
+
+  std::printf("\nrectification %s in %.2fs\n",
+              result.success ? "VERIFIED" : "FAILED", result.seconds);
+  std::printf("patch: %zu inputs, %zu outputs (rewired pins), %zu gates, "
+              "%zu nets\n",
+              result.stats.inputs, result.stats.outputs, result.stats.gates,
+              result.stats.nets);
+  std::printf("interior rewirings: %zu, cone fallbacks: %zu, SAT "
+              "validations: %zu\n",
+              diag.outputsViaRewire, diag.outputsViaFallback,
+              diag.candidatesValidated);
+  if (result.stats.gates <= 4) {
+    std::printf("\n=> the engine recovered the Figure-1 rectification: the\n"
+                "   gating sinks were rewired to the tiny new condition\n"
+                "   logic instead of re-synthesizing the word datapath.\n");
+  }
+  return result.success ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Multi-error ECO on a generated "microprocessor-like" design: several
+// functional revisions at once, heavily optimized implementation, and a
+// three-way engine comparison - the workload of the paper's evaluation in
+// one runnable example.
+
+#include <cstdio>
+
+#include "eco/conesynth.hpp"
+#include "eco/deltasyn.hpp"
+#include "eco/syseco.hpp"
+#include "gen/eco_case.hpp"
+
+using namespace syseco;
+
+int main() {
+  CaseRecipe recipe;
+  recipe.name = "multi-error-demo";
+  recipe.spec = SpecParams{5, 10, 6, 4, 9, 6, 4, 6};
+  recipe.mutations = 4;              // four simultaneous revisions
+  recipe.targetRevisedFraction = 0.3;
+  recipe.optRounds = 3;
+  recipe.seed = 20260707;
+
+  std::printf("generating case '%s'...\n", recipe.name.c_str());
+  const EcoCase c = makeCase(recipe);
+  std::printf("implementation: %zu gates; revised spec: %zu gates\n",
+              c.impl.countLiveGates(), c.spec.countLiveGates());
+  std::printf("injected revisions (%zu total, designer estimate %zu "
+              "gates):\n",
+              c.revisions.size(), c.designerEstimateGates);
+  for (const MutationReport& r : c.revisions)
+    std::printf("  - %-16s (%zu gates at spec level)\n",
+                mutationKindName(r.kind), r.gatesAdded);
+
+  auto report = [](const char* name, const EcoResult& r) {
+    std::printf("%-10s %s | in %4zu out %4zu gates %4zu nets %4zu | %6.2fs\n",
+                name, r.success ? "ok " : "FAIL", r.stats.inputs,
+                r.stats.outputs, r.stats.gates, r.stats.nets, r.seconds);
+  };
+
+  std::printf("\nengine comparison:\n");
+  report("commercial", runConeSynth(c.impl, c.spec));
+  report("deltasyn", runDeltaSyn(c.impl, c.spec));
+  SysecoDiagnostics diag;
+  const EcoResult sys = runSyseco(c.impl, c.spec, SysecoOptions{}, &diag);
+  report("syseco", sys);
+  std::printf("\nsyseco details: %zu outputs rewired in place, %zu via "
+              "matched cone fallback,\n%zu SAT validations (%zu sampling "
+              "false positives refuted), %zu sweep merges\n",
+              diag.outputsViaRewire, diag.outputsViaFallback,
+              diag.candidatesValidated, diag.candidatesRefuted,
+              diag.sweepMerges);
+  return sys.success ? 0 : 1;
+}

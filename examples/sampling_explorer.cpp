@@ -1,0 +1,98 @@
+// Symbolic-sampling explorer: shows the §5.1 machinery directly on a
+// public API level - error-domain sample collection, the signature-to-BDD
+// bridge, and how domain size controls the precision of sampling-domain
+// equivalence judgments.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bdd/bdd.hpp"
+#include "cnf/encode.hpp"
+#include "eco/sampling.hpp"
+#include "gen/eco_case.hpp"
+
+using namespace syseco;
+
+int main() {
+  // A small revised design pair.
+  CaseRecipe recipe;
+  recipe.name = "sampling-demo";
+  recipe.spec = SpecParams{3, 6, 3, 2, 5, 4, 3, 3};
+  recipe.mutations = 1;
+  recipe.targetRevisedFraction = 0.3;
+  recipe.optRounds = 2;
+  recipe.seed = 99;
+  const EcoCase c = makeCase(recipe);
+
+  Rng rng(1);
+  const auto failing = findFailingOutputs(c.impl, c.spec, rng);
+  if (failing.empty()) {
+    std::printf("no failing outputs (unexpected)\n");
+    return 1;
+  }
+  const std::uint32_t o = failing.front();
+  const std::uint32_t op = c.spec.findOutput(c.impl.outputName(o));
+  std::printf("failing output: %s (impl #%u)\n",
+              c.impl.outputName(o).c_str(), o);
+
+  // Collect error-domain samples by SAT enumeration (the sampling domain
+  // prefers assignments from E = {x | f(x) != f'(x)}).
+  PairEncoding pe(c.impl, c.spec);
+  const auto samplesVec = pe.enumerateErrors(o, op, 32, 100000, &rng);
+  std::printf("collected %zu error-domain samples\n", samplesVec.size());
+
+  SampleSet samples;
+  for (const auto& p : samplesVec) samples.add(p);
+  std::printf("sampling domain: N=%zu, z variables=%u, padded=%zu\n",
+              samples.count(), samples.numZVars(), samples.paddedCount());
+
+  // Signature -> BDD bridge: each net's sampled function is tiny.
+  Rng fill(2);
+  Simulator wSim = simulateOnSamples(c.impl, c.impl, samples, fill);
+  Simulator sSim = simulateOnSamples(c.spec, c.impl, samples, fill);
+
+  Bdd mgr(samples.numZVars());
+  std::vector<std::uint32_t> zVars(samples.numZVars());
+  for (std::uint32_t i = 0; i < zVars.size(); ++i) zVars[i] = i;
+
+  const Bdd::Ref fImpl = mgr.fromTruthTable(wSim.outputValue(o), zVars);
+  const Bdd::Ref fSpec = mgr.fromTruthTable(sSim.outputValue(op), zVars);
+  std::printf("sampled impl function: %.0f of %zu sample points true\n",
+              mgr.satCount(fImpl) * static_cast<double>(samples.paddedCount()) /
+                  std::exp2(static_cast<double>(zVars.size())),
+              samples.paddedCount());
+  std::printf("impl != spec on every sample (error-domain sampling): %s\n",
+              mgr.bXor(fImpl, fSpec) == Bdd::kTrue ? "yes" : "no");
+
+  // Precision demo: count how many OTHER impl nets look like a valid
+  // replacement for the failing output in the sampling domain (false
+  // positives shrink as N grows).
+  for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+    if (n > samples.count()) break;
+    SampleSet sub;
+    for (std::size_t k = 0; k < n; ++k) sub.add(samplesVec[k]);
+    Rng f2(3);
+    Simulator ws = simulateOnSamples(c.impl, c.impl, sub, f2);
+    Simulator ss = simulateOnSamples(c.spec, c.impl, sub, f2);
+    const Signature& want = ss.outputValue(op);
+    const auto mask = errorMask(Signature(sub.simWords(), ~0ULL),
+                                Signature(sub.simWords(), 0), sub);
+    std::size_t lookalikes = 0;
+    for (NetId net = 0; net < c.impl.numNetsTotal(); ++net) {
+      const auto& netRef = c.impl.net(net);
+      const bool driven =
+          netRef.srcKind != Netlist::SourceKind::None;
+      if (!driven) continue;
+      bool same = true;
+      for (std::size_t wd = 0; wd < mask.size() && same; ++wd)
+        same = ((ws.value(net)[wd] ^ want[wd]) & mask[wd]) == 0;
+      lookalikes += same;
+    }
+    std::printf("  N=%2zu: %zu impl nets indistinguishable from the revised "
+                "output\n",
+                n, lookalikes);
+  }
+  std::printf("=> more samples, fewer false candidates - the paper's "
+              "precision/complexity trade-off.\n");
+  return 0;
+}

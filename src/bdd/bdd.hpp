@@ -1,0 +1,191 @@
+#pragma once
+// In-house reduced ordered BDD package (paper §5.1, §6: "the in-house BDD
+// package").
+//
+// The manager is deliberately small and self-contained: the symbolic-sampling
+// formulation keeps every reasoning query inside a compact variable space
+// (sample-index variables z, rectification-point variables y, pin-selection
+// variables t, rewiring-choice variables c), so a fresh manager per
+// rectification target gives the "contained memory footprint ... independent
+// of the design size" property the paper claims. There is no garbage
+// collector; managers are cheap to construct and discard.
+//
+// Features: ITE with computed cache, derived AND/OR/XOR/NOT/IMP, cofactors,
+// existential/universal quantification over variable sets, satisfying-set
+// counting, single-assignment picking, truth-table import (the bridge from
+// N-bit sampled signatures to sampling-domain functions), and
+// Minato-Morreale irredundant sum-of-products enumeration (the "prime cube"
+// seeds of §4.2).
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace syseco {
+
+/// Thrown when a computation exceeds the manager's node budget; callers
+/// (the ECO engine) catch this and retry with a smaller candidate space.
+struct BddLimitExceeded : std::runtime_error {
+  BddLimitExceeded() : std::runtime_error("BDD node limit exceeded") {}
+};
+
+/// A product term: one literal entry per manager variable.
+/// Values: 0 = negative literal, 1 = positive literal, -1 = absent.
+struct BddCube {
+  std::vector<std::int8_t> lits;
+
+  std::size_t numLiterals() const {
+    std::size_t n = 0;
+    for (auto v : lits)
+      if (v >= 0) ++n;
+    return n;
+  }
+};
+
+class Bdd {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  /// Creates a manager over `numVars` variables with the identity order
+  /// (variable index == level, smaller index closer to the root).
+  explicit Bdd(std::uint32_t numVars, std::size_t nodeLimit = 1u << 24);
+
+  std::uint32_t numVars() const { return numVars_; }
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+  // --- Literals -------------------------------------------------------------
+  Ref var(std::uint32_t v);
+  Ref nvar(std::uint32_t v);
+  Ref constant(bool b) const { return b ? kTrue : kFalse; }
+
+  // --- Core operations --------------------------------------------------------
+  Ref ite(Ref f, Ref g, Ref h);
+  Ref bAnd(Ref a, Ref b) { return ite(a, b, kFalse); }
+  Ref bOr(Ref a, Ref b) { return ite(a, kTrue, b); }
+  Ref bNot(Ref a) { return ite(a, kFalse, kTrue); }
+  Ref bXor(Ref a, Ref b) { return ite(a, bNot(b), b); }
+  Ref bXnor(Ref a, Ref b) { return ite(a, b, bNot(b)); }
+  Ref bImp(Ref a, Ref b) { return ite(a, b, kTrue); }
+  Ref bEquiv(Ref a, Ref b) { return bXnor(a, b); }
+
+  Ref andMany(const std::vector<Ref>& fs);
+  Ref orMany(const std::vector<Ref>& fs);
+
+  // --- Cofactors & quantification ---------------------------------------------
+  /// Shannon cofactor with respect to a single variable.
+  Ref cofactor(Ref f, std::uint32_t v, bool positive);
+
+  /// Existentially quantifies the given variables out of f.
+  Ref exists(Ref f, const std::vector<std::uint32_t>& vars);
+  /// Universally quantifies the given variables out of f.
+  Ref forall(Ref f, const std::vector<std::uint32_t>& vars);
+
+  /// Functional composition: f with variable v replaced by g.
+  Ref compose(Ref f, std::uint32_t v, Ref g);
+
+  /// Variables f structurally depends on, ascending.
+  std::vector<std::uint32_t> support(Ref f);
+
+  // --- Analysis -----------------------------------------------------------------
+  /// Number of satisfying assignments over all numVars() variables.
+  double satCount(Ref f);
+
+  /// Extracts one satisfying cube (a path to kTrue); entries of `out` get
+  /// 0/1 for constrained variables and -1 for don't-cares. Returns false on
+  /// the constant-false function.
+  bool pickCube(Ref f, BddCube& out);
+
+  /// Irredundant sum-of-products of f (Minato-Morreale). For a function f,
+  /// isop(f, f) yields an irredundant cover whose cubes serve as the
+  /// candidate-seeding "prime cubes" of §4.2.
+  std::vector<BddCube> isop(Ref lower, Ref upper);
+  std::vector<BddCube> isop(Ref f) { return isop(f, f); }
+
+  /// Evaluates f under a full assignment (one bool per variable).
+  bool eval(Ref f, const std::vector<std::uint8_t>& assignment) const;
+
+  // --- Import ---------------------------------------------------------------
+  /// Builds the function of a truth table over `vars`: bit k of `bits`
+  /// (k < 2^vars.size()) is the function value when the binary expansion of
+  /// k assigns its j-th least significant bit to vars[j].
+  /// This converts an N-bit sampled signature into its sampling-domain
+  /// function over the z variables (paper §5.1).
+  Ref fromTruthTable(const std::vector<std::uint64_t>& bits,
+                     const std::vector<std::uint32_t>& vars);
+
+  /// Builds the minterm selecting integer `index` over `vars` (big-endian
+  /// bit order as in the paper's v^i notation: vars[0] is the most
+  /// significant bit).
+  Ref mintermOf(std::uint32_t index, const std::vector<std::uint32_t>& vars);
+
+ private:
+  struct Node {
+    std::uint32_t var;
+    Ref lo;
+    Ref hi;
+  };
+  struct NodeKey {
+    std::uint32_t var;
+    Ref lo;
+    Ref hi;
+    bool operator==(const NodeKey& o) const {
+      return var == o.var && lo == o.lo && hi == o.hi;
+    }
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::uint64_t h = k.var;
+      h = h * 0x9e3779b97f4a7c15ULL + k.lo;
+      h = h * 0x9e3779b97f4a7c15ULL + k.hi;
+      h ^= h >> 29;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct IteKey {
+    Ref f, g, h;
+    bool operator==(const IteKey& o) const {
+      return f == o.f && g == o.g && h == o.h;
+    }
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::uint64_t h = k.f;
+      h = h * 0x9e3779b97f4a7c15ULL + k.g;
+      h = h * 0x9e3779b97f4a7c15ULL + k.h;
+      h ^= h >> 31;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  Ref makeNode(std::uint32_t var, Ref lo, Ref hi);
+  std::uint32_t topVar(Ref f) const {
+    return f <= 1 ? numVars_ : nodes_[f].var;
+  }
+  Ref low(Ref f, std::uint32_t v) const {
+    return (f <= 1 || nodes_[f].var != v) ? f : nodes_[f].lo;
+  }
+  Ref high(Ref f, std::uint32_t v) const {
+    return (f <= 1 || nodes_[f].var != v) ? f : nodes_[f].hi;
+  }
+  Ref quantify(Ref f, const std::vector<char>& mask, bool existential,
+               std::unordered_map<Ref, Ref>& cache);
+  Ref composeRec(Ref f, std::uint32_t v, Ref g,
+                 std::unordered_map<Ref, Ref>& cache);
+  double satCountRec(Ref f, std::unordered_map<Ref, double>& cache);
+  Ref fromTruthTableRec(const std::vector<std::uint64_t>& bits,
+                        const std::vector<std::uint32_t>& vars,
+                        std::size_t varPos, std::size_t offset,
+                        std::size_t width);
+  std::vector<BddCube> isopRun(Ref lower, Ref upper, Ref& coverOut);
+
+  std::uint32_t numVars_;
+  std::size_t nodeLimit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, Ref, IteKeyHash> iteCache_;
+};
+
+}  // namespace syseco

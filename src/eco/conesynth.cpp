@@ -1,0 +1,35 @@
+#include "eco/conesynth.hpp"
+
+#include "cnf/encode.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace syseco {
+
+EcoResult runConeSynth(const Netlist& impl, const Netlist& spec,
+                       std::uint64_t seed) {
+  Timer timer;
+  Rng rng(seed);
+  EcoResult result;
+  result.rectified = impl;
+  PatchTracker tracker(result.rectified);
+
+  const std::vector<std::uint32_t> failing =
+      findFailingOutputs(impl, spec, rng);
+  result.failingOutputsBefore = failing.size();
+
+  for (std::uint32_t o : failing) {
+    const std::uint32_t op = spec.findOutput(impl.outputName(o));
+    SYSECO_CHECK(op != kNullId);
+    const NetId patched = tracker.cloneSpecCone(spec, spec.outputNet(op));
+    tracker.rewire(Sink{kNullId, o}, patched);
+  }
+
+  result.stats = tracker.finalize();
+  result.success = verifyAllOutputs(result.rectified, spec);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace syseco

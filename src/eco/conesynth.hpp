@@ -1,0 +1,19 @@
+#pragma once
+// "Commercial tool" proxy baseline: cone replication.
+//
+// For every failing output, the engine clones the revised specification's
+// entire output cone into the implementation (cut only at primary inputs)
+// and re-drives the output from the clone. Shared spec logic is
+// instantiated once across outputs. This is the structurally naive
+// reference point the paper's Table 2 uses a commercial tool's default
+// setting for: always correct, fast, and with the largest patches.
+
+#include "eco/patch.hpp"
+#include "netlist/netlist.hpp"
+
+namespace syseco {
+
+EcoResult runConeSynth(const Netlist& impl, const Netlist& spec,
+                       std::uint64_t seed = 1);
+
+}  // namespace syseco

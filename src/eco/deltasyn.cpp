@@ -1,0 +1,46 @@
+#include "eco/deltasyn.hpp"
+
+#include "cnf/encode.hpp"
+#include "eco/matching.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace syseco {
+
+EcoResult runDeltaSyn(const Netlist& impl, const Netlist& spec,
+                      const DeltaSynOptions& options) {
+  Timer timer;
+  Rng rng(options.seed);
+  EcoResult result;
+  result.rectified = impl;
+  PatchTracker tracker(result.rectified);
+
+  const std::vector<std::uint32_t> failing =
+      findFailingOutputs(impl, spec, rng);
+  result.failingOutputsBefore = failing.size();
+
+  if (!failing.empty()) {
+    MatcherOptions mopts;
+    mopts.mode = options.matchMode;
+    mopts.simWords = options.simWords;
+    mopts.confirmBudget = options.matchBudget;
+    mopts.candidatesPerNet = options.candidatesPerNet;
+    mopts.allowComplementMatch = options.allowComplementMatch;
+    // DeltaSyn only re-drives primary outputs, so pre-existing logic never
+    // changes function and one cloner instance serves the whole run.
+    MatchedSpecCloner cloner(tracker, spec, mopts, rng);
+    for (std::uint32_t o : failing) {
+      const std::uint32_t op = spec.findOutput(impl.outputName(o));
+      SYSECO_CHECK(op != kNullId);
+      tracker.rewire(Sink{kNullId, o}, cloner.clone(spec.outputNet(op)));
+    }
+  }
+
+  result.stats = tracker.finalize();
+  result.success = verifyAllOutputs(result.rectified, spec);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace syseco

@@ -1,0 +1,214 @@
+#include "eco/matching.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+std::uint64_t hashSignature(const Signature& sig, bool complemented) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t w : sig) {
+    if (complemented) w = ~w;
+    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+namespace {
+
+/// Shape key for structural matching: gate type over sorted fanin ids.
+std::uint64_t shapeKey(GateType type, std::vector<NetId> fanins) {
+  std::sort(fanins.begin(), fanins.end());
+  std::uint64_t h = static_cast<std::uint64_t>(type) + 0x51ed270b;
+  for (NetId f : fanins) h ^= f + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+bool signaturesEqual(const Signature& a, const Signature& b,
+                     bool complemented) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((complemented ? ~b[i] : b[i]) != a[i]) return false;
+  }
+  return true;
+}
+
+Simulator makeImplSim(const Netlist& impl, std::size_t words, Rng& rng) {
+  Simulator sim(impl, words);
+  sim.randomizeInputs(rng);
+  sim.run();
+  return sim;
+}
+
+Simulator makeSpecSim(const Netlist& spec, const Netlist& impl,
+                      const Simulator& implSim, std::size_t words, Rng& rng) {
+  Simulator sim(spec, words);
+  for (std::size_t i = 0; i < spec.numInputs(); ++i) {
+    const std::uint32_t idxC =
+        impl.findInput(spec.inputName(static_cast<std::uint32_t>(i)));
+    for (std::size_t w = 0; w < words; ++w)
+      sim.setInputWord(
+          static_cast<std::uint32_t>(i), w,
+          idxC != kNullId ? implSim.word(impl.inputNet(idxC), w) : rng.next());
+  }
+  sim.run();
+  return sim;
+}
+
+}  // namespace
+
+MatchedSpecCloner::MatchedSpecCloner(PatchTracker& tracker,
+                                     const Netlist& spec,
+                                     const MatcherOptions& options, Rng& rng)
+    : tracker_(tracker),
+      spec_(spec),
+      options_(options),
+      matchableNets_(tracker.netlist().numNetsTotal()),
+      implSim_(makeImplSim(tracker.netlist(), options.simWords, rng)),
+      specSim_(makeSpecSim(spec, tracker.netlist(), implSim_, options.simWords,
+                           rng)),
+      confirm_(tracker.netlist(), spec) {
+  const Netlist& impl = tracker_.netlist();
+  const std::vector<std::uint32_t> levels = impl.netLevels();
+  if (options_.mode == MatchMode::Functional) {
+    for (NetId n = 0; n < matchableNets_; ++n) {
+      const auto& net = impl.net(n);
+      const bool liveDriven =
+          net.srcKind == Netlist::SourceKind::Input ||
+          (net.srcKind == Netlist::SourceKind::Gate &&
+           !impl.gate(net.srcIdx).dead);
+      if (!liveDriven) continue;
+      implBySigHash_[hashSignature(implSim_.value(n), false)].push_back(n);
+    }
+    // Lower-level (cheaper, timing-friendlier) candidates first.
+    for (auto& [hash, nets] : implBySigHash_) {
+      (void)hash;
+      std::sort(nets.begin(), nets.end(),
+                [&](NetId a, NetId b) { return levels[a] < levels[b]; });
+    }
+  } else {
+    for (GateId g : impl.topoOrder()) {
+      const auto& gate = impl.gate(g);
+      if (gate.out >= matchableNets_) continue;
+      implByShape_[shapeKey(gate.type, gate.fanins)].push_back(gate.out);
+    }
+  }
+}
+
+NetId MatchedSpecCloner::tryStructuralMatch(NetId specNet) {
+  // Forward structural correspondence: a spec gate matches when an
+  // implementation gate of the same type exists over already-matched
+  // fanins. Any structural divergence (restructured, collapsed or
+  // duplicated logic) breaks the chain - the fragility the paper's §2
+  // ascribes to structural approaches.
+  const auto& net = spec_.net(specNet);
+  if (net.srcKind != Netlist::SourceKind::Gate) return kNullId;
+  const auto& gate = spec_.gate(net.srcIdx);
+  std::vector<NetId> mappedFanins;
+  mappedFanins.reserve(gate.fanins.size());
+  for (NetId f : gate.fanins) {
+    const auto it = cache_.find(f);
+    if (it == cache_.end()) return kNullId;  // fanin was not matched
+    if (it->second >= matchableNets_) return kNullId;  // fanin is a clone
+    mappedFanins.push_back(it->second);
+  }
+  const auto it = implByShape_.find(shapeKey(gate.type, mappedFanins));
+  if (it == implByShape_.end()) return kNullId;
+  const Netlist& impl = tracker_.netlist();
+  std::vector<NetId> want = mappedFanins;
+  std::sort(want.begin(), want.end());
+  for (NetId cand : it->second) {
+    const GateId cg = impl.driverOf(cand);
+    if (cg == kNullId) continue;
+    const auto& candGate = impl.gate(cg);
+    if (candGate.type != gate.type) continue;
+    std::vector<NetId> have = candGate.fanins;
+    std::sort(have.begin(), have.end());
+    if (have == want) {
+      ++matchesUsed_;
+      return cand;
+    }
+  }
+  return kNullId;
+}
+
+NetId MatchedSpecCloner::tryMatch(NetId specNet) {
+  if (options_.mode == MatchMode::Structural)
+    return tryStructuralMatch(specNet);
+  const Signature& sig = specSim_.value(specNet);
+  for (int phase = 0; phase < (options_.allowComplementMatch ? 2 : 1);
+       ++phase) {
+    const bool compl_ = phase == 1;
+    const auto it = implBySigHash_.find(hashSignature(sig, compl_));
+    if (it == implBySigHash_.end()) continue;
+    std::size_t tried = 0;
+    for (NetId cand : it->second) {
+      if (!signaturesEqual(implSim_.value(cand), sig, compl_)) continue;
+      if (++tried > options_.candidatesPerNet) break;
+      if (confirm_.solveNetsDiff(cand, specNet, compl_,
+                                 options_.confirmBudget) ==
+          Solver::Result::Unsat) {
+        // Pin the proven relation as clauses: later confirmations higher
+        // up the cones become near-propositional (SAT sweeping).
+        const Var a = confirm_.implEncoder().netVar(cand);
+        const Var b = confirm_.specEncoder().netVar(specNet);
+        confirm_.solver().addClause(Lit::make(a, true),
+                                    Lit::make(b, compl_));
+        confirm_.solver().addClause(Lit::make(a, false),
+                                    Lit::make(b, !compl_));
+        ++matchesUsed_;
+        if (!compl_) return cand;
+        return tracker_.netlist().addGate(GateType::Not, {cand});
+      }
+    }
+  }
+  return kNullId;
+}
+
+NetId MatchedSpecCloner::clone(NetId specNet) {
+  if (auto it = cache_.find(specNet); it != cache_.end()) return it->second;
+  NetId result = kNullId;
+  const auto& net = spec_.net(specNet);
+  switch (net.srcKind) {
+    case Netlist::SourceKind::Input: {
+      const std::uint32_t idx =
+          tracker_.netlist().findInput(spec_.inputName(net.srcIdx));
+      SYSECO_CHECK(idx != kNullId);
+      result = tracker_.netlist().inputNet(idx);
+      break;
+    }
+    case Netlist::SourceKind::Gate: {
+      if (options_.mode == MatchMode::Functional) {
+        // Functional matching can short-circuit the whole sub-cone; when
+        // the proof is too hard top-down (budget trip), resolve the fanins
+        // first - their pinned equivalences usually make the retry cheap.
+        result = tryMatch(specNet);
+        if (result != kNullId) break;
+        const auto& gate = spec_.gate(net.srcIdx);
+        std::vector<NetId> fanins;
+        fanins.reserve(gate.fanins.size());
+        for (NetId f : gate.fanins) fanins.push_back(clone(f));
+        result = tryMatch(specNet);
+        if (result != kNullId) break;
+        result = tracker_.netlist().addGate(gate.type, fanins);
+      } else {
+        // Structural matching is bottom-up: fanins resolve first, then the
+        // gate itself may coincide with an existing one.
+        const auto& gate = spec_.gate(net.srcIdx);
+        std::vector<NetId> fanins;
+        fanins.reserve(gate.fanins.size());
+        for (NetId f : gate.fanins) fanins.push_back(clone(f));
+        result = tryMatch(specNet);
+        if (result == kNullId)
+          result = tracker_.netlist().addGate(gate.type, fanins);
+      }
+      break;
+    }
+    case Netlist::SourceKind::None:
+      SYSECO_CHECK(false && "cloning an undriven spec net");
+  }
+  cache_.emplace(specNet, result);
+  return result;
+}
+
+}  // namespace syseco

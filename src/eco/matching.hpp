@@ -1,0 +1,84 @@
+#pragma once
+// Match-aware specification cloning, shared by the ECO engines.
+//
+// When an engine instantiates revised-specification logic inside the
+// implementation, any spec sub-cone that is functionally equivalent to an
+// existing implementation net (up to complement) should tap that net
+// instead of being cloned - this is the "reuse existing logic from either
+// current implementation or an intermediate representation of new
+// specification" of the paper's rewire-based philosophy, and it is also the
+// core of the DeltaSyn [8] baseline's difference-region extraction.
+//
+// Equivalences are proposed by simulation signatures and confirmed by a
+// budgeted SAT query on a shared (C, C') encoding.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cnf/encode.hpp"
+#include "eco/patch.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+
+/// How spec logic is matched against existing implementation logic.
+///  * Functional: simulation-signature candidates confirmed by SAT - robust
+///    to restructuring (what syseco's reuse machinery deserves).
+///  * Structural: forward structural correspondence (same gate type over
+///    already-matched fanins, inputs by label) - the matching style of the
+///    DeltaSyn [8] era, which "places a stability burden on synthesis tools
+///    to retain structural similarity" (paper §2) and degrades on
+///    aggressively optimized implementations.
+enum class MatchMode { Functional, Structural };
+
+struct MatcherOptions {
+  MatchMode mode = MatchMode::Functional;
+  std::size_t simWords = 16;         ///< 64*simWords matching patterns
+  std::int64_t confirmBudget = 20000;///< SAT conflicts per confirmation
+  std::size_t candidatesPerNet = 4;  ///< impl candidates tried per spec net
+  bool allowComplementMatch = true;
+};
+
+/// Clones spec cones into the working netlist, cutting at confirmed
+/// equivalences with *pre-existing* working-netlist nets.
+///
+/// The working netlist may grow while the cloner is alive (it only appends
+/// gates), but pins of pre-existing logic must not be rewired between
+/// clone() calls of the same instance - create a fresh instance after
+/// rewiring, as the cached signatures and CNF would be stale.
+class MatchedSpecCloner {
+ public:
+  MatchedSpecCloner(PatchTracker& tracker, const Netlist& spec,
+                    const MatcherOptions& options, Rng& rng);
+
+  /// Net in the working netlist realizing `specNet`'s function.
+  NetId clone(NetId specNet);
+
+  /// Number of confirmed equivalence cut-points used so far.
+  std::size_t matchesUsed() const { return matchesUsed_; }
+
+ private:
+  NetId tryMatch(NetId specNet);
+  NetId tryStructuralMatch(NetId specNet);
+
+  PatchTracker& tracker_;
+  const Netlist& spec_;
+  MatcherOptions options_;
+  std::size_t matchableNets_;  ///< nets existing at construction time
+  Simulator implSim_;
+  Simulator specSim_;
+  PairEncoding confirm_;
+  std::unordered_map<std::uint64_t, std::vector<NetId>> implBySigHash_;
+  /// Structural mode: (type, sorted fanins) -> implementation net.
+  std::unordered_map<std::uint64_t, std::vector<NetId>> implByShape_;
+  std::unordered_map<NetId, NetId> cache_;
+  std::size_t matchesUsed_ = 0;
+};
+
+/// Signature hash helper shared with tests.
+std::uint64_t hashSignature(const Signature& sig, bool complemented);
+
+}  // namespace syseco

@@ -1,0 +1,66 @@
+#include "eco/sampling.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+std::uint32_t SampleSet::numZVars() const {
+  SYSECO_CHECK(!patterns_.empty());
+  std::uint32_t z = 0;
+  while ((std::size_t{1} << z) < patterns_.size()) ++z;
+  return z == 0 ? 1 : z;
+}
+
+Simulator simulateOnSamples(const Netlist& netlist, const Netlist& owner,
+                            const SampleSet& samples, Rng& rng) {
+  Simulator sim(netlist, samples.simWords());
+  if (&netlist == &owner) {
+    sim.loadPatterns(samples.patterns());
+  } else {
+    // Translate each pattern by input label.
+    std::vector<InputPattern> translated;
+    translated.reserve(samples.count());
+    // Precompute the label map once.
+    std::vector<std::uint32_t> ownerIdx(netlist.numInputs(), kNullId);
+    for (std::uint32_t i = 0; i < netlist.numInputs(); ++i)
+      ownerIdx[i] = owner.findInput(netlist.inputName(i));
+    for (const InputPattern& p : samples.patterns()) {
+      InputPattern q(netlist.numInputs(), 0);
+      for (std::uint32_t i = 0; i < netlist.numInputs(); ++i)
+        q[i] = ownerIdx[i] != kNullId ? p[ownerIdx[i]] : (rng.flip() ? 1 : 0);
+      translated.push_back(std::move(q));
+    }
+    sim.loadPatterns(translated);
+  }
+  sim.run();
+  return sim;
+}
+
+std::vector<std::uint64_t> errorMask(const Signature& implOut,
+                                     const Signature& specOut,
+                                     const SampleSet& samples) {
+  std::vector<std::uint64_t> mask(implOut.size(), 0);
+  for (std::size_t w = 0; w < mask.size(); ++w)
+    mask[w] = implOut[w] ^ specOut[w];
+  // Only genuine (non-padding) samples count.
+  const std::size_t n = samples.count();
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    const std::size_t lo = w * 64;
+    if (lo >= n) {
+      mask[w] = 0;
+    } else if (n - lo < 64) {
+      mask[w] &= (std::uint64_t{1} << (n - lo)) - 1;
+    }
+  }
+  return mask;
+}
+
+std::size_t countBits(const std::vector<std::uint64_t>& words) {
+  std::size_t n = 0;
+  for (std::uint64_t w : words) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace syseco

@@ -1,0 +1,63 @@
+#pragma once
+// The symbolic sampling domain (paper §5.1).
+//
+// A sampling domain is a set of N input assignments {x_1..x_N}, encoded by
+// ceil(log2 N) fresh variables z through the sampling function g(z). Once a
+// circuit's inputs are overloaded with g(z), *every net's function in the
+// domain is fully described by its N-bit value vector on the samples* - a
+// simulation signature. The bridge signature -> BDD-over-z is
+// Bdd::fromTruthTable; everything the rectification search needs
+// (H(t), utilities, Xi(c)) is then computed over these small functions.
+//
+// Samples are drawn preferentially from the error domain
+// E = {x | f(x) != f'(x)} - the paper observes this yields fewer false
+// positives - and the set grows as SAT validation returns
+// counterexamples (the refinement loop of §5.2 step 5).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+
+class SampleSet {
+ public:
+  void add(InputPattern pattern) { patterns_.push_back(std::move(pattern)); }
+
+  const std::vector<InputPattern>& patterns() const { return patterns_; }
+  std::size_t count() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  /// Number of z variables: ceil(log2 count), at least 1.
+  std::uint32_t numZVars() const;
+
+  /// 2^numZVars(); sample slots past count() replicate the last sample.
+  std::size_t paddedCount() const { return std::size_t{1} << numZVars(); }
+
+  /// Simulator words needed to hold paddedCount() patterns.
+  std::size_t simWords() const { return (paddedCount() + 63) / 64; }
+
+ private:
+  std::vector<InputPattern> patterns_;
+};
+
+/// Simulates `netlist` over the samples. The samples are expressed over
+/// `owner`'s primary inputs; they are translated to `netlist`'s inputs by
+/// label, with unmatched inputs filled deterministically from `rng`.
+/// The returned simulator has run; net signatures are its value() vectors.
+Simulator simulateOnSamples(const Netlist& netlist, const Netlist& owner,
+                            const SampleSet& samples, Rng& rng);
+
+/// Bits [0, samples.count()) where two output signatures disagree - the
+/// error-domain membership mask of the samples for one output pair.
+std::vector<std::uint64_t> errorMask(const Signature& implOut,
+                                     const Signature& specOut,
+                                     const SampleSet& samples);
+
+/// Population count over a masked signature (utility numerators etc.).
+std::size_t countBits(const std::vector<std::uint64_t>& words);
+
+}  // namespace syseco

@@ -1,0 +1,87 @@
+#pragma once
+// syseco - the paper's rectification engine (symbolic sampling in ECO).
+//
+// Given the optimized implementation C and the lightly-synthesized revised
+// specification C', RewireRectification (paper §5.2) iterates the failing
+// output pairs in increasing cone complexity and, per output:
+//
+//  1. builds a sampling domain from error-domain assignments (§5.1),
+//  2. enumerates feasible rectification point-sets through the
+//     characteristic function H(t) = forall z exists y (h(z,y,t) == f'(z))
+//     over mux-parameterized pin selections (§4.2, Figure 2),
+//  3. ranks candidate rewiring nets from both C and C' with the structural
+//     filter + error-domain utility heuristic (§4.3),
+//  4. computes the characteristic function Xi(c) of all valid rewire
+//     operations via Theorem 1's L/U implications (§4.4, Figure 3),
+//  5. validates chosen rewires with a resource-constrained SAT solver;
+//     counterexamples refine the sampling domain (CEGAR).
+//
+// Global context: every applied rewire is validated on *all* outputs its
+// pins reach, so a candidate that damages already-rectified logic is
+// pruned, and a cheap simulation screen favors candidates that fix other
+// failing outputs along the way. Trivial candidates (a pin's existing
+// driver) are always present, letting H(t) over-approximate m. A final
+// sweeping pass merges patch gates with functionally equivalent existing
+// nets, and an output is always rectifiable by falling back to rewiring it
+// to a clone of its revised cone (completeness, Proposition 1).
+
+#include <cstdint>
+
+#include "eco/patch.hpp"
+#include "netlist/netlist.hpp"
+
+namespace syseco {
+
+struct SysecoOptions {
+  std::size_t numSamples = 64;       ///< sampling-domain size N
+  int maxPoints = 3;                 ///< m: max rectification points per try
+  std::size_t maxCandidatePins = 16; ///< M: pins considered per output
+  std::size_t maxRewireNets = 16;    ///< K: candidate nets per point
+  std::size_t maxPointSets = 8;      ///< point-sets tried per m
+  std::size_t maxChoices = 12;       ///< rewire choices tried per point-set
+  int maxRefineIters = 6;            ///< CEGAR rounds per output
+  std::int64_t validationBudget = 500000;  ///< SAT conflicts per validation
+  std::int64_t samplingBudget = 100000;    ///< SAT conflicts for sampling
+  std::size_t bddNodeLimit = 1u << 22;
+
+  bool useErrorDomainSampling = true;  ///< ablation B: error vs uniform
+  bool useUtilityHeuristic = true;     ///< ablation C: utility ranking
+  bool includeTrivialCandidate = true; ///< ablation C: trivial candidates
+  bool enableSweeping = true;          ///< §5.2 patch-input refinement
+  /// Rectification-function synthesis (this reproduction's implementation
+  /// of the paper's "future work ... rectification logic synthesis"): when
+  /// no existing net realizes a point's required function, try small
+  /// algebraic combinations of the strongest candidates.
+  bool synthesizeFunctions = true;
+  bool levelDriven = false;            ///< Table 3: timing-aware selection
+
+  bool verbose = false;  ///< trace the per-output search to stderr
+
+  std::uint64_t seed = 1;
+};
+
+/// Extra run telemetry (ablation benches report these).
+struct SysecoDiagnostics {
+  std::size_t outputsRectified = 0;
+  std::size_t outputsViaRewire = 0;    ///< solved by interior-pin rewiring
+  std::size_t outputsViaFallback = 0;  ///< solved by output-cone cloning
+  std::size_t candidatesValidated = 0; ///< SAT validations run
+  std::size_t candidatesRefuted = 0;   ///< sampling false positives caught by SAT
+  std::size_t candidatesScreenRejected = 0;  ///< caught by the sim screen
+  std::size_t refinementRounds = 0;
+  std::size_t sweepMerges = 0;
+  // Phase timing (seconds).
+  double secondsSampling = 0.0;    ///< error-sample enumeration + rechecks
+  double secondsSymbolic = 0.0;    ///< H(t) / Xi(c) BDD work + ranking
+  double secondsScreening = 0.0;   ///< simulation screens of choices
+  double secondsValidation = 0.0;  ///< SAT validation of choices
+  double secondsFallback = 0.0;    ///< matched cone cloning
+  double secondsSweep = 0.0;       ///< patch-input refinement
+  double secondsVerify = 0.0;      ///< final full verification
+};
+
+EcoResult runSyseco(const Netlist& impl, const Netlist& spec,
+                    const SysecoOptions& options = {},
+                    SysecoDiagnostics* diagnostics = nullptr);
+
+}  // namespace syseco

@@ -1,0 +1,365 @@
+#include "gen/eco_case.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/passes.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace syseco {
+
+const char* mutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::GateChange: return "gate-change";
+    case MutationKind::Inversion: return "inversion";
+    case MutationKind::WrongWire: return "wrong-wire";
+    case MutationKind::AddedCondition: return "added-condition";
+    case MutationKind::ConstantStuck: return "constant-stuck";
+    case MutationKind::MuxInsert: return "mux-insert";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Number of primary outputs in the transitive fanout of every net.
+std::vector<std::uint32_t> outputsReached(const Netlist& nl) {
+  // Reverse-topological accumulation of output sets would be exact but
+  // costly; a per-net count via per-output backward cones is fine at the
+  // suite's sizes and exact.
+  std::vector<std::uint32_t> count(nl.numNetsTotal(), 0);
+  for (std::uint32_t o = 0; o < nl.numOutputs(); ++o) {
+    std::vector<char> seen(nl.numNetsTotal(), 0);
+    std::vector<NetId> stack{nl.outputNet(o)};
+    seen[nl.outputNet(o)] = 1;
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      ++count[n];
+      const auto& net = nl.net(n);
+      if (net.srcKind == Netlist::SourceKind::Gate) {
+        for (NetId f : nl.gate(net.srcIdx).fanins) {
+          if (!seen[f]) {
+            seen[f] = 1;
+            stack.push_back(f);
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+/// True when `gate` lies in the transitive fanin cone of `net` (a rewire
+/// of one of gate's pins to `net` would then create a cycle).
+bool gateInCone(const Netlist& nl, NetId net, GateId gate) {
+  for (GateId g : nl.coneGates({net}))
+    if (g == gate) return true;
+  return false;
+}
+
+/// All live nets that have at least one sink and a live driver or PI.
+std::vector<NetId> usableNets(const Netlist& nl) {
+  std::vector<NetId> nets;
+  for (NetId n = 0; n < nl.numNetsTotal(); ++n) {
+    const auto& net = nl.net(n);
+    const bool driven =
+        net.srcKind == Netlist::SourceKind::Input ||
+        (net.srcKind == Netlist::SourceKind::Gate && !nl.gate(net.srcIdx).dead);
+    if (driven && !net.sinks.empty()) nets.push_back(n);
+  }
+  return nets;
+}
+
+/// Rewires a random non-empty subset of `net`'s current sinks to `to`,
+/// never touching pins of gates listed in `exclude`. Returns how many pins
+/// moved.
+std::size_t rewireSomeSinks(Netlist& nl, Rng& rng, NetId net, NetId to,
+                            const std::vector<GateId>& exclude,
+                            bool all = false) {
+  std::vector<Sink> sinks = nl.net(net).sinks;  // copy: list mutates
+  std::vector<Sink> eligible;
+  for (const Sink& s : sinks) {
+    if (!s.isOutput() &&
+        std::find(exclude.begin(), exclude.end(), s.gate) != exclude.end())
+      continue;
+    eligible.push_back(s);
+  }
+  if (eligible.empty()) return 0;
+  std::size_t moved = 0;
+  for (const Sink& s : eligible) {
+    if (all || rng.chance(2, 3) || (moved == 0 && &s == &eligible.back())) {
+      nl.rewireSink(s, to);
+      ++moved;
+    }
+  }
+  if (moved == 0) {  // guarantee progress
+    nl.rewireSink(eligible[static_cast<std::size_t>(
+                      rng.below(eligible.size()))],
+                  to);
+    moved = 1;
+  }
+  return moved;
+}
+
+/// Driver gate of a net, if it is a live 2-input symmetric gate.
+GateId changeableGate(const Netlist& nl, NetId n) {
+  const auto& net = nl.net(n);
+  if (net.srcKind != Netlist::SourceKind::Gate) return kNullId;
+  const auto& g = nl.gate(net.srcIdx);
+  if (g.dead || g.fanins.size() != 2) return kNullId;
+  switch (g.type) {
+    case GateType::And:
+    case GateType::Or:
+    case GateType::Xor:
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Xnor:
+      return net.srcIdx;
+    default:
+      return kNullId;
+  }
+}
+
+struct MutationAttempt {
+  bool applied = false;
+  MutationReport report{};
+};
+
+MutationAttempt tryMutation(Netlist& nl, Rng& rng, NetId target,
+                            const std::vector<NetId>& pool) {
+  MutationAttempt out;
+  const MutationKind kind = static_cast<MutationKind>(rng.below(6));
+  out.report.kind = kind;
+  switch (kind) {
+    case MutationKind::GateChange: {
+      const GateId g = changeableGate(nl, target);
+      if (g == kNullId) return out;
+      static constexpr GateType kTypes[] = {GateType::And,  GateType::Or,
+                                            GateType::Xor,  GateType::Nand,
+                                            GateType::Nor,  GateType::Xnor};
+      GateType newType;
+      do {
+        newType = kTypes[rng.below(6)];
+      } while (newType == nl.gate(g).type);
+      const NetId replacement = nl.addGate(newType, nl.gate(g).fanins);
+      const GateId newGate = nl.driverOf(replacement);
+      rewireSomeSinks(nl, rng, target, replacement, {newGate}, /*all=*/true);
+      out.report.gatesAdded = 1;
+      break;
+    }
+    case MutationKind::Inversion: {
+      const NetId inv = nl.addGate(GateType::Not, {target});
+      const GateId newGate = nl.driverOf(inv);
+      if (rewireSomeSinks(nl, rng, target, inv, {newGate}) == 0) return out;
+      out.report.gatesAdded = 1;
+      break;
+    }
+    case MutationKind::WrongWire: {
+      const NetId other = rng.pick(pool);
+      if (other == target) return out;
+      const auto& sinks = nl.net(target).sinks;
+      std::vector<Sink> gateSinks;
+      for (const Sink& s : sinks)
+        if (!s.isOutput()) gateSinks.push_back(s);
+      if (gateSinks.empty()) return out;
+      const Sink victim =
+          gateSinks[static_cast<std::size_t>(rng.below(gateSinks.size()))];
+      if (gateInCone(nl, other, victim.gate)) return out;
+      nl.rewireSink(victim, other);
+      out.report.gatesAdded = 1;  // a designer would count the moved pin
+      break;
+    }
+    case MutationKind::AddedCondition: {
+      // c := a AND b over pool signals; target sinks move to target AND c
+      // (or OR with !c), the paper's Figure 1 revision pattern.
+      const NetId a = rng.pick(pool);
+      const NetId b = rng.pick(pool);
+      const NetId c = nl.addGate(GateType::And, {a, b});
+      NetId gated;
+      std::size_t added;
+      if (rng.flip()) {
+        gated = nl.addGate(GateType::And, {target, c});
+        added = 2;
+      } else {
+        const NetId nc = nl.addGate(GateType::Not, {c});
+        gated = nl.addGate(GateType::Or, {target, nc});
+        added = 3;
+      }
+      std::vector<GateId> exclude{nl.driverOf(c), nl.driverOf(gated)};
+      if (rewireSomeSinks(nl, rng, target, gated, exclude) == 0) return out;
+      out.report.gatesAdded = added;
+      break;
+    }
+    case MutationKind::ConstantStuck: {
+      const NetId k =
+          nl.addGate(rng.flip() ? GateType::Const1 : GateType::Const0, {});
+      if (rewireSomeSinks(nl, rng, target, k, {nl.driverOf(k)}) == 0)
+        return out;
+      out.report.gatesAdded = 1;
+      break;
+    }
+    case MutationKind::MuxInsert: {
+      const NetId sel = rng.pick(pool);
+      const NetId alt = rng.pick(pool);
+      const NetId mux = nl.addGate(GateType::Mux, {sel, target, alt});
+      if (rewireSomeSinks(nl, rng, target, mux, {nl.driverOf(mux)}) == 0)
+        return out;
+      out.report.gatesAdded = 1;
+      break;
+    }
+  }
+  std::string why;
+  if (!nl.isWellFormed(&why)) return out;  // cycle or corruption: reject
+  out.applied = true;
+  return out;
+}
+
+/// True when S and mutated S' differ on some output under random patterns.
+bool functionsDiffer(const Netlist& a, const Netlist& b, Rng& rng) {
+  Simulator sa(a, 8), sb(b, 8);
+  sa.randomizeInputs(rng);
+  for (std::size_t i = 0; i < b.numInputs(); ++i) {
+    const std::uint32_t ia =
+        a.findInput(b.inputName(static_cast<std::uint32_t>(i)));
+    for (std::size_t w = 0; w < 8; ++w)
+      sb.setInputWord(static_cast<std::uint32_t>(i), w,
+                      ia != kNullId ? sa.word(a.inputNet(ia), w) : rng.next());
+  }
+  sa.run();
+  sb.run();
+  for (std::uint32_t o = 0; o < a.numOutputs(); ++o) {
+    const std::uint32_t ob = b.findOutput(a.outputName(o));
+    if (ob != kNullId && sa.outputValue(o) != sb.outputValue(ob)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<MutationReport> applyMutations(Netlist& spec, Rng& rng, int count,
+                                           double targetRevisedFraction) {
+  const Netlist original = spec;
+  const std::vector<std::uint32_t> reach = outputsReached(spec);
+  const std::vector<NetId> pool = usableNets(spec);
+  SYSECO_CHECK(!pool.empty());
+
+  // Rank candidate targets by closeness of their output-cone fraction to
+  // the requested revised fraction.
+  std::vector<NetId> ranked = pool;
+  const double total = static_cast<double>(spec.numOutputs());
+  std::sort(ranked.begin(), ranked.end(), [&](NetId x, NetId y) {
+    const double fx = std::abs(reach[x] / total - targetRevisedFraction);
+    const double fy = std::abs(reach[y] / total - targetRevisedFraction);
+    return fx < fy;
+  });
+
+  std::vector<MutationReport> reports;
+  for (int attempt = 0; attempt < 64 && std::ssize(reports) < count;
+       ++attempt) {
+    // Every mutation aims near the target revised-output fraction, so the
+    // union of their output cones lands close to it.
+    const std::size_t band = std::max<std::size_t>(8, ranked.size() / 20);
+    const NetId target = ranked[static_cast<std::size_t>(
+        rng.below(std::min(band, ranked.size())))];
+    if (spec.net(target).sinks.empty()) continue;
+    Netlist scratch = spec;
+    Rng scratchRng = rng.split();
+    const MutationAttempt got = tryMutation(scratch, scratchRng, target, pool);
+    if (!got.applied) continue;
+    spec = std::move(scratch);
+    reports.push_back(got.report);
+  }
+  SYSECO_CHECK(!reports.empty());
+
+  // The revision must actually change behavior; if masked, force an
+  // inversion at a primary output driver - always observable.
+  if (!functionsDiffer(original, spec, rng)) {
+    const std::uint32_t o =
+        static_cast<std::uint32_t>(rng.below(spec.numOutputs()));
+    const NetId inv = spec.addGate(GateType::Not, {spec.outputNet(o)});
+    spec.rewireOutput(o, inv);
+    reports.push_back(MutationReport{MutationKind::Inversion, 1});
+    SYSECO_CHECK(functionsDiffer(original, spec, rng));
+  }
+  return reports;
+}
+
+EcoCase makeCase(const CaseRecipe& recipe) {
+  Rng rng(recipe.seed);
+  SpecCircuit sc = buildSpec(recipe.spec, rng);
+
+  Netlist revised = sc.netlist;
+  EcoCase out;
+  out.name = recipe.name;
+  out.revisions = applyMutations(revised, rng, recipe.mutations,
+                                 recipe.targetRevisedFraction);
+  for (const MutationReport& r : out.revisions)
+    out.designerEstimateGates += r.gatesAdded;
+
+  out.impl = heavyOptimize(sc.netlist, rng, recipe.optRounds);
+  out.spec = lightSynth(revised);
+  SYSECO_CHECK(out.impl.isWellFormed());
+  SYSECO_CHECK(out.spec.isWellFormed());
+  return out;
+}
+
+std::vector<CaseRecipe> suiteRecipes() {
+  // Shaped after Table 1: a spread of sizes (scaled to workstation scale)
+  // and revised-output fractions from under 1% to ~67%.
+  std::vector<CaseRecipe> rs;
+  auto add = [&](std::string name, std::uint32_t words, std::uint32_t width,
+                 std::uint32_t ctrl, std::uint32_t layers, std::uint32_t ops,
+                 std::uint32_t bitOps, std::uint32_t outWords,
+                 std::uint32_t outBits, int mutations, double frac,
+                 std::uint64_t seed) {
+    CaseRecipe r;
+    r.name = std::move(name);
+    r.spec = SpecParams{words, width, ctrl, layers, ops, bitOps, outWords,
+                        outBits};
+    r.mutations = mutations;
+    r.targetRevisedFraction = frac;
+    r.optRounds = 3;
+    r.seed = seed;
+    rs.push_back(r);
+  };
+  //   name  words wid ctrl lay ops bit ow ob mut frac    seed
+  add("eco01", 8, 16, 10, 6, 18, 10, 7, 10, 3, 0.11, 0x101);
+  add("eco02", 2, 6, 4, 2, 4, 4, 3, 6, 3, 0.67, 0x202);
+  add("eco03", 10, 16, 12, 6, 28, 10, 9, 10, 3, 0.08, 0x303);
+  add("eco04", 6, 12, 8, 5, 14, 8, 5, 8, 2, 0.15, 0x404);
+  add("eco05", 5, 10, 6, 4, 10, 6, 5, 8, 4, 0.46, 0x505);
+  add("eco06", 8, 14, 10, 6, 16, 8, 8, 10, 1, 0.01, 0x606);
+  add("eco07", 7, 14, 8, 5, 15, 8, 6, 8, 2, 0.095, 0x707);
+  add("eco08", 5, 10, 6, 4, 10, 6, 5, 8, 3, 0.20, 0x808);
+  add("eco09", 4, 8, 5, 3, 7, 5, 4, 6, 1, 0.05, 0x909);
+  add("eco10", 4, 10, 6, 4, 8, 6, 4, 8, 1, 0.064, 0xA0A);
+  add("eco11", 6, 12, 8, 5, 12, 8, 6, 8, 1, 0.032, 0xB0B);
+  return rs;
+}
+
+std::vector<CaseRecipe> timingRecipes() {
+  // Cases 12-15: deeper logic (more layers) so the level-driven selection
+  // in syseco has room to matter.
+  std::vector<CaseRecipe> rs;
+  auto add = [&](std::string name, std::uint32_t words, std::uint32_t width,
+                 std::uint32_t layers, std::uint32_t ops, int mutations,
+                 double frac, std::uint64_t seed) {
+    CaseRecipe r;
+    r.name = std::move(name);
+    r.spec = SpecParams{words, width, 6, layers, ops, 5, 4, 4};
+    r.mutations = mutations;
+    r.targetRevisedFraction = frac;
+    r.optRounds = 3;
+    r.seed = seed;
+    rs.push_back(r);
+  };
+  add("eco12", 4, 10, 5, 5, 2, 0.12, 0xC0C);
+  add("eco13", 5, 10, 6, 6, 3, 0.18, 0xD0D);
+  add("eco14", 5, 10, 6, 7, 3, 0.15, 0xE0E);
+  add("eco15", 4, 10, 5, 6, 2, 0.10, 0xF0F);
+  return rs;
+}
+
+}  // namespace syseco

@@ -1,0 +1,80 @@
+#pragma once
+// ECO test-case construction.
+//
+// A test case mirrors the paper's industrial setup (§6): a specification S
+// is synthesized and *heavily optimized* into the current implementation C;
+// the revised specification S' is S with injected functional changes (the
+// kinds of changes real ECOs make: added gating conditions, inverted
+// signals, wrong operators, wrong wires, stuck values, mux insertions);
+// C' is a *lightly* synthesized S'. The pair (C, C') is what an ECO engine
+// receives; C is structurally remote from C' by construction.
+//
+// The "designer's estimate" of Table 2 is substituted by the exact size of
+// the injected delta - the number of gates a designer would say the update
+// needs when applied at the specification level.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/spec_builder.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+
+/// One injected functional revision.
+enum class MutationKind : std::uint8_t {
+  GateChange,      ///< replace a gate's operator
+  Inversion,       ///< invert a signal for a subset of its sinks
+  WrongWire,       ///< move one sink pin to a different existing net
+  AddedCondition,  ///< gate a signal with a fresh condition (Figure 1 style)
+  ConstantStuck,   ///< tie a subset of sinks to a constant
+  MuxInsert,       ///< route a signal through a fresh 2:1 mux
+};
+
+const char* mutationKindName(MutationKind kind);
+
+struct MutationReport {
+  MutationKind kind;
+  std::size_t gatesAdded = 0;  ///< size of this revision at the spec level
+};
+
+/// Applies `count` random mutations to `spec` in place, steering the first
+/// mutation toward nets whose output cone covers about
+/// `targetRevisedFraction` of all outputs. Returns one report per applied
+/// mutation. Guarantees the result is well-formed and acyclic, and that at
+/// least one output function changed.
+std::vector<MutationReport> applyMutations(Netlist& spec, Rng& rng, int count,
+                                           double targetRevisedFraction);
+
+/// A packaged ECO problem.
+struct EcoCase {
+  std::string name;
+  Netlist impl;  ///< C: optimized implementation of the original spec
+  Netlist spec;  ///< C': lightly synthesized revised specification
+  std::size_t designerEstimateGates = 0;
+  std::vector<MutationReport> revisions;
+};
+
+struct CaseRecipe {
+  std::string name;
+  SpecParams spec;
+  int mutations = 1;
+  double targetRevisedFraction = 0.1;
+  int optRounds = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the full case: S -> (C, C') with injected revisions.
+EcoCase makeCase(const CaseRecipe& recipe);
+
+/// The 11-case evaluation suite shaped after the paper's Table 1 (sizes
+/// scaled to a workstation; revised-output fractions mirror the table's
+/// 0.3%-67% spread).
+std::vector<CaseRecipe> suiteRecipes();
+
+/// Cases 12-15: the timing-critical designs of Table 3.
+std::vector<CaseRecipe> timingRecipes();
+
+}  // namespace syseco

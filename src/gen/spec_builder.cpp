@@ -1,0 +1,282 @@
+#include "gen/spec_builder.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+namespace {
+
+using Word = std::vector<NetId>;
+
+/// Bitwise combination of two words.
+Word wordBitwise(Netlist& nl, GateType type, const Word& a, const Word& b) {
+  Word r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    r[i] = nl.addGate(type, {a[i], b[i]});
+  return r;
+}
+
+Word wordNot(Netlist& nl, const Word& a) {
+  Word r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    r[i] = nl.addGate(GateType::Not, {a[i]});
+  return r;
+}
+
+/// GATE(w, b): bitwise and-ing of a word with a single-bit signal
+/// (the paper's Example 1 operator).
+Word wordGate(Netlist& nl, const Word& w, NetId bit) {
+  Word r(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    r[i] = nl.addGate(GateType::And, {w[i], bit});
+  return r;
+}
+
+Word wordMux(Netlist& nl, NetId sel, const Word& d0, const Word& d1) {
+  Word r(d0.size());
+  for (std::size_t i = 0; i < d0.size(); ++i)
+    r[i] = nl.addGate(GateType::Mux, {sel, d0[i], d1[i]});
+  return r;
+}
+
+/// Ripple-carry sum; carries entangle the bits across outputs.
+Word wordAdd(Netlist& nl, const Word& a, const Word& b) {
+  Word r(a.size());
+  NetId carry = kNullId;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId axb = nl.addGate(GateType::Xor, {a[i], b[i]});
+    if (carry == kNullId) {
+      r[i] = axb;
+      carry = nl.addGate(GateType::And, {a[i], b[i]});
+    } else {
+      r[i] = nl.addGate(GateType::Xor, {axb, carry});
+      const NetId c1 = nl.addGate(GateType::And, {a[i], b[i]});
+      const NetId c2 = nl.addGate(GateType::And, {axb, carry});
+      carry = nl.addGate(GateType::Or, {c1, c2});
+    }
+  }
+  return r;
+}
+
+Word wordRotate(const Word& a, std::size_t by) {
+  Word r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[(i + by) % a.size()];
+  return r;
+}
+
+/// Truncated array multiplier: sum of shifted partial products, keeping the
+/// low |a| bits. Deep carry entanglement across every output bit.
+Word wordMulLow(Netlist& nl, const Word& a, const Word& b) {
+  const std::size_t n = a.size();
+  Word acc(n);
+  for (std::size_t i = 0; i < n; ++i)
+    acc[i] = nl.addGate(GateType::And, {a[i], b[0]});
+  for (std::size_t shift = 1; shift < n; ++shift) {
+    Word pp(n);
+    // Partial product b[shift] * a, shifted; upper bits only.
+    NetId zero = kNullId;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < shift) {
+        if (zero == kNullId) zero = nl.addGate(GateType::Const0, {});
+        pp[i] = zero;
+      } else {
+        pp[i] = nl.addGate(GateType::And, {a[i - shift], b[shift]});
+      }
+    }
+    acc = wordAdd(nl, acc, pp);
+  }
+  return acc;
+}
+
+/// Priority encoder: out[i] = in[i] AND none-of in[0..i-1]; the classic
+/// control structure with a long ripple of ORs.
+Word priorityEncode(Netlist& nl, const Word& in) {
+  Word out(in.size());
+  NetId anyBefore = kNullId;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (anyBefore == kNullId) {
+      out[i] = in[i];
+      anyBefore = in[i];
+    } else {
+      const NetId notBefore = nl.addGate(GateType::Not, {anyBefore});
+      out[i] = nl.addGate(GateType::And, {in[i], notBefore});
+      anyBefore = nl.addGate(GateType::Or, {anyBefore, in[i]});
+    }
+  }
+  return out;
+}
+
+/// One-hot decode of the low log2(width) bits of a word, AND-ed with an
+/// enable bit - address decoders are rich multi-sink gating structures.
+Word decodeLow(Netlist& nl, const Word& sel, NetId enable,
+               std::size_t width) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < width) ++bits;
+  bits = std::min(bits, sel.size());
+  Word out(width);
+  for (std::size_t v = 0; v < width; ++v) {
+    std::vector<NetId> terms{enable};
+    for (std::size_t j = 0; j < bits; ++j) {
+      terms.push_back((v >> j) & 1
+                          ? sel[j]
+                          : nl.addGate(GateType::Not, {sel[j]}));
+    }
+    out[v] = nl.addGate(GateType::And, terms);
+  }
+  return out;
+}
+
+/// Galois-style CRC step: shift and conditionally XOR a polynomial mask.
+Word crcStep(Netlist& nl, const Word& state, NetId dataBit,
+             std::uint64_t poly) {
+  const std::size_t n = state.size();
+  const NetId fb = nl.addGate(GateType::Xor, {state[n - 1], dataBit});
+  Word next(n);
+  next[0] = nl.addGate(GateType::Buf, {fb});
+  for (std::size_t i = 1; i < n; ++i) {
+    next[i] = ((poly >> i) & 1)
+                  ? nl.addGate(GateType::Xor, {state[i - 1], fb})
+                  : state[i - 1];
+  }
+  return next;
+}
+
+NetId wordReduce(Netlist& nl, GateType type, const Word& a) {
+  return nl.addGate(type, a);
+}
+
+NetId wordEqual(Netlist& nl, const Word& a, const Word& b) {
+  std::vector<NetId> eqs(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    eqs[i] = nl.addGate(GateType::Xnor, {a[i], b[i]});
+  return nl.addGate(GateType::And, eqs);
+}
+
+}  // namespace
+
+SpecCircuit buildSpec(const SpecParams& p, Rng& rng) {
+  SYSECO_CHECK(p.numInputWords >= 2 && p.wordWidth >= 2);
+  SYSECO_CHECK(p.numControlBits >= 1);
+  SpecCircuit sc;
+  Netlist& nl = sc.netlist;
+
+  for (std::uint32_t w = 0; w < p.numInputWords; ++w) {
+    Word word(p.wordWidth);
+    for (std::uint32_t b = 0; b < p.wordWidth; ++b)
+      word[b] = nl.addInput("w" + std::to_string(w) + "_" + std::to_string(b));
+    sc.words.push_back(std::move(word));
+  }
+  for (std::uint32_t c = 0; c < p.numControlBits; ++c)
+    sc.bits.push_back(nl.addInput("c" + std::to_string(c)));
+
+  auto randWord = [&]() -> const Word& { return rng.pick(sc.words); };
+  auto randBit = [&]() -> NetId { return rng.pick(sc.bits); };
+
+  for (std::uint32_t layer = 0; layer < p.numLayers; ++layer) {
+    for (std::uint32_t k = 0; k < p.bitOpsPerLayer; ++k) {
+      NetId r = kNullId;
+      switch (rng.below(6)) {
+        case 0:
+          r = nl.addGate(GateType::And, {randBit(), randBit()});
+          break;
+        case 1:
+          r = nl.addGate(GateType::Or, {randBit(), randBit()});
+          break;
+        case 2:
+          r = nl.addGate(GateType::Xor, {randBit(), randBit()});
+          break;
+        case 3:
+          r = nl.addGate(GateType::Not, {randBit()});
+          break;
+        case 4:
+          r = nl.addGate(GateType::Mux, {randBit(), randBit(), randBit()});
+          break;
+        default:
+          r = wordEqual(nl, randWord(), randWord());
+      }
+      sc.bits.push_back(r);
+    }
+    for (std::uint32_t k = 0; k < p.opsPerLayer; ++k) {
+      Word r;
+      switch (rng.below(12)) {
+        case 0:
+          r = wordBitwise(nl, GateType::And, randWord(), randWord());
+          break;
+        case 1:
+          r = wordBitwise(nl, GateType::Or, randWord(), randWord());
+          break;
+        case 2:
+          r = wordBitwise(nl, GateType::Xor, randWord(), randWord());
+          break;
+        case 3:
+          r = wordNot(nl, randWord());
+          break;
+        case 4:
+          r = wordGate(nl, randWord(), randBit());
+          break;
+        case 5:
+          r = wordMux(nl, randBit(), randWord(), randWord());
+          break;
+        case 6:
+          r = wordAdd(nl, randWord(), randWord());
+          break;
+        case 7:
+          r = priorityEncode(nl, randWord());
+          break;
+        case 8:
+          r = decodeLow(nl, randWord(), randBit(), p.wordWidth);
+          break;
+        case 9:
+          r = crcStep(nl, randWord(), randBit(),
+                      rng.next() | 0x21);  // random poly, taps at 0 and 5
+          break;
+        case 10:
+          // Array multipliers are quadratic; keep them to narrow words.
+          if (p.wordWidth <= 12) {
+            r = wordMulLow(nl, randWord(), randWord());
+            break;
+          }
+          [[fallthrough]];
+        default:
+          r = wordRotate(randWord(), 1 + rng.below(p.wordWidth - 1));
+      }
+      sc.words.push_back(std::move(r));
+      // Occasionally derive a reduction bit from the fresh word, coupling
+      // the control plane to the datapath.
+      if (rng.chance(1, 3)) {
+        const GateType t = rng.flip() ? GateType::Or : GateType::Xor;
+        sc.bits.push_back(wordReduce(nl, t, sc.words.back()));
+      }
+    }
+  }
+
+  // Outputs: prefer signals from the last layers so all logic stays live.
+  std::uint32_t outWordCount = 0;
+  for (std::uint32_t k = 0; k < p.numOutputWords; ++k) {
+    const std::size_t lo = sc.words.size() > p.numOutputWords * 2
+                               ? sc.words.size() - p.numOutputWords * 2
+                               : 0;
+    const std::size_t pickIdx = lo + rng.below(sc.words.size() - lo);
+    const Word& w = sc.words[pickIdx];
+    for (std::size_t b = 0; b < w.size(); ++b)
+      nl.addOutput("out" + std::to_string(outWordCount) + "_" +
+                       std::to_string(b),
+                   w[b]);
+    ++outWordCount;
+  }
+  for (std::uint32_t k = 0; k < p.numOutputBits; ++k) {
+    const std::size_t lo =
+        sc.bits.size() > p.numOutputBits * 3 ? sc.bits.size() - p.numOutputBits * 3
+                                             : 0;
+    nl.addOutput("outb" + std::to_string(k),
+                 sc.bits[lo + rng.below(sc.bits.size() - lo)]);
+  }
+  // No dead-logic sweep here: the mutator may still tap currently-unused
+  // pool signals, and the synthesis passes rebuild live logic anyway.
+  SYSECO_CHECK(nl.isWellFormed());
+  return sc;
+}
+
+}  // namespace syseco

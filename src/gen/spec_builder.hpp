@@ -1,0 +1,43 @@
+#pragma once
+// Word-level specification circuit generator.
+//
+// The paper evaluates on microprocessor ECOs: datapath words gated and
+// muxed by control logic, with heavy cross-output sharing ("path-entangled
+// designs", §1). This builder synthesizes random but structured circuits of
+// that character: a pool of multi-bit words and single-bit control signals
+// is grown layer by layer with word operations (bitwise logic, GATE-style
+// masking as in the paper's Figure 1/Example 1, muxing, ripple addition,
+// rotation) and bit operations (control logic, comparators, reductions).
+// Ripple carries and reductions entangle bits across outputs, which is what
+// makes rectification-point selection non-trivial.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+
+struct SpecParams {
+  std::uint32_t numInputWords = 4;   ///< word-shaped primary inputs
+  std::uint32_t wordWidth = 8;       ///< bits per word
+  std::uint32_t numControlBits = 4;  ///< single-bit primary inputs
+  std::uint32_t numLayers = 3;       ///< operation layers
+  std::uint32_t opsPerLayer = 6;     ///< word ops created per layer
+  std::uint32_t bitOpsPerLayer = 4;  ///< control ops created per layer
+  std::uint32_t numOutputWords = 2;  ///< word-shaped outputs
+  std::uint32_t numOutputBits = 2;   ///< single-bit outputs
+};
+
+/// A generated specification plus the signal pools the mutator draws from.
+struct SpecCircuit {
+  Netlist netlist;
+  std::vector<std::vector<NetId>> words;  ///< all word signals (incl. inputs)
+  std::vector<NetId> bits;                ///< all single-bit signals
+};
+
+/// Builds a random specification circuit; deterministic in `rng`.
+SpecCircuit buildSpec(const SpecParams& params, Rng& rng);
+
+}  // namespace syseco

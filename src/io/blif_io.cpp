@@ -1,0 +1,300 @@
+#include "io/blif_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+namespace {
+
+struct Cover {
+  std::vector<std::string> signals;  ///< inputs..., output last
+  std::vector<std::string> rows;     ///< "<mask> <value>" rows
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("blif: " + msg + " at line " +
+                           std::to_string(line));
+}
+
+/// Continuation-aware, comment-stripping line reader.
+bool nextLogicalLine(std::istream& is, std::string& out, int& line) {
+  out.clear();
+  std::string raw;
+  while (std::getline(is, raw)) {
+    ++line;
+    if (const auto hash = raw.find('#'); hash != std::string::npos)
+      raw.resize(hash);
+    // Trim trailing whitespace.
+    while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t' ||
+                            raw.back() == '\r'))
+      raw.pop_back();
+    if (!raw.empty() && raw.back() == '\\') {
+      raw.pop_back();
+      out += raw;
+      continue;  // continuation
+    }
+    out += raw;
+    if (out.find_first_not_of(" \t") == std::string::npos) {
+      out.clear();
+      continue;  // blank
+    }
+    return true;
+  }
+  return !out.empty();
+}
+
+std::vector<std::string> tokens(const std::string& s) {
+  std::istringstream ls(s);
+  std::vector<std::string> out;
+  std::string t;
+  while (ls >> t) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
+Netlist readBlif(std::istream& is) {
+  Netlist nl;
+  std::unordered_map<std::string, NetId> netByName;
+  std::vector<std::string> declaredOutputs;
+  std::vector<Cover> covers;
+  Cover* open = nullptr;
+  int line = 0;
+  std::string text;
+  bool sawModel = false, sawEnd = false;
+
+  while (nextLogicalLine(is, text, line)) {
+    const auto tok = tokens(text);
+    if (tok.empty()) continue;
+    const std::string& head = tok[0];
+    if (head[0] == '.') {
+      open = nullptr;
+      if (head == ".model") {
+        sawModel = true;
+      } else if (head == ".inputs") {
+        for (std::size_t i = 1; i < tok.size(); ++i) {
+          if (netByName.count(tok[i])) fail(line, "duplicate input " + tok[i]);
+          netByName.emplace(tok[i], nl.addInput(tok[i]));
+        }
+      } else if (head == ".outputs") {
+        declaredOutputs.insert(declaredOutputs.end(), tok.begin() + 1,
+                               tok.end());
+      } else if (head == ".names") {
+        if (tok.size() < 2) fail(line, ".names needs at least an output");
+        covers.push_back(Cover{{tok.begin() + 1, tok.end()}, {}, line});
+        open = &covers.back();
+      } else if (head == ".end") {
+        sawEnd = true;
+        break;
+      } else if (head == ".latch" || head == ".subckt" || head == ".gate") {
+        fail(line, "unsupported construct " + head +
+                       " (combinational flat BLIF only)");
+      } else {
+        fail(line, "unknown directive " + head);
+      }
+    } else {
+      if (!open) fail(line, "cover row outside .names");
+      if (tok.size() == 1 && open->signals.size() == 1) {
+        // Constant cover: single column "1" or "0".
+        open->rows.push_back(tok[0]);
+      } else if (tok.size() == 2) {
+        open->rows.push_back(tok[0] + " " + tok[1]);
+      } else {
+        fail(line, "malformed cover row");
+      }
+    }
+  }
+  if (!sawModel) fail(line, "missing .model");
+  if (!sawEnd) fail(line + 1, "missing .end");
+
+  // Build cover gates in dependency order (BLIF allows any order).
+  std::vector<char> built(covers.size(), 0);
+  std::size_t remaining = covers.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t ci = 0; ci < covers.size(); ++ci) {
+      if (built[ci]) continue;
+      Cover& c = covers[ci];
+      const std::string& outName = c.signals.back();
+      bool ready = true;
+      for (std::size_t i = 0; i + 1 < c.signals.size(); ++i)
+        ready &= netByName.count(c.signals[i]) > 0;
+      if (!ready) continue;
+
+      const std::size_t numIn = c.signals.size() - 1;
+      NetId result = kNullId;
+      if (numIn == 0) {
+        // Constant: "1" row => const1, empty/absent or "0" => const0.
+        bool one = false;
+        for (const std::string& r : c.rows) one |= (r == "1");
+        result = nl.addGate(one ? GateType::Const1 : GateType::Const0, {});
+      } else {
+        // Decode rows; determine cover polarity from the value column.
+        bool onSet = true;
+        std::vector<std::string> masks;
+        for (const std::string& r : c.rows) {
+          const auto parts = tokens(r);
+          if (parts.size() != 2 || parts[0].size() != numIn)
+            fail(c.line, "bad cover row '" + r + "'");
+          onSet = parts[1] == "1";
+          if (parts[1] != "0" && parts[1] != "1")
+            fail(c.line, "bad cover value '" + parts[1] + "'");
+          masks.push_back(parts[0]);
+        }
+        if (masks.empty()) {
+          result = nl.addGate(GateType::Const0, {});
+        } else {
+          std::vector<NetId> terms;
+          for (const std::string& mask : masks) {
+            std::vector<NetId> lits;
+            for (std::size_t i = 0; i < numIn; ++i) {
+              const NetId in = netByName.at(c.signals[i]);
+              if (mask[i] == '1') {
+                lits.push_back(in);
+              } else if (mask[i] == '0') {
+                lits.push_back(nl.addGate(GateType::Not, {in}));
+              } else if (mask[i] != '-') {
+                fail(c.line, "bad cover literal");
+              }
+            }
+            if (lits.empty()) {
+              terms.push_back(nl.addGate(GateType::Const1, {}));
+            } else if (lits.size() == 1) {
+              terms.push_back(lits[0]);
+            } else {
+              terms.push_back(nl.addGate(GateType::And, lits));
+            }
+          }
+          result = terms.size() == 1 ? terms[0]
+                                     : nl.addGate(GateType::Or, terms);
+          if (!onSet) result = nl.addGate(GateType::Not, {result});
+        }
+      }
+      if (netByName.count(outName))
+        fail(c.line, "signal " + outName + " driven twice");
+      netByName.emplace(outName, result);
+      built[ci] = 1;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) fail(line, "combinational cycle among .names covers");
+  }
+
+  for (const std::string& o : declaredOutputs) {
+    const auto it = netByName.find(o);
+    if (it == netByName.end()) fail(line, "undriven output " + o);
+    nl.addOutput(o, it->second);
+  }
+  std::string why;
+  if (!nl.isWellFormed(&why)) fail(line, "ill-formed result: " + why);
+  return nl;
+}
+
+void writeBlif(std::ostream& os, const Netlist& netlist,
+               const std::string& modelName) {
+  os << ".model " << modelName << "\n.inputs";
+  for (std::uint32_t i = 0; i < netlist.numInputs(); ++i)
+    os << ' ' << netlist.inputName(i);
+  os << "\n.outputs";
+  for (std::uint32_t o = 0; o < netlist.numOutputs(); ++o)
+    os << ' ' << netlist.outputName(o);
+  os << "\n";
+
+  auto name = [&](NetId n) -> std::string {
+    const auto& net = netlist.net(n);
+    if (net.srcKind == Netlist::SourceKind::Input)
+      return netlist.inputName(net.srcIdx);
+    return "n" + std::to_string(n);
+  };
+
+  for (GateId g : netlist.topoOrder()) {
+    const auto& gate = netlist.gate(g);
+    os << ".names";
+    for (NetId f : gate.fanins) os << ' ' << name(f);
+    os << ' ' << name(gate.out) << "\n";
+    const std::size_t k = gate.fanins.size();
+    switch (gate.type) {
+      case GateType::Const0:
+        break;  // empty cover = constant 0
+      case GateType::Const1:
+        os << "1\n";
+        break;
+      case GateType::Buf:
+        os << "1 1\n";
+        break;
+      case GateType::Not:
+        os << "0 1\n";
+        break;
+      case GateType::And:
+        os << std::string(k, '1') << " 1\n";
+        break;
+      case GateType::Nand:
+        os << std::string(k, '1') << " 0\n";
+        break;
+      case GateType::Or:
+        for (std::size_t i = 0; i < k; ++i) {
+          std::string row(k, '-');
+          row[i] = '1';
+          os << row << " 1\n";
+        }
+        break;
+      case GateType::Nor:
+        os << std::string(k, '0') << " 1\n";
+        break;
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // Enumerate parity rows (fanin counts are small in practice; the
+        // writer splits nothing, so keep XOR arity modest before export).
+        SYSECO_CHECK(k <= 16);
+        for (std::uint64_t m = 0; m < (1ULL << k); ++m) {
+          int ones = 0;
+          std::string row(k, '0');
+          for (std::size_t i = 0; i < k; ++i) {
+            if ((m >> i) & 1) {
+              row[i] = '1';
+              ++ones;
+            }
+          }
+          const bool value = (ones % 2 == 1) == (gate.type == GateType::Xor);
+          if (value) os << row << " 1\n";
+        }
+        break;
+      }
+      case GateType::Mux:
+        os << "01- 1\n1-1 1\n";  // (sel, d0, d1)
+        break;
+    }
+  }
+
+  // Outputs that alias an input or another named net need a buffer cover.
+  for (std::uint32_t o = 0; o < netlist.numOutputs(); ++o) {
+    const std::string src = name(netlist.outputNet(o));
+    if (src != netlist.outputName(o))
+      os << ".names " << src << ' ' << netlist.outputName(o) << "\n1 1\n";
+  }
+  os << ".end\n";
+}
+
+Netlist loadBlif(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("blif: cannot open " + path);
+  return readBlif(f);
+}
+
+void saveBlif(const std::string& path, const Netlist& netlist,
+              const std::string& modelName) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("blif: cannot open " + path);
+  writeBlif(f, netlist, modelName);
+}
+
+}  // namespace syseco

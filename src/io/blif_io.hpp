@@ -1,0 +1,36 @@
+#pragma once
+// Berkeley Logic Interchange Format (BLIF) subset reader/writer.
+//
+// Supported constructs:
+//   .model / .inputs / .outputs / .end
+//   .names <in...> <out>   followed by single-output SOP cover rows
+//                          ("-01 1" style; both on-set and off-set covers)
+//   .latch                 rejected (combinational ECO scope, paper §2)
+//   .subckt / .gate        rejected (flat covers only)
+//
+// Covers are translated into gate logic: each on-set row becomes an AND of
+// literals, rows are OR-ed; off-set covers ("... 0" rows) are built the
+// same way and complemented. This is enough to exchange circuits with ABC
+// and the ISCAS/ITC benchmark translations commonly shipped as BLIF.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace syseco {
+
+/// Parses a BLIF model. Throws std::runtime_error with a line-accurate
+/// message on malformed or unsupported input.
+Netlist readBlif(std::istream& is);
+
+/// Serializes the netlist as BLIF: every gate becomes a .names cover.
+void writeBlif(std::ostream& os, const Netlist& netlist,
+               const std::string& modelName = "syseco");
+
+/// File wrappers.
+Netlist loadBlif(const std::string& path);
+void saveBlif(const std::string& path, const Netlist& netlist,
+              const std::string& modelName = "syseco");
+
+}  // namespace syseco

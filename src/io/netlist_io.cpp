@@ -1,0 +1,152 @@
+#include "io/netlist_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+namespace {
+
+GateType gateTypeFromName(const std::string& s, int line) {
+  if (s == "const0") return GateType::Const0;
+  if (s == "const1") return GateType::Const1;
+  if (s == "buf") return GateType::Buf;
+  if (s == "not") return GateType::Not;
+  if (s == "and") return GateType::And;
+  if (s == "or") return GateType::Or;
+  if (s == "nand") return GateType::Nand;
+  if (s == "nor") return GateType::Nor;
+  if (s == "xor") return GateType::Xor;
+  if (s == "xnor") return GateType::Xnor;
+  if (s == "mux") return GateType::Mux;
+  throw std::runtime_error("netlist_io: unknown gate type '" + s + "' at line " +
+                           std::to_string(line));
+}
+
+}  // namespace
+
+void writeNetlist(std::ostream& os, const Netlist& netlist,
+                  const std::string& modelName) {
+  os << ".model " << modelName << "\n";
+  os << ".inputs";
+  for (std::uint32_t i = 0; i < netlist.numInputs(); ++i)
+    os << ' ' << netlist.inputName(i);
+  os << "\n.outputs";
+  for (std::uint32_t o = 0; o < netlist.numOutputs(); ++o)
+    os << ' ' << netlist.outputName(o);
+  os << "\n";
+
+  auto netName = [&](NetId n) -> std::string {
+    const auto& net = netlist.net(n);
+    if (net.srcKind == Netlist::SourceKind::Input)
+      return netlist.inputName(net.srcIdx);
+    return "n" + std::to_string(n);
+  };
+
+  for (GateId g : netlist.topoOrder()) {
+    const Netlist::Gate& gate = netlist.gate(g);
+    os << ".gate " << gateTypeName(gate.type) << ' ' << netName(gate.out);
+    for (NetId f : gate.fanins) os << ' ' << netName(f);
+    os << "\n";
+  }
+  for (std::uint32_t o = 0; o < netlist.numOutputs(); ++o)
+    os << ".assign " << netlist.outputName(o) << ' '
+       << netName(netlist.outputNet(o)) << "\n";
+  os << ".end\n";
+}
+
+Netlist readNetlist(std::istream& is) {
+  Netlist out;
+  std::unordered_map<std::string, NetId> netByName;
+  std::vector<std::string> declaredOutputs;
+  std::string lineText;
+  int line = 0;
+  bool sawEnd = false;
+
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::runtime_error("netlist_io: " + msg + " at line " +
+                             std::to_string(line));
+  };
+
+  while (std::getline(is, lineText)) {
+    ++line;
+    // Strip comments.
+    if (const auto hash = lineText.find('#'); hash != std::string::npos)
+      lineText.resize(hash);
+    std::istringstream ls(lineText);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+
+    if (tok == ".model") {
+      // Name is informational only.
+    } else if (tok == ".inputs") {
+      std::string name;
+      while (ls >> name) {
+        if (netByName.count(name)) fail("duplicate name '" + name + "'");
+        netByName.emplace(name, out.addInput(name));
+      }
+    } else if (tok == ".outputs") {
+      std::string name;
+      while (ls >> name) declaredOutputs.push_back(name);
+    } else if (tok == ".gate") {
+      std::string typeName, outName, faninName;
+      if (!(ls >> typeName >> outName)) fail("malformed .gate");
+      const GateType type = gateTypeFromName(typeName, line);
+      std::vector<NetId> fanins;
+      while (ls >> faninName) {
+        auto it = netByName.find(faninName);
+        if (it == netByName.end()) fail("unknown net '" + faninName + "'");
+        fanins.push_back(it->second);
+      }
+      const std::uint8_t arity = gateArity(type);
+      if (arity != 0xFF && fanins.size() != arity) fail("bad gate arity");
+      if (arity == 0xFF && fanins.empty()) fail("bad gate arity");
+      if (netByName.count(outName)) fail("duplicate name '" + outName + "'");
+      netByName.emplace(outName, out.addGate(type, fanins));
+    } else if (tok == ".assign") {
+      std::string outName, netName;
+      if (!(ls >> outName >> netName)) fail("malformed .assign");
+      auto it = netByName.find(netName);
+      if (it == netByName.end()) fail("unknown net '" + netName + "'");
+      bool declared = false;
+      for (const auto& d : declaredOutputs) declared |= (d == outName);
+      if (!declared) fail("output '" + outName + "' not declared");
+      out.addOutput(outName, it->second);
+    } else if (tok == ".end") {
+      sawEnd = true;
+      break;
+    } else {
+      fail("unknown directive '" + tok + "'");
+    }
+  }
+  if (!sawEnd) {
+    line = line + 1;
+    fail("missing .end");
+  }
+  if (out.numOutputs() != declaredOutputs.size())
+    fail("not every declared output was assigned");
+  std::string why;
+  if (!out.isWellFormed(&why)) fail("ill-formed netlist: " + why);
+  return out;
+}
+
+void saveNetlist(const std::string& path, const Netlist& netlist,
+                 const std::string& modelName) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("netlist_io: cannot open " + path);
+  writeNetlist(f, netlist, modelName);
+}
+
+Netlist loadNetlist(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("netlist_io: cannot open " + path);
+  return readNetlist(f);
+}
+
+}  // namespace syseco

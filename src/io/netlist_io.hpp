@@ -1,0 +1,42 @@
+#pragma once
+// Plain-text netlist interchange format (reader/writer).
+//
+// The format is a BLIF-inspired gate-level description that maps 1:1 onto
+// the data model:
+//
+//   .model adder4
+//   .inputs a0 a1 b0 b1
+//   .outputs s0 s1
+//   .gate xor t0 a0 b0
+//   .gate and t1 a0 b0
+//   ...
+//   .assign s0 t0
+//   .end
+//
+// `.gate TYPE OUT FANINS...` creates a gate whose output net is named OUT;
+// fanins reference earlier input or gate names. `.assign OUTPUT NET` drives
+// a declared output from a named net. Used by the examples, debugging dumps
+// and round-trip tests.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace syseco {
+
+/// Serializes `netlist` (live logic only). Internal nets get synthetic
+/// names (n<id>) unless they carry a label.
+void writeNetlist(std::ostream& os, const Netlist& netlist,
+                  const std::string& modelName = "model");
+
+/// Parses the textual format. Throws std::runtime_error with a
+/// line-accurate message on malformed input.
+Netlist readNetlist(std::istream& is);
+
+/// Convenience file wrappers.
+void saveNetlist(const std::string& path, const Netlist& netlist,
+                 const std::string& modelName = "model");
+Netlist loadNetlist(const std::string& path);
+
+}  // namespace syseco

@@ -1,0 +1,19 @@
+#pragma once
+// Structural Verilog writer: emits the netlist as a synthesizable module
+// over primitive continuous assignments (assign/&,|,^,~ and ?:). Useful for
+// handing patched implementations back to a standard flow.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace syseco {
+
+void writeVerilog(std::ostream& os, const Netlist& netlist,
+                  const std::string& moduleName = "syseco_design");
+
+void saveVerilog(const std::string& path, const Netlist& netlist,
+                 const std::string& moduleName = "syseco_design");
+
+}  // namespace syseco

@@ -1,0 +1,415 @@
+#include "itp/interp_fix.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cnf/encode.hpp"
+#include "eco/matching.hpp"
+#include "itp/itp_solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace syseco {
+
+namespace {
+
+/// Tseitin encoder into an ItpSolver, one instance per (copy, side).
+/// Inputs get fresh side-local variables; an optional pin is tied to a
+/// constant instead of its driving net.
+class ItpConeEncoder {
+ public:
+  ItpConeEncoder(ItpSolver& solver, ItpSolver::Side side, const Netlist& nl,
+                 std::unordered_map<std::string, Var>& inputVarByName,
+                 const Sink* tiePin, bool tieValue)
+      : solver_(solver),
+        side_(side),
+        nl_(nl),
+        inputVarByName_(inputVarByName),
+        tiePin_(tiePin),
+        tieValue_(tieValue) {}
+
+  Var netVar(NetId net) {
+    if (auto it = varOfNet_.find(net); it != varOfNet_.end())
+      return it->second;
+    const auto& n = nl_.net(net);
+    Var v = -1;
+    switch (n.srcKind) {
+      case Netlist::SourceKind::Input: {
+        const std::string& name = nl_.inputName(n.srcIdx);
+        auto it = inputVarByName_.find(name);
+        if (it == inputVarByName_.end()) {
+          v = solver_.newVar();
+          inputVarByName_.emplace(name, v);
+        } else {
+          v = it->second;
+        }
+        break;
+      }
+      case Netlist::SourceKind::Gate:
+        v = encodeGate(n.srcIdx);
+        break;
+      case Netlist::SourceKind::None:
+        SYSECO_CHECK(false && "encoding an undriven net");
+    }
+    varOfNet_.emplace(net, v);
+    return v;
+  }
+
+  /// Constant-true / constant-false variables (created on demand).
+  Var constVar(bool value) {
+    Var& slot = value ? constTrue_ : constFalse_;
+    if (slot < 0) {
+      slot = solver_.newVar();
+      solver_.addClause({Lit::make(slot, !value)}, side_);
+    }
+    return slot;
+  }
+
+ private:
+  Var faninVar(GateId g, std::uint32_t port) {
+    if (tiePin_ && tiePin_->gate == g && tiePin_->port == port)
+      return constVar(tieValue_);
+    return netVar(nl_.gate(g).fanins[port]);
+  }
+
+  Var encodeGate(GateId g) {
+    const auto& gate = nl_.gate(g);
+    std::vector<Var> in;
+    in.reserve(gate.fanins.size());
+    for (std::uint32_t port = 0; port < gate.fanins.size(); ++port)
+      in.push_back(faninVar(g, port));
+    auto lit = [](Var v, bool neg = false) { return Lit::make(v, neg); };
+    auto add = [&](std::vector<Lit> c) { solver_.addClause(std::move(c), side_); };
+    ItpSolver& s = solver_;
+
+    switch (gate.type) {
+      case GateType::Const0: return constVar(false);
+      case GateType::Const1: return constVar(true);
+      case GateType::Buf: return in[0];
+      case GateType::Not: {
+        const Var v = s.newVar();
+        add({lit(v), lit(in[0])});
+        add({lit(v, true), lit(in[0], true)});
+        return v;
+      }
+      case GateType::And:
+      case GateType::Nand: {
+        const Var a = s.newVar();
+        std::vector<Lit> big;
+        for (Var i : in) {
+          add({lit(a, true), lit(i)});
+          big.push_back(lit(i, true));
+        }
+        big.push_back(lit(a));
+        add(std::move(big));
+        if (gate.type == GateType::And) return a;
+        const Var v = s.newVar();
+        add({lit(v), lit(a)});
+        add({lit(v, true), lit(a, true)});
+        return v;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        const Var a = s.newVar();
+        std::vector<Lit> big;
+        for (Var i : in) {
+          add({lit(a), lit(i, true)});
+          big.push_back(lit(i));
+        }
+        big.push_back(lit(a, true));
+        add(std::move(big));
+        if (gate.type == GateType::Or) return a;
+        const Var v = s.newVar();
+        add({lit(v), lit(a)});
+        add({lit(v, true), lit(a, true)});
+        return v;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        Var acc = in[0];
+        for (std::size_t k = 1; k < in.size(); ++k) {
+          const Var v = s.newVar();
+          const Var b = in[k];
+          add({lit(v, true), lit(acc), lit(b)});
+          add({lit(v, true), lit(acc, true), lit(b, true)});
+          add({lit(v), lit(acc, true), lit(b)});
+          add({lit(v), lit(acc), lit(b, true)});
+          acc = v;
+        }
+        if (gate.type == GateType::Xor) return acc;
+        const Var v = s.newVar();
+        add({lit(v), lit(acc)});
+        add({lit(v, true), lit(acc, true)});
+        return v;
+      }
+      case GateType::Mux: {
+        const Var v = s.newVar();
+        add({lit(in[0]), lit(in[1], true), lit(v)});
+        add({lit(in[0]), lit(in[1]), lit(v, true)});
+        add({lit(in[0], true), lit(in[2], true), lit(v)});
+        add({lit(in[0], true), lit(in[2]), lit(v, true)});
+        return v;
+      }
+    }
+    SYSECO_CHECK(false);
+    return -1;
+  }
+
+  ItpSolver& solver_;
+  ItpSolver::Side side_;
+  const Netlist& nl_;
+  std::unordered_map<std::string, Var>& inputVarByName_;
+  const Sink* tiePin_;
+  bool tieValue_;
+  std::unordered_map<NetId, Var> varOfNet_;
+  Var constTrue_ = -1;
+  Var constFalse_ = -1;
+};
+
+}  // namespace
+
+EcoResult runInterpFix(const Netlist& impl, const Netlist& spec,
+                       const InterpFixOptions& options,
+                       InterpFixDiagnostics* diagnostics) {
+  Timer timer;
+  Rng rng(options.seed);
+  InterpFixDiagnostics local;
+  InterpFixDiagnostics& diag = diagnostics ? *diagnostics : local;
+
+  EcoResult result;
+  result.rectified = impl;
+  PatchTracker tracker(result.rectified);
+  Netlist& w = result.rectified;
+
+  const std::vector<std::uint32_t> failing =
+      findFailingOutputs(impl, spec, rng);
+  result.failingOutputsBefore = failing.size();
+
+  for (std::uint32_t o : failing) {
+    const std::uint32_t op = spec.findOutput(impl.outputName(o));
+    SYSECO_CHECK(op != kNullId);
+    const std::vector<GateId> cone = w.coneGates({w.outputNet(o)});
+    bool fixed = false;
+
+    if (cone.size() <= options.maxConeGates) {
+      // Candidate pins: close to the output first (small h-perturbation).
+      std::vector<Sink> pins;
+      for (auto it = cone.rbegin();
+           it != cone.rend() && pins.size() < options.maxCandidatePins;
+           ++it) {
+        for (std::uint32_t port = 0; port < w.gate(*it).fanins.size();
+             ++port)
+          pins.push_back(Sink{*it, port});
+      }
+      if (pins.size() > options.maxCandidatePins)
+        pins.resize(options.maxCandidatePins);
+
+      for (const Sink& pin : pins) {
+        if (fixed) break;
+        // Basis: the pin's driver, its gate's side inputs, nearby
+        // multi-fanout nets, then support PIs - capped.
+        std::vector<NetId> basis;
+        {
+          std::unordered_set<NetId> seen;
+          auto push = [&](NetId n) {
+            if (basis.size() >= options.maxBasis) return;
+            if (seen.insert(n).second) basis.push_back(n);
+          };
+          push(w.gate(pin.gate).fanins[pin.port]);
+          for (NetId f : w.gate(pin.gate).fanins) push(f);
+          for (GateId g : cone) {
+            if (basis.size() >= options.maxBasis) break;
+            const NetId out = w.gate(g).out;
+            if (w.net(out).sinks.size() >= 2) push(out);
+          }
+          for (std::uint32_t pi : w.support(w.outputNet(o))) {
+            if (basis.size() >= options.maxBasis) break;
+            push(w.inputNet(pi));
+          }
+          // A basis net must not depend on the pin's gate (the patch would
+          // feed itself): drop anything in the pin gate's fanout cone.
+          std::unordered_set<NetId> forbidden;
+          {
+            std::vector<NetId> stack{w.gate(pin.gate).out};
+            forbidden.insert(w.gate(pin.gate).out);
+            while (!stack.empty()) {
+              const NetId n = stack.back();
+              stack.pop_back();
+              for (const Sink& s : w.net(n).sinks) {
+                if (s.isOutput()) continue;
+                const NetId next = w.gate(s.gate).out;
+                if (forbidden.insert(next).second) stack.push_back(next);
+              }
+            }
+          }
+          std::erase_if(basis,
+                        [&](NetId n) { return forbidden.count(n) > 0; });
+        }
+        if (basis.empty()) continue;
+
+        try {
+          ItpSolver solver(static_cast<std::uint32_t>(basis.size()),
+                           options.bddNodeLimit);
+          // Copy A: pin tied to 0 must FAIL (this x needs y=1).
+          {
+            std::unordered_map<std::string, Var> inputsA;
+            ItpConeEncoder implA(solver, ItpSolver::Side::A, w, inputsA,
+                                 &pin, false);
+            ItpConeEncoder specA(solver, ItpSolver::Side::A, spec, inputsA,
+                                 nullptr, false);
+            const Var h0 = implA.netVar(w.outputNet(o));
+            const Var fp = specA.netVar(spec.outputNet(op));
+            // h0 XOR f' (they differ): two clauses via a fresh selector.
+            const Var d = solver.newVar();
+            solver.addClause({Lit::make(d)}, ItpSolver::Side::A);
+            solver.addClause({Lit::make(d, true), Lit::make(h0),
+                              Lit::make(fp)},
+                             ItpSolver::Side::A);
+            solver.addClause({Lit::make(d, true), Lit::make(h0, true),
+                              Lit::make(fp, true)},
+                             ItpSolver::Side::A);
+            // Shared image: z_i == b_i(x).
+            for (std::size_t i = 0; i < basis.size(); ++i) {
+              const Var b = implA.netVar(basis[i]);
+              const Var z = static_cast<Var>(i);
+              solver.addClause({Lit::make(z, true), Lit::make(b)},
+                               ItpSolver::Side::A);
+              solver.addClause({Lit::make(z), Lit::make(b, true)},
+                               ItpSolver::Side::A);
+            }
+          }
+          // Copy B: pin tied to 1 must FAIL (this x' needs y=0).
+          {
+            std::unordered_map<std::string, Var> inputsB;
+            ItpConeEncoder implB(solver, ItpSolver::Side::B, w, inputsB,
+                                 &pin, true);
+            ItpConeEncoder specB(solver, ItpSolver::Side::B, spec, inputsB,
+                                 nullptr, false);
+            const Var h1 = implB.netVar(w.outputNet(o));
+            const Var fp = specB.netVar(spec.outputNet(op));
+            const Var d = solver.newVar();
+            solver.addClause({Lit::make(d)}, ItpSolver::Side::B);
+            solver.addClause({Lit::make(d, true), Lit::make(h1),
+                              Lit::make(fp)},
+                             ItpSolver::Side::B);
+            solver.addClause({Lit::make(d, true), Lit::make(h1, true),
+                              Lit::make(fp, true)},
+                             ItpSolver::Side::B);
+            for (std::size_t i = 0; i < basis.size(); ++i) {
+              const Var b = implB.netVar(basis[i]);
+              const Var z = static_cast<Var>(i);
+              solver.addClause({Lit::make(z, true), Lit::make(b)},
+                               ItpSolver::Side::B);
+              solver.addClause({Lit::make(z), Lit::make(b, true)},
+                               ItpSolver::Side::B);
+            }
+          }
+
+          const ItpSolver::Result r = solver.solve(options.solveBudget);
+          if (r != ItpSolver::Result::Unsat) {
+            if (r == ItpSolver::Result::Sat) ++diag.queriesSat;
+            continue;  // basis insufficient at this pin
+          }
+          ++diag.queriesUnsat;
+
+          // Instantiate the interpolant as two-level logic over the basis.
+          Bdd& mgr = solver.bdd();
+          const std::vector<BddCube> cover = mgr.isop(solver.interpolant());
+          diag.coverCubes += cover.size();
+          std::vector<NetId> terms;
+          std::unordered_map<std::uint32_t, NetId> invOf;
+          for (const BddCube& cube : cover) {
+            std::vector<NetId> lits;
+            for (std::uint32_t v = 0; v < basis.size(); ++v) {
+              if (cube.lits[v] < 0) continue;
+              if (cube.lits[v] == 1) {
+                lits.push_back(basis[v]);
+              } else {
+                auto it = invOf.find(v);
+                if (it == invOf.end()) {
+                  it = invOf
+                           .emplace(v,
+                                    w.addGate(GateType::Not, {basis[v]}))
+                           .first;
+                }
+                lits.push_back(it->second);
+              }
+            }
+            if (lits.empty()) {
+              terms.push_back(w.addGate(GateType::Const1, {}));
+            } else if (lits.size() == 1) {
+              terms.push_back(lits[0]);
+            } else {
+              terms.push_back(w.addGate(GateType::And, lits));
+            }
+          }
+          NetId patch;
+          if (terms.empty()) {
+            patch = w.addGate(GateType::Const0, {});
+          } else if (terms.size() == 1) {
+            patch = terms[0];
+          } else {
+            patch = w.addGate(GateType::Or, terms);
+          }
+
+          // Validate every reachable output (the single-point condition is
+          // per-output; shared logic may break peers) and roll back on
+          // damage.
+          const std::size_t mark = tracker.mark();
+          tracker.rewire(pin, patch);
+          bool collateral = false;
+          {
+            std::unordered_set<GateId> seenGates;
+            std::vector<NetId> stack{w.gate(pin.gate).out};
+            std::vector<std::uint32_t> reached;
+            while (!stack.empty()) {
+              const NetId n = stack.back();
+              stack.pop_back();
+              for (const Sink& s : w.net(n).sinks) {
+                if (s.isOutput()) {
+                  reached.push_back(s.port);
+                } else if (seenGates.insert(s.gate).second) {
+                  stack.push_back(w.gate(s.gate).out);
+                }
+              }
+            }
+            PairEncoding pe(w, spec);
+            for (std::uint32_t ro : reached) {
+              const std::uint32_t rop = spec.findOutput(w.outputName(ro));
+              if (rop == kNullId) continue;
+              if (pe.solveDiffSwept(ro, rop, options.solveBudget, rng) !=
+                  Solver::Result::Unsat) {
+                collateral = true;
+                break;
+              }
+            }
+          }
+          if (collateral) {
+            tracker.rollback(mark);
+            continue;
+          }
+          ++diag.outputsViaInterpolant;
+          fixed = true;
+        } catch (const BddLimitExceeded&) {
+          continue;  // interpolant too large at this pin
+        }
+      }
+    }
+    if (!fixed) {
+      MatcherOptions mopts;
+      Rng matchRng = rng.split();
+      MatchedSpecCloner cloner(tracker, spec, mopts, matchRng);
+      tracker.rewire(Sink{kNullId, o}, cloner.clone(spec.outputNet(op)));
+      ++diag.outputsViaFallback;
+    }
+  }
+
+  result.stats = tracker.finalize();
+  result.success = verifyAllOutputs(result.rectified, spec);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace syseco

@@ -1,0 +1,50 @@
+#pragma once
+// Interpolation-based single-point rectification (the Craig-interpolation
+// ECO family of paper §2, after Wu et al. [19] / Dao et al. [5]).
+//
+// For a candidate rectification pin t of a failing output, pick a *basis*
+// of existing nets b_1..b_K (the prospective patch inputs). Two CNF copies
+// are built over fresh input variables, sharing only the basis image
+// variables z:
+//
+//   A:  pin tied to 0 fails this x     AND  z_i == b_i(x)
+//   B:  pin tied to 1 fails this x'    AND  z_i == b_i(x')
+//
+// A AND B is unsatisfiable exactly when no basis pattern is required to be
+// both 1 and 0 - i.e. when a patch function over the basis exists - and
+// the Craig interpolant I(z) of the refutation IS such a patch function.
+// It is synthesized as two-level logic over the basis nets and spliced in
+// at the pin.
+//
+// Contrast with the paper's engine: the patch inputs must be guessed up
+// front (the basis), one point is rectified at a time, and the patch is
+// fresh logic; syseco instead searches rectification points and reuses
+// whole existing functions. The benchmark suite quantifies the difference.
+
+#include "eco/patch.hpp"
+#include "netlist/netlist.hpp"
+
+namespace syseco {
+
+struct InterpFixOptions {
+  std::size_t maxBasis = 12;          ///< K: patch-input candidates
+  std::size_t maxCandidatePins = 12;  ///< pins tried per output
+  std::size_t maxConeGates = 3000;    ///< per-copy encoding guard
+  std::int64_t solveBudget = 200000;  ///< conflicts per interpolation query
+  std::size_t bddNodeLimit = 1u << 21;
+  std::uint64_t seed = 1;
+};
+
+struct InterpFixDiagnostics {
+  std::size_t outputsViaInterpolant = 0;
+  std::size_t outputsViaFallback = 0;
+  std::size_t queriesSat = 0;    ///< basis insufficient (no patch exists)
+  std::size_t queriesUnsat = 0;  ///< interpolant extracted
+  std::size_t coverCubes = 0;
+};
+
+EcoResult runInterpFix(const Netlist& impl, const Netlist& spec,
+                       const InterpFixOptions& options = {},
+                       InterpFixDiagnostics* diagnostics = nullptr);
+
+}  // namespace syseco

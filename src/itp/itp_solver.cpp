@@ -1,0 +1,306 @@
+#include "itp/itp_solver.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+ItpSolver::ItpSolver(std::uint32_t numShared, std::size_t bddNodeLimit)
+    : numShared_(numShared),
+      mgr_(std::make_unique<Bdd>(numShared, bddNodeLimit)) {
+  for (std::uint32_t i = 0; i < numShared_; ++i) newVar();
+}
+
+Var ItpSolver::newVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  model_.push_back(LBool::Undef);
+  polarity_.push_back(1);
+  activity_.push_back(0.0);
+  reason_.push_back(kCRefUndef);
+  level_.push_back(0);
+  levelZeroItp_.push_back(Bdd::kFalse);
+  seen_.push_back(0);
+  seenInA_.push_back(0);
+  seenInB_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+ItpSolver::CRef ItpSolver::attachNewClause(std::vector<Lit> lits, Side side,
+                                           Bdd::Ref itp) {
+  const CRef cr = static_cast<CRef>(clauses_.size());
+  clauses_.push_back(Clause{std::move(lits), itp, side});
+  const Clause& c = clauses_[cr];
+  if (c.lits.size() >= 2) {
+    watches_[(~c.lits[0]).x].push_back(cr);
+    watches_[(~c.lits[1]).x].push_back(cr);
+  }
+  return cr;
+}
+
+bool ItpSolver::addClause(std::vector<Lit> lits, Side side) {
+  if (!ok_) return false;
+  SYSECO_CHECK(decisionLevel() == 0);
+  // Keep the clause as a genuine resolution-proof leaf: only remove exact
+  // duplicate literals and drop tautologies (never part of a refutation).
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i] == ~lits[i + 1]) return true;  // tautology
+  }
+  for (const Lit& l : lits) {
+    SYSECO_CHECK(l.var() >= 0 && l.var() < static_cast<Var>(numVars()));
+    auto& marks = side == Side::A ? seenInA_ : seenInB_;
+    marks[l.var()] = 1;
+  }
+  // The base interpolant is computed lazily at the first solve(): it needs
+  // the final A/B occurrence sets. Until then store a placeholder.
+  attachNewClause(std::move(lits), side, Bdd::kFalse);
+  return true;
+}
+
+void ItpSolver::recordLevelZero(Lit p, CRef from) {
+  SYSECO_CHECK(decisionLevel() == 0);
+  Bdd::Ref itp = clauses_[from].itp;
+  for (const Lit& q : clauses_[from].lits) {
+    if (q.var() == p.var()) continue;
+    itp = foldLevelZero(q.var(), itp);
+  }
+  levelZeroItp_[p.var()] = itp;
+}
+
+void ItpSolver::uncheckedEnqueue(Lit p, CRef from) {
+  SYSECO_CHECK(value(p) == LBool::Undef);
+  assigns_[p.var()] = lboolOf(!p.sign());
+  reason_[p.var()] = from;
+  level_[p.var()] = decisionLevel();
+  trail_.push_back(p);
+  if (decisionLevel() == 0 && from != kCRefUndef) recordLevelZero(p, from);
+}
+
+ItpSolver::CRef ItpSolver::propagate() {
+  CRef confl = kCRefUndef;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    std::vector<CRef>& ws = watches_[p.x];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const CRef cr = ws[i];
+      Clause& c = clauses_[cr];
+      const Lit falseLit = ~p;
+      if (c.lits[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
+      SYSECO_CHECK(c.lits[1] == falseLit);
+      if (value(c.lits[0]) == LBool::True) {
+        ws[j++] = cr;
+        ++i;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).x].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        ++i;
+        continue;
+      }
+      ws[j++] = cr;
+      ++i;
+      if (value(c.lits[0]) == LBool::False) {
+        confl = cr;
+        qhead_ = trail_.size();
+        while (i < ws.size()) ws[j++] = ws[i++];
+      } else {
+        uncheckedEnqueue(c.lits[0], cr);
+      }
+    }
+    ws.resize(j);
+    if (confl != kCRefUndef) break;
+  }
+  return confl;
+}
+
+void ItpSolver::analyze(CRef confl, std::vector<Lit>& learnt,
+                        std::int32_t& btLevel, Bdd::Ref& itpOut) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);
+  std::int32_t pathC = 0;
+  Lit p = kLitUndef;
+  std::size_t index = trail_.size();
+  Bdd::Ref itp = Bdd::kFalse;
+
+  do {
+    SYSECO_CHECK(confl != kCRefUndef);
+    const Clause& c = clauses_[confl];
+    // Partial interpolant bookkeeping: the first clause seeds, every
+    // further clause is a resolution on pivot p.
+    itp = (p == kLitUndef) ? c.itp : combine(p.var(), itp, c.itp);
+    const std::size_t start = (p == kLitUndef) ? 0 : 1;
+    for (std::size_t k = start; k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      if (level_[q.var()] == 0) {
+        // Implicit resolution with the level-0 justification.
+        itp = foldLevelZero(q.var(), itp);
+        continue;
+      }
+      if (!seen_[q.var()]) {
+        activity_[q.var()] += varInc_;
+        if (activity_[q.var()] > 1e100) {
+          for (double& a : activity_) a *= 1e-100;
+          varInc_ *= 1e-100;
+        }
+        seen_[q.var()] = 1;
+        if (level_[q.var()] >= decisionLevel()) {
+          ++pathC;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    while (!seen_[trail_[index - 1].var()]) --index;
+    p = trail_[index - 1];
+    --index;
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --pathC;
+  } while (pathC > 0);
+  learnt[0] = ~p;
+  itpOut = itp;
+
+  for (std::size_t i = 1; i < learnt.size(); ++i) seen_[learnt[i].var()] = 0;
+
+  if (learnt.size() == 1) {
+    btLevel = 0;
+  } else {
+    std::size_t maxI = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i)
+      if (level_[learnt[i].var()] > level_[learnt[maxI].var()]) maxI = i;
+    std::swap(learnt[1], learnt[maxI]);
+    btLevel = level_[learnt[1].var()];
+  }
+  varInc_ /= 0.95;
+}
+
+Bdd::Ref ItpSolver::finalizeConflictAtZero(CRef confl) {
+  const Clause& c = clauses_[confl];
+  Bdd::Ref itp = c.itp;
+  for (const Lit& q : c.lits) itp = foldLevelZero(q.var(), itp);
+  return itp;
+}
+
+void ItpSolver::cancelUntil(std::int32_t level) {
+  if (decisionLevel() <= level) return;
+  for (std::size_t i = trail_.size();
+       i > static_cast<std::size_t>(trailLim_[level]); --i) {
+    const Var v = trail_[i - 1].var();
+    polarity_[v] = trail_[i - 1].sign() ? 1 : 0;
+    assigns_[v] = LBool::Undef;
+    reason_[v] = kCRefUndef;
+  }
+  trail_.resize(static_cast<std::size_t>(trailLim_[level]));
+  trailLim_.resize(static_cast<std::size_t>(level));
+  qhead_ = trail_.size();
+}
+
+Lit ItpSolver::pickBranchLit() {
+  // Linear activity scan: the intended queries are patch-sized.
+  Var best = -1;
+  for (Var v = 0; v < static_cast<Var>(numVars()); ++v) {
+    if (assigns_[v] != LBool::Undef) continue;
+    if (best < 0 || activity_[v] > activity_[best]) best = v;
+  }
+  if (best < 0) return kLitUndef;
+  return Lit::make(best, polarity_[best] != 0);
+}
+
+ItpSolver::Result ItpSolver::solve(std::int64_t conflictBudget) {
+  // First solve: seed base interpolants (needs final occurrence sets) and
+  // enqueue original unit clauses.
+  if (!initialized_) {
+    initialized_ = true;
+    for (CRef cr = 0; cr < clauses_.size(); ++cr) {
+      Clause& c = clauses_[cr];
+      if (c.side == Side::A) {
+        Bdd::Ref base = Bdd::kFalse;
+        for (const Lit& l : c.lits) {
+          if (static_cast<std::uint32_t>(l.var()) < numShared_ &&
+              seenInB_[l.var()]) {
+            base = mgr_->bOr(base, l.sign() ? mgr_->nvar(
+                                                  static_cast<std::uint32_t>(
+                                                      l.var()))
+                                            : mgr_->var(
+                                                  static_cast<std::uint32_t>(
+                                                      l.var())));
+          }
+        }
+        c.itp = base;
+      } else {
+        c.itp = Bdd::kTrue;
+      }
+    }
+    for (CRef cr = 0; cr < clauses_.size(); ++cr) {
+      const Clause& c = clauses_[cr];
+      if (c.lits.size() != 1) continue;
+      const LBool v = value(c.lits[0]);
+      if (v == LBool::True) continue;
+      if (v == LBool::False) {
+        // Conflicting units: resolve the two justifications.
+        finalItp_ = finalizeConflictAtZero(cr);
+        ok_ = false;
+        return Result::Unsat;
+      }
+      uncheckedEnqueue(c.lits[0], cr);
+    }
+  }
+  if (!ok_) return Result::Unsat;
+
+  std::int64_t conflictsHere = 0;
+  std::vector<Lit> learnt;
+  for (;;) {
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      ++conflicts_;
+      ++conflictsHere;
+      if (decisionLevel() == 0) {
+        finalItp_ = finalizeConflictAtZero(confl);
+        ok_ = false;
+        return Result::Unsat;
+      }
+      std::int32_t btLevel = 0;
+      Bdd::Ref itp = Bdd::kFalse;
+      analyze(confl, learnt, btLevel, itp);
+      cancelUntil(btLevel);
+      const CRef cr = attachNewClause(learnt, Side::A /*unused*/, itp);
+      // Learnt clauses carry their derived interpolant; the side tag is
+      // irrelevant for them (itp is never recomputed).
+      if (learnt.size() == 1) {
+        // Asserting unit at level 0.
+        uncheckedEnqueue(learnt[0], cr);
+      } else {
+        uncheckedEnqueue(clauses_[cr].lits[0], cr);
+      }
+      if (conflictBudget >= 0 && conflictsHere >= conflictBudget) {
+        cancelUntil(0);
+        return Result::Unknown;
+      }
+    } else {
+      const Lit next = pickBranchLit();
+      if (next == kLitUndef) {
+        model_ = assigns_;
+        cancelUntil(0);
+        return Result::Sat;
+      }
+      trailLim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      uncheckedEnqueue(next, kCRefUndef);
+    }
+  }
+}
+
+}  // namespace syseco

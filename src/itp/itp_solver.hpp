@@ -1,0 +1,125 @@
+#pragma once
+// Interpolating SAT solver.
+//
+// The Craig-interpolation family of ECO engines (paper §2: Wu et al. [19],
+// Tang et al. [17], Dao et al. [5], Zhang & Jiang [20]) derives patch
+// functions from refutation proofs: clauses are partitioned into an A side
+// and a B side, and when A AND B is refuted, McMillan's rules label every
+// resolution step with a *partial interpolant*; the label of the empty
+// clause is a function I over the shared variables with
+//
+//     A implies I,   I AND B unsatisfiable,   support(I) subset shared.
+//
+// This solver computes partial interpolants on the fly (no proof replay):
+// every clause carries a BDD over the shared variables, resolutions in
+// first-UIP conflict analysis combine them (OR when the pivot is A-local,
+// AND otherwise), and level-0 eliminations fold eagerly. To keep every
+// derivation a genuine resolution proof, top-level clause rewriting,
+// recursive clause minimization and learnt-database reduction are disabled
+// - the intended queries (patch-function extraction over a dozen shared
+// variables) are small.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "sat/solver.hpp"  // reuses Var / Lit / LBool
+
+namespace syseco {
+
+class ItpSolver {
+ public:
+  enum class Side : std::uint8_t { A, B };
+
+  /// `numShared` shared variables must be allocated FIRST (vars 0..n-1);
+  /// their BDD indices coincide with their variable numbers.
+  explicit ItpSolver(std::uint32_t numShared,
+                     std::size_t bddNodeLimit = 1u << 22);
+
+  Var newVar();
+  std::size_t numVars() const { return assigns_.size(); }
+  std::uint32_t numShared() const { return numShared_; }
+
+  /// Adds a clause on the given side. Literals over shared variables may
+  /// appear on both sides; every other variable must stay side-local for
+  /// the interpolant guarantees to hold (checked).
+  bool addClause(std::vector<Lit> lits, Side side);
+
+  enum class Result { Sat, Unsat, Unknown };
+  Result solve(std::int64_t conflictBudget = -1);
+
+  bool modelValue(Var v) const { return model_[v] == LBool::True; }
+
+  /// After Result::Unsat: the Craig interpolant over the shared variables.
+  Bdd::Ref interpolant() const { return finalItp_; }
+  Bdd& bdd() { return *mgr_; }
+
+ private:
+  using CRef = std::uint32_t;
+  static constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    Bdd::Ref itp;
+    Side side;
+  };
+
+  LBool value(Lit p) const {
+    const LBool a = assigns_[p.var()];
+    if (a == LBool::Undef) return LBool::Undef;
+    return (a == LBool::True) != p.sign() ? LBool::True : LBool::False;
+  }
+  std::int32_t decisionLevel() const {
+    return static_cast<std::int32_t>(trailLim_.size());
+  }
+  bool isShared(Var v) const {
+    return static_cast<std::uint32_t>(v) < numShared_;
+  }
+  bool isALocal(Var v) const { return seenInA_[v] && !seenInB_[v]; }
+
+  /// McMillan combination for a resolution on pivot `v`.
+  Bdd::Ref combine(Var v, Bdd::Ref a, Bdd::Ref b) {
+    return isALocal(v) ? mgr_->bOr(a, b) : mgr_->bAnd(a, b);
+  }
+  /// Folds the level-0 justification of `v` into `itp`.
+  Bdd::Ref foldLevelZero(Var v, Bdd::Ref itp) {
+    return combine(v, itp, levelZeroItp_[v]);
+  }
+
+  void uncheckedEnqueue(Lit p, CRef from);
+  CRef propagate();
+  void analyze(CRef confl, std::vector<Lit>& learnt, std::int32_t& btLevel,
+               Bdd::Ref& itpOut);
+  Bdd::Ref finalizeConflictAtZero(CRef confl);
+  void cancelUntil(std::int32_t level);
+  Lit pickBranchLit();
+  CRef attachNewClause(std::vector<Lit> lits, Side side, Bdd::Ref itp);
+  void recordLevelZero(Lit p, CRef from);
+
+  std::uint32_t numShared_;
+  std::unique_ptr<Bdd> mgr_;
+  bool ok_ = true;
+  bool initialized_ = false;
+  Bdd::Ref emptyClauseItp_ = Bdd::kFalse;  ///< valid only when !ok_
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<CRef>> watches_;
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<std::uint8_t> polarity_;
+  std::vector<double> activity_;
+  std::vector<CRef> reason_;
+  std::vector<std::int32_t> level_;
+  std::vector<Bdd::Ref> levelZeroItp_;  ///< per var, valid when level 0
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trailLim_;
+  std::size_t qhead_ = 0;
+  double varInc_ = 1.0;
+  std::vector<std::uint8_t> seen_;
+  std::vector<std::uint8_t> seenInA_;
+  std::vector<std::uint8_t> seenInB_;
+  Bdd::Ref finalItp_ = Bdd::kFalse;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace syseco

@@ -1,0 +1,197 @@
+#pragma once
+// Combinational netlist data model (paper §3.1 "Design representation").
+//
+// A design is a Boolean circuit: gates perform logic operations on binary
+// inputs producing a single binary output; nets connect a single source pin
+// (a primary input or a gate output) to downstream sink pins (gate inputs or
+// primary outputs). Primary inputs and outputs carry unique labels used to
+// establish behavioral correspondence between two circuits C and C'.
+//
+// The model supports the operations the rewire-based rectification needs:
+//  * rewiring an individual sink pin to a different driving net,
+//  * cloning logic cones from a specification circuit C' into the current
+//    implementation C,
+//  * topological traversal, transitive-fanin cones and PI supports,
+//  * well-formedness auditing (acyclicity, pin/net consistency).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace syseco {
+
+using GateId = std::uint32_t;
+using NetId = std::uint32_t;
+inline constexpr std::uint32_t kNullId = 0xFFFFFFFFu;
+
+/// Gate operations. And/Or/Nand/Nor are n-ary (n >= 1); Xor/Xnor compute
+/// n-ary parity / its complement; Mux has fanins (sel, d0, d1) and outputs
+/// d1 when sel is true. Buf/Not are unary; Const0/Const1 are nullary.
+enum class GateType : std::uint8_t {
+  Const0,
+  Const1,
+  Buf,
+  Not,
+  And,
+  Or,
+  Nand,
+  Nor,
+  Xor,
+  Xnor,
+  Mux,
+};
+
+/// Number of fanins a gate type requires; 0xFF means "any >= 1".
+std::uint8_t gateArity(GateType type);
+const char* gateTypeName(GateType type);
+
+/// Evaluates a gate over 64 parallel input patterns (one bit per pattern).
+std::uint64_t evalGateWord(GateType type, const std::uint64_t* fanins,
+                           std::size_t numFanins);
+
+/// A sink pin of a net: either input `port` of gate `gate`, or primary
+/// output `port` of the circuit (gate == kNullId).
+struct Sink {
+  GateId gate = kNullId;  ///< kNullId when the sink is a primary output.
+  std::uint32_t port = 0;
+
+  bool isOutput() const { return gate == kNullId; }
+  bool operator==(const Sink& o) const {
+    return gate == o.gate && port == o.port;
+  }
+};
+
+class Netlist {
+ public:
+  struct Gate {
+    GateType type = GateType::Const0;
+    std::vector<NetId> fanins;
+    NetId out = kNullId;
+    bool dead = false;
+  };
+
+  enum class SourceKind : std::uint8_t { None, Input, Gate };
+
+  struct Net {
+    SourceKind srcKind = SourceKind::None;
+    std::uint32_t srcIdx = kNullId;  ///< PI index or GateId, per srcKind.
+    std::vector<Sink> sinks;
+    std::string name;  ///< Optional label (primary I/O nets are named).
+  };
+
+  // --- Construction -------------------------------------------------------
+
+  /// Adds a primary input with a unique label; returns its net.
+  NetId addInput(const std::string& name);
+
+  /// Adds a gate driving a fresh net; returns that net. Fanins are taken
+  /// by value: callers may pass references into this netlist's own
+  /// storage, which reallocates during the call.
+  NetId addGate(GateType type, std::vector<NetId> fanins);
+
+  /// Registers `net` as primary output with a unique label; returns its
+  /// output index.
+  std::uint32_t addOutput(const std::string& name, NetId net);
+
+  // --- Incremental modification (the rewire operation, paper §3.3) --------
+
+  /// Disconnects gate input pin (gate, port) from its driving net and
+  /// connects it to `newNet`.
+  void rewireGatePin(GateId gate, std::uint32_t port, NetId newNet);
+
+  /// Re-drives primary output `outIdx` from `newNet`.
+  void rewireOutput(std::uint32_t outIdx, NetId newNet);
+
+  /// Generic form over a Sink handle.
+  void rewireSink(const Sink& sink, NetId newNet);
+
+  /// Marks gates not reachable from any primary output as dead.
+  /// Returns the number of gates newly marked dead.
+  std::size_t sweepDeadLogic();
+
+  // --- Topology ------------------------------------------------------------
+
+  /// Live gates in topological (fanin-before-fanout) order.
+  std::vector<GateId> topoOrder() const;
+
+  /// Gates in the transitive fanin cone of the given nets, topologically
+  /// ordered.
+  std::vector<GateId> coneGates(const std::vector<NetId>& roots) const;
+
+  /// Primary-input indices in the transitive fanin support of `net`,
+  /// ascending.
+  std::vector<std::uint32_t> support(NetId net) const;
+
+  /// Logic level (unit delay) of every net; PIs and constants are level 0.
+  std::vector<std::uint32_t> netLevels() const;
+
+  /// True when the gate graph is acyclic.
+  bool isAcyclic() const;
+
+  /// Audits all structural invariants (sink lists vs. fanins, source
+  /// consistency, acyclicity). Used pervasively by tests.
+  bool isWellFormed(std::string* whyNot = nullptr) const;
+
+  // --- Cloning --------------------------------------------------------------
+
+  Netlist clone() const { return *this; }
+
+  /// Clones the transitive-fanin cone of `srcNet` in `src` into this
+  /// netlist. Primary inputs of `src` are resolved by label through
+  /// `inputByName` (label -> net in this netlist); previously cloned nets
+  /// are reused through `cache` (srcNet -> net here), which the call extends.
+  /// Returns the net in this netlist that realizes `srcNet`'s function.
+  NetId cloneCone(const Netlist& src, NetId srcNet,
+                  const std::unordered_map<std::string, NetId>& inputByName,
+                  std::unordered_map<NetId, NetId>& cache);
+
+  // --- Accessors ------------------------------------------------------------
+
+  std::size_t numInputs() const { return inputs_.size(); }
+  std::size_t numOutputs() const { return outputs_.size(); }
+  NetId inputNet(std::uint32_t i) const { return inputs_[i]; }
+  NetId outputNet(std::uint32_t o) const { return outputs_[o]; }
+  const std::string& inputName(std::uint32_t i) const;
+  const std::string& outputName(std::uint32_t o) const;
+  /// Output index for a label, or kNullId.
+  std::uint32_t findOutput(const std::string& name) const;
+  /// Input index for a label, or kNullId.
+  std::uint32_t findInput(const std::string& name) const;
+
+  std::size_t numGatesTotal() const { return gates_.size(); }
+  std::size_t numNetsTotal() const { return nets_.size(); }
+  const Gate& gate(GateId g) const { return gates_[g]; }
+  const Net& net(NetId n) const { return nets_[n]; }
+
+  /// Live-logic statistics (paper Table 1 columns).
+  std::size_t countLiveGates() const;
+  std::size_t countLiveNets() const;
+  std::size_t countSinks() const;
+
+  /// True when `net` is driven by a primary input.
+  bool isInputNet(NetId net) const {
+    return nets_[net].srcKind == SourceKind::Input;
+  }
+  /// Gate driving `net`, or kNullId when PI-driven / undriven.
+  GateId driverOf(NetId net) const {
+    return nets_[net].srcKind == SourceKind::Gate ? nets_[net].srcIdx
+                                                  : kNullId;
+  }
+
+ private:
+  NetId newNet();
+  void attachSink(NetId net, const Sink& sink);
+  void detachSink(NetId net, const Sink& sink);
+
+  std::vector<Gate> gates_;
+  std::vector<Net> nets_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<std::string> inputNames_;
+  std::vector<std::string> outputNames_;
+  std::unordered_map<std::string, std::uint32_t> inputIndex_;
+  std::unordered_map<std::string, std::uint32_t> outputIndex_;
+};
+
+}  // namespace syseco

@@ -1,0 +1,636 @@
+#include "opt/passes.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+namespace {
+
+/// Rebuilder shared by the passes: walks the source netlist in topological
+/// order and emits gates into a fresh netlist through a per-pass hook.
+class Rebuild {
+ public:
+  explicit Rebuild(const Netlist& src) : src_(src) {
+    for (std::uint32_t i = 0; i < src.numInputs(); ++i)
+      map_[src.inputNet(i)] = out_.addInput(src.inputName(i));
+  }
+
+  const Netlist& src() const { return src_; }
+  Netlist& out() { return out_; }
+
+  NetId mapped(NetId srcNet) const {
+    auto it = map_.find(srcNet);
+    SYSECO_CHECK(it != map_.end());
+    return it->second;
+  }
+  void setMapped(NetId srcNet, NetId dstNet) { map_[srcNet] = dstNet; }
+
+  std::vector<NetId> mappedFanins(const Netlist::Gate& g) const {
+    std::vector<NetId> f;
+    f.reserve(g.fanins.size());
+    for (NetId n : g.fanins) f.push_back(mapped(n));
+    return f;
+  }
+
+  /// Finishes: re-drives all outputs and removes dead logic.
+  Netlist finish() {
+    for (std::uint32_t o = 0; o < src_.numOutputs(); ++o)
+      out_.addOutput(src_.outputName(o), mapped(src_.outputNet(o)));
+    out_.sweepDeadLogic();
+    return std::move(out_);
+  }
+
+ private:
+  const Netlist& src_;
+  Netlist out_;
+  std::unordered_map<NetId, NetId> map_;
+};
+
+/// Hash-consing gate factory with constant folding and local simplification.
+class StrashBuilder {
+ public:
+  explicit StrashBuilder(Netlist& out) : out_(out) {}
+
+  NetId constant(bool one) {
+    NetId& slot = one ? const1_ : const0_;
+    if (slot == kNullId)
+      slot = out_.addGate(one ? GateType::Const1 : GateType::Const0, {});
+    return slot;
+  }
+
+  bool isConst(NetId n, bool one) const {
+    return n == (one ? const1_ : const0_);
+  }
+
+  NetId mkNot(NetId a) {
+    if (isConst(a, false)) return constant(true);
+    if (isConst(a, true)) return constant(false);
+    // NOT(NOT(x)) = x
+    if (auto it = notOf_.find(a); it != notOf_.end()) return it->second;
+    const NetId r = hashed(GateType::Not, {a});
+    notOf_[a] = r;
+    notOf_[r] = a;
+    return r;
+  }
+
+  NetId mkGate(GateType type, std::vector<NetId> fanins) {
+    switch (type) {
+      case GateType::Const0:
+        return constant(false);
+      case GateType::Const1:
+        return constant(true);
+      case GateType::Buf:
+        return fanins[0];
+      case GateType::Not:
+        return mkNot(fanins[0]);
+      case GateType::Nand:
+        return mkNot(mkGate(GateType::And, std::move(fanins)));
+      case GateType::Nor:
+        return mkNot(mkGate(GateType::Or, std::move(fanins)));
+      case GateType::Xnor:
+        return mkNot(mkGate(GateType::Xor, std::move(fanins)));
+      case GateType::And:
+      case GateType::Or: {
+        const bool isAnd = type == GateType::And;
+        std::sort(fanins.begin(), fanins.end());
+        fanins.erase(std::unique(fanins.begin(), fanins.end()), fanins.end());
+        std::vector<NetId> kept;
+        for (NetId f : fanins) {
+          if (isConst(f, isAnd)) continue;  // neutral: 1 for AND, 0 for OR
+          if (isConst(f, !isAnd))
+            return constant(!isAnd);  // absorbing: 0 for AND, 1 for OR
+          kept.push_back(f);
+        }
+        // x AND NOT(x) = 0; x OR NOT(x) = 1.
+        for (NetId f : kept) {
+          auto it = notOf_.find(f);
+          if (it != notOf_.end() &&
+              std::binary_search(kept.begin(), kept.end(), it->second))
+            return constant(!isAnd);
+        }
+        if (kept.empty()) return constant(isAnd);
+        if (kept.size() == 1) return kept[0];
+        return hashed(type, std::move(kept));
+      }
+      case GateType::Xor: {
+        std::sort(fanins.begin(), fanins.end());
+        std::vector<NetId> kept;
+        bool invert = false;
+        for (NetId f : fanins) {
+          if (isConst(f, false)) continue;
+          if (isConst(f, true)) {
+            invert = !invert;
+            continue;
+          }
+          // Pairs cancel.
+          if (!kept.empty() && kept.back() == f)
+            kept.pop_back();
+          else
+            kept.push_back(f);
+        }
+        NetId r;
+        if (kept.empty())
+          r = constant(false);
+        else if (kept.size() == 1)
+          r = kept[0];
+        else
+          r = hashed(GateType::Xor, std::move(kept));
+        return invert ? mkNot(r) : r;
+      }
+      case GateType::Mux: {
+        const NetId sel = fanins[0], d0 = fanins[1], d1 = fanins[2];
+        if (isConst(sel, false)) return d0;
+        if (isConst(sel, true)) return d1;
+        if (d0 == d1) return d0;
+        if (isConst(d0, false) && isConst(d1, true)) return sel;
+        if (isConst(d0, true) && isConst(d1, false)) return mkNot(sel);
+        if (isConst(d1, true)) return mkGate(GateType::Or, {sel, d0});
+        if (isConst(d0, false)) return mkGate(GateType::And, {sel, d1});
+        return hashed(GateType::Mux, {sel, d0, d1});
+      }
+    }
+    SYSECO_CHECK(false);
+    return kNullId;
+  }
+
+ private:
+  struct Key {
+    GateType type;
+    std::vector<NetId> fanins;
+    bool operator==(const Key& o) const {
+      return type == o.type && fanins == o.fanins;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.type) + 0x517cc1b7;
+      for (NetId f : k.fanins) {
+        h ^= f + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  NetId hashed(GateType type, std::vector<NetId> fanins) {
+    Key key{type, fanins};
+    if (auto it = table_.find(key); it != table_.end()) return it->second;
+    const NetId r = out_.addGate(type, fanins);
+    table_.emplace(std::move(key), r);
+    return r;
+  }
+
+  Netlist& out_;
+  NetId const0_ = kNullId;
+  NetId const1_ = kNullId;
+  std::unordered_map<Key, NetId, KeyHash> table_;
+  std::unordered_map<NetId, NetId> notOf_;
+};
+
+}  // namespace
+
+Netlist strash(const Netlist& in) {
+  Rebuild rb(in);
+  StrashBuilder sb(rb.out());
+  for (GateId g : in.topoOrder()) {
+    const Netlist::Gate& gate = in.gate(g);
+    rb.setMapped(gate.out, sb.mkGate(gate.type, rb.mappedFanins(gate)));
+  }
+  return rb.finish();
+}
+
+Netlist lightSynth(const Netlist& in) { return strash(in); }
+
+namespace {
+
+/// Emits an equivalent randomized replacement for one gate.
+NetId rewriteGate(Netlist& out, Rng& rng, GateType type,
+                  const std::vector<NetId>& f) {
+  auto inv = [&](NetId n) { return out.addGate(GateType::Not, {n}); };
+  auto randomTree = [&](GateType binType, std::vector<NetId> operands) {
+    // Combine operands pairwise in random order -> a random-shape tree.
+    while (operands.size() > 1) {
+      const std::size_t i = static_cast<std::size_t>(rng.below(operands.size()));
+      const NetId a = operands[i];
+      operands.erase(operands.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t j = static_cast<std::size_t>(rng.below(operands.size()));
+      operands[j] = out.addGate(binType, {a, operands[j]});
+    }
+    return operands[0];
+  };
+
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand: {
+      NetId r;
+      switch (rng.below(3)) {
+        case 0: {  // De Morgan: AND = NOT(OR(NOT...))
+          std::vector<NetId> negs;
+          negs.reserve(f.size());
+          for (NetId n : f) negs.push_back(inv(n));
+          r = inv(randomTree(GateType::Or, std::move(negs)));
+          break;
+        }
+        case 1:  // NOR of negations
+          r = f.size() >= 1
+                  ? inv(out.addGate(GateType::Or,
+                                    [&] {
+                                      std::vector<NetId> negs;
+                                      for (NetId n : f) negs.push_back(inv(n));
+                                      return negs;
+                                    }()))
+                  : kNullId;
+          break;
+        default:  // random-shaped binary AND tree
+          r = randomTree(GateType::And, f);
+      }
+      return type == GateType::And ? r : inv(r);
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      NetId r;
+      switch (rng.below(3)) {
+        case 0: {  // De Morgan
+          std::vector<NetId> negs;
+          negs.reserve(f.size());
+          for (NetId n : f) negs.push_back(inv(n));
+          r = inv(randomTree(GateType::And, std::move(negs)));
+          break;
+        }
+        case 1:  // a OR b = MUX(a, b, 1) chained
+          r = f[0];
+          for (std::size_t k = 1; k < f.size(); ++k) {
+            const NetId one = out.addGate(GateType::Const1, {});
+            r = out.addGate(GateType::Mux, {r, f[k], one});
+          }
+          break;
+        default:
+          r = randomTree(GateType::Or, f);
+      }
+      return type == GateType::Or ? r : inv(r);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      NetId r;
+      if (rng.flip()) {
+        // XOR(a,b) = (a AND !b) OR (!a AND b), folded pairwise.
+        r = f[0];
+        for (std::size_t k = 1; k < f.size(); ++k) {
+          const NetId a = r, b = f[k];
+          const NetId t1 = out.addGate(GateType::And, {a, inv(b)});
+          const NetId t2 = out.addGate(GateType::And, {inv(a), b});
+          r = out.addGate(GateType::Or, {t1, t2});
+        }
+      } else {
+        // XOR(a,b) = MUX(a, b, !b), folded pairwise.
+        r = f[0];
+        for (std::size_t k = 1; k < f.size(); ++k) {
+          r = out.addGate(GateType::Mux, {r, f[k], inv(f[k])});
+        }
+      }
+      return type == GateType::Xor ? r : inv(r);
+    }
+    case GateType::Mux: {
+      // MUX(s,d0,d1) = (NOT s AND d0) OR (s AND d1).
+      const NetId t0 = out.addGate(GateType::And, {inv(f[0]), f[1]});
+      const NetId t1 = out.addGate(GateType::And, {f[0], f[2]});
+      return out.addGate(GateType::Or, {t0, t1});
+    }
+    case GateType::Not:
+      // Double negation churn: NOT(x) = NOT(NOT(NOT(x))).
+      return inv(inv(inv(f[0])));
+    default:
+      return out.addGate(type, f);
+  }
+}
+
+}  // namespace
+
+Netlist restructure(const Netlist& in, Rng& rng, int rewriteChancePercent,
+                    int duplicateChancePercent) {
+  Rebuild rb(in);
+  Netlist& out = rb.out();
+  // Fanout counts in the source: duplication targets multi-fanout drivers.
+  for (GateId g : in.topoOrder()) {
+    const Netlist::Gate& gate = in.gate(g);
+    std::vector<NetId> fanins = rb.mappedFanins(gate);
+    // Logic duplication: re-derive a private copy of a multi-fanout fanin.
+    for (NetId& f : fanins) {
+      const Netlist::Net& net = out.net(f);
+      if (net.srcKind == Netlist::SourceKind::Gate && net.sinks.size() >= 1 &&
+          rng.chance(static_cast<std::uint64_t>(duplicateChancePercent), 100)) {
+        const Netlist::Gate& drv = out.gate(net.srcIdx);
+        if (in.net(gate.out).sinks.size() > 0 && drv.fanins.size() <= 4)
+          f = out.addGate(drv.type, drv.fanins);
+      }
+    }
+    NetId r;
+    if (rng.chance(static_cast<std::uint64_t>(rewriteChancePercent), 100)) {
+      r = rewriteGate(out, rng, gate.type, fanins);
+    } else {
+      r = gate.fanins.empty() ? out.addGate(gate.type, {})
+                              : out.addGate(gate.type, fanins);
+    }
+    rb.setMapped(gate.out, r);
+  }
+  return rb.finish();
+}
+
+Netlist collapseResynth(const Netlist& in, Rng& rng,
+                        int collapseChancePercent, int maxLeaves,
+                        int maxLeafFanout) {
+  SYSECO_CHECK(maxLeaves >= 2 && maxLeaves <= 6);
+  Rebuild rb(in);
+  Netlist& out = rb.out();
+
+  // Source-side fanout counts decide which nets are collapsible interiors.
+  std::vector<std::size_t> fanout(in.numNetsTotal(), 0);
+  for (NetId n = 0; n < in.numNetsTotal(); ++n)
+    fanout[n] = in.net(n).sinks.size();
+  const std::vector<std::uint32_t> srcLevels = in.netLevels();
+
+  for (GateId g : in.topoOrder()) {
+    const Netlist::Gate& gate = in.gate(g);
+    if (gate.fanins.empty() ||
+        !rng.chance(static_cast<std::uint64_t>(collapseChancePercent), 100)) {
+      rb.setMapped(gate.out, gate.fanins.empty()
+                                 ? out.addGate(gate.type, {})
+                                 : out.addGate(gate.type, rb.mappedFanins(gate)));
+      continue;
+    }
+
+    // Grow a cut: expand single-fanout gate-driven leaves while we stay
+    // within maxLeaves.
+    std::vector<NetId> leaves = gate.fanins;
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (std::size_t k = 0; k < leaves.size(); ++k) {
+        const NetId leaf = leaves[k];
+        const auto& net = in.net(leaf);
+        // Expanding a multi-fanout leaf duplicates its logic into this
+        // region (the sharing/duplication churn of real optimization, §1);
+        // its other sinks keep the original copy, which dies only when
+        // every sink collapses it away.
+        if (net.srcKind != Netlist::SourceKind::Gate ||
+            fanout[leaf] > static_cast<std::size_t>(maxLeafFanout))
+          continue;
+        const auto& drv = in.gate(net.srcIdx);
+        if (drv.fanins.empty()) continue;
+        std::vector<NetId> candidate = leaves;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(k));
+        for (NetId f : drv.fanins) candidate.push_back(f);
+        std::sort(candidate.begin(), candidate.end());
+        candidate.erase(std::unique(candidate.begin(), candidate.end()),
+                        candidate.end());
+        if (candidate.size() <= static_cast<std::size_t>(maxLeaves)) {
+          leaves = std::move(candidate);
+          grew = true;
+          break;
+        }
+      }
+    }
+
+    // Local truth table of gate.out over the cut leaves (exhaustive: at
+    // most 2^6 = 64 rows, one simulation word).
+    const std::size_t L = leaves.size();
+    if (L > 6) {  // defensive; cannot happen
+      rb.setMapped(gate.out, out.addGate(gate.type, rb.mappedFanins(gate)));
+      continue;
+    }
+    std::unordered_map<NetId, std::uint64_t> val;
+    for (std::size_t j = 0; j < L; ++j) {
+      std::uint64_t word = 0;
+      for (std::uint64_t row = 0; row < 64; ++row)
+        if ((row >> j) & 1) word |= (1ULL << row);
+      val[leaves[j]] = word;
+    }
+    // Evaluate the sub-network between leaves and g (DFS-collected).
+    {
+      std::vector<GateId> localTopo;
+      std::vector<NetId> stack{gate.out};
+      std::unordered_map<NetId, char> state;
+      // Simple recursive-style evaluation using the cone extraction: the
+      // cone of gate.out capped at leaves.
+      std::vector<GateId> sub;
+      std::unordered_map<NetId, char> seen;
+      std::vector<NetId> dfs{gate.out};
+      while (!dfs.empty()) {
+        const NetId n = dfs.back();
+        dfs.pop_back();
+        if (val.count(n) || seen.count(n)) continue;
+        seen.emplace(n, 1);
+        const auto& net = in.net(n);
+        if (net.srcKind == Netlist::SourceKind::Gate) {
+          sub.push_back(net.srcIdx);
+          for (NetId f : in.gate(net.srcIdx).fanins) dfs.push_back(f);
+        } else {
+          // A non-leaf PI can only appear if it was never expanded; it is a
+          // leaf by construction, so this cannot happen.
+          SYSECO_CHECK(false && "cut leaf bookkeeping broken");
+        }
+      }
+      // Topologically order the sub-gates by repeated readiness sweeps
+      // (tiny regions, quadratic is fine).
+      std::vector<char> done(sub.size(), 0);
+      std::size_t remaining = sub.size();
+      while (remaining > 0) {
+        bool progress = false;
+        for (std::size_t k = 0; k < sub.size(); ++k) {
+          if (done[k]) continue;
+          const auto& sg = in.gate(sub[k]);
+          bool ready = true;
+          for (NetId f : sg.fanins) ready &= val.count(f) > 0;
+          if (!ready) continue;
+          std::uint64_t fan[8];
+          std::vector<std::uint64_t> fanBig;
+          std::uint64_t result;
+          if (sg.fanins.size() <= 8) {
+            for (std::size_t i = 0; i < sg.fanins.size(); ++i)
+              fan[i] = val[sg.fanins[i]];
+            result = evalGateWord(sg.type, fan, sg.fanins.size());
+          } else {
+            fanBig.resize(sg.fanins.size());
+            for (std::size_t i = 0; i < sg.fanins.size(); ++i)
+              fanBig[i] = val[sg.fanins[i]];
+            result = evalGateWord(sg.type, fanBig.data(), fanBig.size());
+          }
+          val[sg.out] = result;
+          done[k] = 1;
+          --remaining;
+          progress = true;
+        }
+        SYSECO_CHECK(progress);
+      }
+      (void)localTopo;
+      (void)state;
+      (void)stack;
+    }
+    std::uint64_t tt = val.at(gate.out);
+    if (L < 6) {
+      // Mask to the meaningful rows and replicate (keeps recursion simple).
+      const std::uint64_t rows = 1ULL << L;
+      const std::uint64_t mask = rows >= 64 ? ~0ULL : ((1ULL << rows) - 1);
+      tt &= mask;
+      for (std::uint64_t r = rows; r < 64; r <<= 1) tt |= tt << r;
+    }
+
+    // Shannon mux-tree memoized on cofactor truth tables so shared
+    // sub-functions are built once. Timing-driven leaf order: the latest
+    // arriving leaf selects nearest the root (shortest residual path), as
+    // a depth-aware decomposition would do; ties break randomly so repeated
+    // collapses of equal-depth regions still diversify structure.
+    std::vector<std::size_t> order(L);
+    for (std::size_t j = 0; j < L; ++j) order[j] = j;
+    rng.shuffle(order);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return srcLevels[leaves[x]] > srcLevels[leaves[y]];
+                     });
+    std::vector<NetId> mappedLeaves(L);
+    for (std::size_t j = 0; j < L; ++j) mappedLeaves[j] = rb.mapped(leaves[j]);
+
+    // Memo per recursion depth (the remaining-variable set is determined by
+    // the depth, so (tt, depth) is the canonical key).
+    std::vector<std::unordered_map<std::uint64_t, NetId>> memo(L + 1);
+    NetId constNet[2] = {kNullId, kNullId};
+    auto getConst = [&](bool one) {
+      NetId& slot = constNet[one ? 1 : 0];
+      if (slot == kNullId)
+        slot = out.addGate(one ? GateType::Const1 : GateType::Const0, {});
+      return slot;
+    };
+    // Build recursively over `order`; cofactoring on leaf j means fixing
+    // bit j of the row index.
+    auto build = [&](auto&& self, std::uint64_t f, std::size_t depth) -> NetId {
+      if (f == 0) return getConst(false);
+      if (f == ~0ULL) return getConst(true);
+      if (auto it = memo[depth].find(f); it != memo[depth].end())
+        return it->second;
+      SYSECO_CHECK(depth < L);
+      const std::size_t j = order[depth];
+      // Cofactors: select rows with bit j = 0 / 1, then re-replicate.
+      const std::uint64_t bitMaskHi = [&] {
+        std::uint64_t m = 0;
+        for (std::uint64_t row = 0; row < 64; ++row)
+          if ((row >> j) & 1) m |= (1ULL << row);
+        return m;
+      }();
+      std::uint64_t f0 = f & ~bitMaskHi;
+      std::uint64_t f1 = f & bitMaskHi;
+      // Spread each cofactor to cover both half-spaces of bit j.
+      f0 |= f0 << (1ULL << j);
+      f1 |= f1 >> (1ULL << j);
+      NetId r;
+      if (f0 == f1) {
+        r = self(self, f0, depth + 1);
+      } else {
+        const NetId lo = self(self, f0, depth + 1);
+        const NetId hi = self(self, f1, depth + 1);
+        r = out.addGate(GateType::Mux, {mappedLeaves[j], lo, hi});
+      }
+      memo[depth].emplace(f, r);
+      return r;
+    };
+    rb.setMapped(gate.out, build(build, tt, 0));
+  }
+  return rb.finish();
+}
+
+Netlist balance(const Netlist& in) {
+  Rebuild rb(in);
+  Netlist& out = rb.out();
+  // Arrival times maintained incrementally over the output netlist.
+  std::vector<std::uint32_t> level;
+  auto levelOf = [&](NetId n) -> std::uint32_t {
+    return n < level.size() ? level[n] : 0;
+  };
+  auto setLevel = [&](NetId n, std::uint32_t l) {
+    if (n >= level.size()) level.resize(n + 1, 0);
+    level[n] = l;
+  };
+
+  // Fanout counts in the source decide which chains are flattenable.
+  std::vector<std::size_t> fanout(in.numNetsTotal(), 0);
+  for (NetId n = 0; n < in.numNetsTotal(); ++n)
+    fanout[n] = in.net(n).sinks.size();
+
+  auto isAssoc = [](GateType t) {
+    return t == GateType::And || t == GateType::Or || t == GateType::Xor;
+  };
+
+  for (GateId g : in.topoOrder()) {
+    const Netlist::Gate& gate = in.gate(g);
+    NetId result;
+    if (isAssoc(gate.type)) {
+      // Flatten the maximal same-type single-fanout tree rooted here.
+      std::vector<NetId> leaves;
+      std::vector<NetId> stack(gate.fanins.begin(), gate.fanins.end());
+      while (!stack.empty()) {
+        const NetId n = stack.back();
+        stack.pop_back();
+        const auto& net = in.net(n);
+        if (net.srcKind == Netlist::SourceKind::Gate && fanout[n] == 1 &&
+            in.gate(net.srcIdx).type == gate.type) {
+          const auto& inner = in.gate(net.srcIdx);
+          stack.insert(stack.end(), inner.fanins.begin(), inner.fanins.end());
+        } else {
+          leaves.push_back(rb.mapped(n));
+        }
+      }
+      // Huffman-style combine: always join the two earliest-arriving
+      // operands, yielding a depth-minimal tree under unit delay.
+      auto cmp = [&](NetId a, NetId b) { return levelOf(a) > levelOf(b); };
+      std::make_heap(leaves.begin(), leaves.end(), cmp);
+      while (leaves.size() > 1) {
+        std::pop_heap(leaves.begin(), leaves.end(), cmp);
+        const NetId a = leaves.back();
+        leaves.pop_back();
+        std::pop_heap(leaves.begin(), leaves.end(), cmp);
+        const NetId b = leaves.back();
+        leaves.pop_back();
+        const NetId c = out.addGate(gate.type, {a, b});
+        setLevel(c, std::max(levelOf(a), levelOf(b)) + 1);
+        leaves.push_back(c);
+        std::push_heap(leaves.begin(), leaves.end(), cmp);
+      }
+      result = leaves[0];
+    } else {
+      result = gate.fanins.empty()
+                   ? out.addGate(gate.type, {})
+                   : out.addGate(gate.type, rb.mappedFanins(gate));
+      std::uint32_t maxIn = 0;
+      for (NetId f : rb.mappedFanins(gate))
+        maxIn = std::max(maxIn, levelOf(f) + 1);
+      setLevel(result, gate.fanins.empty() ? 0 : maxIn);
+    }
+    rb.setMapped(gate.out, result);
+  }
+  return rb.finish();
+}
+
+Netlist heavyOptimize(const Netlist& in, Rng& rng, int rounds) {
+  Netlist cur = strash(in);
+  for (int i = 0; i < rounds; ++i) {
+    cur = restructure(cur, rng, /*rewriteChancePercent=*/35,
+                      /*duplicateChancePercent=*/i == 0 ? 10 : 4);
+    cur = strash(cur);  // recover sharing inside the new structure
+    // Region collapse destroys fine-grained internal correspondence; only
+    // the first round duplicates across fanout (keeps total inflation in
+    // the realistic 1.5-2.5x band instead of compounding exponentially).
+    cur = collapseResynth(cur, rng, /*collapseChancePercent=*/i == 0 ? 60 : 35,
+                          /*maxLeaves=*/6,
+                          /*maxLeafFanout=*/i == 0 ? 2 : 1);
+    cur = strash(cur);
+  }
+  // Sign-off designs are depth-optimized; the lightweight spec is not.
+  cur = balance(cur);
+  cur = strash(cur);
+  return cur;
+}
+
+}  // namespace syseco

@@ -1,0 +1,65 @@
+#pragma once
+// Function-preserving synthesis passes.
+//
+// The ECO setting of the paper (§1) is an *optimized* implementation C that
+// is structurally dissimilar from the lightly synthesized revised
+// specification C'. These passes manufacture exactly that situation for the
+// synthetic test suite:
+//  * lightSynth  - what a specification netlist gets: structural hashing,
+//    constant folding, buffer collapsing (the "technology-independent
+//    representation ... synthesized only by lightweight optimization").
+//  * heavyOptimize - what an implementation endures before sign-off:
+//    repeated randomized-but-equivalent restructuring (De Morgan rewrites,
+//    associativity regrouping, XOR/MUX decompositions, logic duplication)
+//    interleaved with sharing-recovery, destroying structural
+//    correspondence while preserving every output function.
+//
+// All passes rebuild a fresh netlist; primary input/output labels are
+// preserved, which is what keeps the behavioral correspondence between the
+// circuits checkable.
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+
+/// Structural hashing with constant folding, single-input simplification
+/// and buffer collapsing. Deterministic; function-preserving.
+Netlist strash(const Netlist& in);
+
+/// One round of randomized function-preserving restructuring.
+/// `rewriteChancePercent` is the per-gate probability of applying a local
+/// rewrite; `duplicateChancePercent` the probability of splitting a
+/// multi-fanout driver into duplicated copies (the "logic duplication" the
+/// paper calls out as complicating rectification).
+Netlist restructure(const Netlist& in, Rng& rng, int rewriteChancePercent = 40,
+                    int duplicateChancePercent = 10);
+
+/// Region collapse + resynthesis: with the given per-gate probability,
+/// collapses a gate together with its single-fanout transitive fanins into
+/// a cut of at most `maxLeaves` leaves, and re-decomposes the cut function
+/// as a (memoized) Shannon mux tree over a random leaf order. Outputs are
+/// preserved; the *interior* signals of collapsed regions cease to exist,
+/// exactly as real logic synthesis eliminates single-fanout intermediates -
+/// this is what destroys the internal equivalence points matching-based ECO
+/// relies on (paper §1, §2).
+Netlist collapseResynth(const Netlist& in, Rng& rng,
+                        int collapseChancePercent = 60, int maxLeaves = 6,
+                        int maxLeafFanout = 2);
+
+/// Depth balancing: flattens associative (AND/OR/XOR) single-fanout chains
+/// and rebuilds them as arrival-time-driven (Huffman-style) binary trees.
+/// The sign-off implementation is depth-optimized, while the lightweight
+/// synthesized specification is not - the asymmetry Table 3's slack
+/// comparison relies on.
+Netlist balance(const Netlist& in);
+
+/// Lightweight specification synthesis: strash only.
+Netlist lightSynth(const Netlist& in);
+
+/// Sign-off-grade (for this reproduction) optimization: several
+/// restructure+strash rounds. The result is functionally identical to the
+/// input but structurally remote from it.
+Netlist heavyOptimize(const Netlist& in, Rng& rng, int rounds = 3);
+
+}  // namespace syseco

@@ -1,0 +1,488 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+// --- Variable order heap ----------------------------------------------------
+
+void Solver::VarOrderHeap::percolateUp(std::size_t i) {
+  const Var v = heap[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(v, heap[parent])) break;
+    heap[i] = heap[parent];
+    pos[heap[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap[i] = v;
+  pos[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::VarOrderHeap::percolateDown(std::size_t i) {
+  const Var v = heap[i];
+  while (2 * i + 1 < heap.size()) {
+    std::size_t child = 2 * i + 1;
+    if (child + 1 < heap.size() && less(heap[child + 1], heap[child])) ++child;
+    if (!less(heap[child], v)) break;
+    heap[i] = heap[child];
+    pos[heap[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap[i] = v;
+  pos[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::VarOrderHeap::insert(Var v) {
+  if (contains(v)) return;
+  heap.push_back(v);
+  pos[v] = static_cast<std::int32_t>(heap.size() - 1);
+  percolateUp(heap.size() - 1);
+}
+
+void Solver::VarOrderHeap::update(Var v) {
+  if (!contains(v)) return;
+  percolateUp(static_cast<std::size_t>(pos[v]));
+  percolateDown(static_cast<std::size_t>(pos[v]));
+}
+
+Var Solver::VarOrderHeap::removeMax() {
+  const Var v = heap[0];
+  pos[v] = -1;
+  heap[0] = heap.back();
+  pos[heap[0]] = 0;
+  heap.pop_back();
+  if (!heap.empty()) percolateDown(0);
+  return v;
+}
+
+// --- Solver -----------------------------------------------------------------
+
+Solver::Solver() { order_.act = &activity_; }
+
+Var Solver::newVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  model_.push_back(LBool::Undef);
+  polarity_.push_back(1);  // default phase: false (MiniSAT convention)
+  activity_.push_back(0.0);
+  reason_.push_back(kCRefUndef);
+  level_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  order_.grow(assigns_.size());
+  order_.insert(v);
+  return v;
+}
+
+bool Solver::addClause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  SYSECO_CHECK(decisionLevel() == 0);
+  // Normalize: sort, dedupe, drop false literals, detect tautology.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = kLitUndef;
+  for (Lit p : lits) {
+    SYSECO_CHECK(p.var() >= 0 && p.var() < static_cast<Var>(numVars()));
+    if (value(p) == LBool::True || p == ~prev) return true;  // satisfied/taut
+    if (value(p) != LBool::False && p != prev) {
+      out.push_back(p);
+      prev = p;
+    }
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    uncheckedEnqueue(out[0], kCRefUndef);
+    ok_ = (propagate() == kCRefUndef);
+    return ok_;
+  }
+  attachNewClause(std::move(out), /*learnt=*/false);
+  ++numProblemClauses_;
+  return true;
+}
+
+Solver::CRef Solver::attachNewClause(std::vector<Lit> lits, bool learnt) {
+  const CRef cr = static_cast<CRef>(clauses_.size());
+  clauses_.push_back(Clause{std::move(lits), 0.0, learnt, false});
+  attachWatches(cr);
+  if (learnt) learnts_.push_back(cr);
+  return cr;
+}
+
+void Solver::attachWatches(CRef cr) {
+  const Clause& c = clauses_[cr];
+  SYSECO_CHECK(c.lits.size() >= 2);
+  watches_[(~c.lits[0]).x].push_back(cr);
+  watches_[(~c.lits[1]).x].push_back(cr);
+}
+
+void Solver::uncheckedEnqueue(Lit p, CRef from) {
+  SYSECO_CHECK(value(p) == LBool::Undef);
+  assigns_[p.var()] = lboolOf(!p.sign());
+  reason_[p.var()] = from;
+  level_[p.var()] = decisionLevel();
+  trail_.push_back(p);
+}
+
+Solver::CRef Solver::propagate() {
+  CRef confl = kCRefUndef;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++propagations_;
+    std::vector<CRef>& ws = watches_[p.x];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const CRef cr = ws[i];
+      Clause& c = clauses_[cr];
+      if (c.deleted) {
+        ++i;
+        continue;  // lazily dropped from the watch list
+      }
+      // Make sure the false literal is at position 1.
+      const Lit falseLit = ~p;
+      if (c.lits[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
+      SYSECO_CHECK(c.lits[1] == falseLit);
+      // Satisfied by the other watch?
+      if (value(c.lits[0]) == LBool::True) {
+        ws[j++] = cr;
+        ++i;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).x].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        ++i;
+        continue;
+      }
+      // Unit or conflicting.
+      ws[j++] = cr;
+      ++i;
+      if (value(c.lits[0]) == LBool::False) {
+        confl = cr;
+        qhead_ = trail_.size();
+        // Copy remaining watches.
+        while (i < ws.size()) ws[j++] = ws[i++];
+      } else {
+        uncheckedEnqueue(c.lits[0], cr);
+      }
+    }
+    ws.resize(j);
+    if (confl != kCRefUndef) break;
+  }
+  return confl;
+}
+
+void Solver::varBumpActivity(Var v) {
+  if ((activity_[v] += varInc_) > 1e100) rescaleVarActivity();
+  order_.update(v);
+}
+
+void Solver::rescaleVarActivity() {
+  for (double& a : activity_) a *= 1e-100;
+  varInc_ *= 1e-100;
+}
+
+void Solver::claBumpActivity(Clause& c) {
+  if ((c.activity += claInc_) > 1e20) {
+    for (CRef cr : learnts_) clauses_[cr].activity *= 1e-20;
+    claInc_ *= 1e-20;
+  }
+}
+
+void Solver::analyze(CRef confl, std::vector<Lit>& learnt,
+                     std::int32_t& btLevel) {
+  // First-UIP scheme.
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // placeholder for the asserting literal
+  std::int32_t pathC = 0;
+  Lit p = kLitUndef;
+  std::size_t index = trail_.size();
+
+  do {
+    SYSECO_CHECK(confl != kCRefUndef);
+    Clause& c = clauses_[confl];
+    if (c.learnt) claBumpActivity(c);
+    const std::size_t start = (p == kLitUndef) ? 0 : 1;
+    for (std::size_t k = start; k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        varBumpActivity(q.var());
+        seen_[q.var()] = 1;
+        if (level_[q.var()] >= decisionLevel()) {
+          ++pathC;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Next literal on the trail to resolve on.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    p = trail_[index - 1];
+    --index;
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --pathC;
+  } while (pathC > 0);
+  learnt[0] = ~p;
+
+  // Conflict-clause minimization (recursive, abstraction-guarded).
+  analyzeToClear_.assign(learnt.begin(), learnt.end());
+  std::uint32_t abstractLevels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i)
+    abstractLevels |= 1u << (level_[learnt[i].var()] & 31);
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[learnt[i].var()] == kCRefUndef ||
+        !litRedundant(learnt[i], abstractLevels)) {
+      learnt[keep++] = learnt[i];
+    }
+  }
+  learnt.resize(keep);
+  for (Lit q : analyzeToClear_)
+    if (q != kLitUndef) seen_[q.var()] = 0;
+  // Note: litRedundant may have set extra seen_ flags; it records them in
+  // analyzeToClear_, which we just cleared above.
+
+  // Find the backtrack level: highest level among learnt[1..].
+  if (learnt.size() == 1) {
+    btLevel = 0;
+  } else {
+    std::size_t maxI = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i)
+      if (level_[learnt[i].var()] > level_[learnt[maxI].var()]) maxI = i;
+    std::swap(learnt[1], learnt[maxI]);
+    btLevel = level_[learnt[1].var()];
+  }
+}
+
+bool Solver::litRedundant(Lit p, std::uint32_t abstractLevels) {
+  analyzeStack_.clear();
+  analyzeStack_.push_back(p);
+  const std::size_t top = analyzeToClear_.size();
+  while (!analyzeStack_.empty()) {
+    const Lit q = analyzeStack_.back();
+    analyzeStack_.pop_back();
+    SYSECO_CHECK(reason_[q.var()] != kCRefUndef);
+    const Clause& c = clauses_[reason_[q.var()]];
+    for (std::size_t k = 1; k < c.lits.size(); ++k) {
+      const Lit r = c.lits[k];
+      if (!seen_[r.var()] && level_[r.var()] > 0) {
+        if (reason_[r.var()] != kCRefUndef &&
+            ((1u << (level_[r.var()] & 31)) & abstractLevels) != 0) {
+          seen_[r.var()] = 1;
+          analyzeStack_.push_back(r);
+          analyzeToClear_.push_back(r);
+        } else {
+          // Cannot be resolved away: undo the speculative markings.
+          for (std::size_t j = top; j < analyzeToClear_.size(); ++j)
+            seen_[analyzeToClear_[j].var()] = 0;
+          analyzeToClear_.resize(top);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyzeFinal(Lit p) {
+  // `p` is the assumption that propagation forced false. Walk the
+  // implication graph of !p back to the assumption decisions: every
+  // reason-less marked literal above level 0 is one of the assumptions
+  // responsible. The core is reported in assumption polarity (asserting
+  // the core alone is already unsatisfiable).
+  conflictCore_.clear();
+  conflictCore_.push_back(p);
+  if (decisionLevel() == 0) return;
+  seen_[p.var()] = 1;
+  for (std::size_t i = trail_.size();
+       i > static_cast<std::size_t>(trailLim_[0]); --i) {
+    const Var x = trail_[i - 1].var();
+    if (!seen_[x]) continue;
+    if (reason_[x] == kCRefUndef) {
+      SYSECO_CHECK(level_[x] > 0);
+      conflictCore_.push_back(trail_[i - 1]);
+    } else {
+      const Clause& c = clauses_[reason_[x]];
+      for (std::size_t k = 1; k < c.lits.size(); ++k) {
+        if (level_[c.lits[k].var()] > 0) seen_[c.lits[k].var()] = 1;
+      }
+    }
+    seen_[x] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+void Solver::cancelUntil(std::int32_t level) {
+  if (decisionLevel() <= level) return;
+  for (std::size_t i = trail_.size();
+       i > static_cast<std::size_t>(trailLim_[level]); --i) {
+    const Var v = trail_[i - 1].var();
+    polarity_[v] = trail_[i - 1].sign() ? 1 : 0;
+    assigns_[v] = LBool::Undef;
+    reason_[v] = kCRefUndef;
+    order_.insert(v);
+  }
+  trail_.resize(static_cast<std::size_t>(trailLim_[level]));
+  trailLim_.resize(static_cast<std::size_t>(level));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pickBranchLit() {
+  while (!order_.empty()) {
+    const Var v = order_.removeMax();
+    if (value(v) == LBool::Undef)
+      return Lit::make(v, polarity_[v] != 0);
+  }
+  return kLitUndef;
+}
+
+void Solver::reduceDB() {
+  // Drop the less active half of the learnt clauses (locked ones stay).
+  std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<CRef> kept;
+  kept.reserve(learnts_.size());
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    const CRef cr = learnts_[i];
+    Clause& c = clauses_[cr];
+    const bool locked =
+        value(c.lits[0]) == LBool::True && reason_[c.lits[0].var()] == cr;
+    if (i < learnts_.size() / 2 && !locked && c.lits.size() > 2) {
+      c.deleted = true;  // watch lists skip deleted clauses lazily
+      c.lits.clear();
+      c.lits.shrink_to_fit();
+    } else {
+      kept.push_back(cr);
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+std::int64_t Solver::luby(std::int64_t i) {
+  // Luby sequence 1,1,2,1,1,2,4,... (1-indexed).
+  std::int64_t k = 1;
+  while ((std::int64_t{1} << (k + 1)) - 1 <= i) ++k;
+  while (i != (std::int64_t{1} << k) - 1) {
+    i -= (std::int64_t{1} << k) - 1 - ((std::int64_t{1} << (k - 1)) - 1);
+    // Equivalent to i - 2^(k-1) + ... : recompute k for the remainder.
+    k = 1;
+    while ((std::int64_t{1} << (k + 1)) - 1 <= i) ++k;
+  }
+  return std::int64_t{1} << (k - 1);
+}
+
+Solver::Result Solver::search(std::int64_t conflictsAllowed,
+                              const std::vector<Lit>& assumptions) {
+  std::int64_t conflictsHere = 0;
+  std::vector<Lit> learnt;
+  for (;;) {
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      ++conflicts_;
+      ++conflictsHere;
+      if (decisionLevel() == 0) return Result::Unsat;
+      std::int32_t btLevel = 0;
+      analyze(confl, learnt, btLevel);
+      cancelUntil(btLevel);
+      if (learnt.size() == 1) {
+        uncheckedEnqueue(learnt[0], kCRefUndef);
+      } else {
+        const CRef cr = attachNewClause(learnt, /*learnt=*/true);
+        claBumpActivity(clauses_[cr]);
+        uncheckedEnqueue(learnt[0], cr);
+      }
+      varDecayActivity();
+      claDecayActivity();
+      if (conflictsHere >= conflictsAllowed) {
+        cancelUntil(0);
+        return Result::Unknown;  // restart (or budget exhausted)
+      }
+      if (maxLearnts_ > 0 &&
+          static_cast<double>(learnts_.size()) >= maxLearnts_) {
+        reduceDB();
+        maxLearnts_ *= 1.1;
+      }
+    } else {
+      // Assumptions first, then activity-driven decisions.
+      Lit next = kLitUndef;
+      while (static_cast<std::size_t>(decisionLevel()) < assumptions.size()) {
+        const Lit p = assumptions[static_cast<std::size_t>(decisionLevel())];
+        if (value(p) == LBool::True) {
+          trailLim_.push_back(static_cast<std::int32_t>(trail_.size()));
+        } else if (value(p) == LBool::False) {
+          analyzeFinal(p);  // which assumptions forced !p
+          return Result::Unsat;  // assumptions are jointly inconsistent
+        } else {
+          next = p;
+          break;
+        }
+      }
+      if (next == kLitUndef &&
+          static_cast<std::size_t>(decisionLevel()) >= assumptions.size()) {
+        next = pickBranchLit();
+        if (next == kLitUndef) {
+          // All variables assigned: model found.
+          model_ = assigns_;
+          return Result::Sat;
+        }
+        ++decisions_;
+      }
+      if (next == kLitUndef) continue;
+      trailLim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      uncheckedEnqueue(next, kCRefUndef);
+    }
+  }
+}
+
+Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
+                             std::int64_t conflictBudget) {
+  conflictCore_.clear();
+  if (!ok_) return Result::Unsat;
+  cancelUntil(0);
+  if (propagate() != kCRefUndef) {
+    ok_ = false;
+    return Result::Unsat;
+  }
+  if (maxLearnts_ == 0)
+    maxLearnts_ = std::max(1000.0, static_cast<double>(numProblemClauses_) / 3);
+
+  std::int64_t spent = 0;
+  for (std::int64_t restarts = 0;; ++restarts) {
+    std::int64_t allowed = luby(restarts + 1) * 100;
+    if (conflictBudget >= 0) allowed = std::min(allowed, conflictBudget - spent);
+    if (allowed <= 0) {
+      cancelUntil(0);
+      return Result::Unknown;
+    }
+    const std::uint64_t before = conflicts_;
+    const Result r = search(allowed, assumptions);
+    spent += static_cast<std::int64_t>(conflicts_ - before);
+    if (r != Result::Unknown) {
+      cancelUntil(0);
+      return r;
+    }
+    if (conflictBudget >= 0 && spent >= conflictBudget) {
+      cancelUntil(0);
+      return Result::Unknown;
+    }
+  }
+}
+
+}  // namespace syseco

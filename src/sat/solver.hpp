@@ -1,0 +1,171 @@
+#pragma once
+// Conflict-driven clause-learning SAT solver in the MiniSAT [16] lineage.
+//
+// The paper validates sampling-domain answers "with a resource-constrained
+// SAT solver" (§5.1); the conflict budget on solve() is that resource
+// constraint. The solver supports incremental solving under assumptions,
+// which the equivalence checker uses to share one CNF across all
+// per-output miter queries.
+//
+// Architecture: two-watched-literal propagation, first-UIP conflict
+// analysis with recursive clause minimization, VSIDS variable activities on
+// a binary heap, phase saving, Luby restarts, and activity-based learnt
+// clause database reduction.
+
+#include <cstdint>
+#include <vector>
+
+namespace syseco {
+
+using Var = std::int32_t;
+
+/// A literal: variable with polarity, encoded as 2*var + (negated ? 1 : 0).
+struct Lit {
+  std::int32_t x = -2;
+
+  static Lit make(Var v, bool negated = false) {
+    return Lit{2 * v + (negated ? 1 : 0)};
+  }
+  Var var() const { return x >> 1; }
+  bool sign() const { return x & 1; }  ///< true when negated
+  Lit operator~() const { return Lit{x ^ 1}; }
+  bool operator==(const Lit& o) const { return x == o.x; }
+  bool operator!=(const Lit& o) const { return x != o.x; }
+  bool operator<(const Lit& o) const { return x < o.x; }
+};
+
+inline constexpr Lit kLitUndef{-2};
+
+/// Three-valued assignment.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lboolOf(bool b) { return b ? LBool::True : LBool::False; }
+
+class Solver {
+ public:
+  enum class Result { Sat, Unsat, Unknown };
+
+  Solver();
+
+  /// Allocates a fresh variable.
+  Var newVar();
+  std::size_t numVars() const { return assigns_.size(); }
+
+  /// Adds a clause. Returns false if the formula became trivially
+  /// unsatisfiable (conflicting units at the top level).
+  bool addClause(std::vector<Lit> lits);
+  bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+  bool addClause(Lit a, Lit b) { return addClause(std::vector<Lit>{a, b}); }
+  bool addClause(Lit a, Lit b, Lit c) {
+    return addClause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Solves under the given assumptions. `conflictBudget` < 0 means
+  /// unbounded; otherwise the search gives up with Result::Unknown after
+  /// that many conflicts (the paper's resource constraint).
+  Result solve(const std::vector<Lit>& assumptions = {},
+               std::int64_t conflictBudget = -1);
+
+  /// Model access after Result::Sat.
+  bool modelValue(Var v) const { return model_[v] == LBool::True; }
+
+  /// After Result::Unsat from solve() with assumptions: the subset of
+  /// assumptions involved in the final conflict (an unsatisfiable core
+  /// over-approximation, MiniSAT's analyzeFinal). Empty when the formula
+  /// is unsatisfiable regardless of the assumptions.
+  const std::vector<Lit>& failedAssumptions() const { return conflictCore_; }
+
+  /// Statistics.
+  std::uint64_t numConflicts() const { return conflicts_; }
+  std::uint64_t numDecisions() const { return decisions_; }
+  std::uint64_t numPropagations() const { return propagations_; }
+  std::size_t numClauses() const { return numProblemClauses_; }
+
+ private:
+  using CRef = std::uint32_t;
+  static constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  struct VarOrderHeap {
+    // Binary max-heap over variable activities with position index.
+    std::vector<Var> heap;
+    std::vector<std::int32_t> pos;  // -1 when absent
+    const std::vector<double>* act = nullptr;
+
+    bool less(Var a, Var b) const { return (*act)[a] > (*act)[b]; }
+    bool contains(Var v) const {
+      return v < static_cast<Var>(pos.size()) && pos[v] >= 0;
+    }
+    void percolateUp(std::size_t i);
+    void percolateDown(std::size_t i);
+    void insert(Var v);
+    void update(Var v);
+    Var removeMax();
+    bool empty() const { return heap.empty(); }
+    void grow(std::size_t n) { pos.resize(n, -1); }
+  };
+
+  LBool value(Lit p) const {
+    const LBool a = assigns_[p.var()];
+    if (a == LBool::Undef) return LBool::Undef;
+    return (a == LBool::True) != p.sign() ? LBool::True : LBool::False;
+  }
+  LBool value(Var v) const { return assigns_[v]; }
+  std::int32_t decisionLevel() const {
+    return static_cast<std::int32_t>(trailLim_.size());
+  }
+
+  void uncheckedEnqueue(Lit p, CRef from);
+  CRef propagate();
+  void analyze(CRef confl, std::vector<Lit>& learnt, std::int32_t& btLevel);
+  void analyzeFinal(Lit p);
+  bool litRedundant(Lit p, std::uint32_t abstractLevels);
+  void cancelUntil(std::int32_t level);
+  Lit pickBranchLit();
+  void varBumpActivity(Var v);
+  void varDecayActivity() { varInc_ /= 0.95; }
+  void claBumpActivity(Clause& c);
+  void claDecayActivity() { claInc_ /= 0.999; }
+  void rescaleVarActivity();
+  CRef attachNewClause(std::vector<Lit> lits, bool learnt);
+  void attachWatches(CRef cr);
+  void reduceDB();
+  Result search(std::int64_t conflictsAllowed,
+                const std::vector<Lit>& assumptions);
+  static std::int64_t luby(std::int64_t i);
+
+  bool ok_ = true;
+  std::vector<Clause> clauses_;
+  std::vector<CRef> learnts_;
+  std::size_t numProblemClauses_ = 0;
+  std::vector<std::vector<CRef>> watches_;  // indexed by literal code
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<std::uint8_t> polarity_;  // saved phases (1 = last was false)
+  std::vector<double> activity_;
+  std::vector<CRef> reason_;
+  std::vector<std::int32_t> level_;
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trailLim_;
+  std::size_t qhead_ = 0;
+  VarOrderHeap order_;
+  double varInc_ = 1.0;
+  double claInc_ = 1.0;
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyzeToClear_;
+  std::vector<Lit> analyzeStack_;
+  std::vector<Lit> conflictCore_;
+
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t propagations_ = 0;
+  double maxLearnts_ = 0.0;
+};
+
+}  // namespace syseco

@@ -1,0 +1,102 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+Simulator::Simulator(const Netlist& netlist, std::size_t words)
+    : netlist_(netlist), words_(words), topo_(netlist.topoOrder()) {
+  SYSECO_CHECK(words_ > 0);
+  values_.assign(netlist.numNetsTotal(), Signature(words_, 0));
+}
+
+void Simulator::randomizeInputs(Rng& rng) {
+  for (std::size_t i = 0; i < netlist_.numInputs(); ++i) {
+    Signature& sig = values_[netlist_.inputNet(static_cast<std::uint32_t>(i))];
+    for (std::size_t w = 0; w < words_; ++w) sig[w] = rng.next();
+  }
+}
+
+void Simulator::loadPatterns(const std::vector<InputPattern>& patterns) {
+  SYSECO_CHECK(!patterns.empty());
+  SYSECO_CHECK(patterns.size() <= numPatterns());
+  for (std::size_t i = 0; i < netlist_.numInputs(); ++i) {
+    Signature& sig = values_[netlist_.inputNet(static_cast<std::uint32_t>(i))];
+    for (std::size_t w = 0; w < words_; ++w) sig[w] = 0;
+    for (std::size_t k = 0; k < numPatterns(); ++k) {
+      const InputPattern& p =
+          patterns[k < patterns.size() ? k : patterns.size() - 1];
+      SYSECO_CHECK(p.size() == netlist_.numInputs());
+      if (p[i]) sig[k / 64] |= (1ULL << (k % 64));
+    }
+  }
+}
+
+void Simulator::setInputWord(std::uint32_t input, std::size_t word,
+                             std::uint64_t bits) {
+  values_[netlist_.inputNet(input)][word] = bits;
+}
+
+void Simulator::run() {
+  std::uint64_t faninWords[16];
+  std::vector<std::uint64_t> bigFanins;
+  for (GateId g : topo_) {
+    const Netlist::Gate& gate = netlist_.gate(g);
+    Signature& out = values_[gate.out];
+    const std::size_t k = gate.fanins.size();
+    if (k <= 16) {
+      for (std::size_t w = 0; w < words_; ++w) {
+        for (std::size_t i = 0; i < k; ++i)
+          faninWords[i] = values_[gate.fanins[i]][w];
+        out[w] = evalGateWord(gate.type, faninWords, k);
+      }
+    } else {
+      bigFanins.resize(k);
+      for (std::size_t w = 0; w < words_; ++w) {
+        for (std::size_t i = 0; i < k; ++i)
+          bigFanins[i] = values_[gate.fanins[i]][w];
+        out[w] = evalGateWord(gate.type, bigFanins.data(), k);
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> evalOnce(const Netlist& netlist,
+                                   const InputPattern& inputs) {
+  SYSECO_CHECK(inputs.size() == netlist.numInputs());
+  std::vector<std::uint8_t> value(netlist.numNetsTotal(), 0);
+  for (std::size_t i = 0; i < netlist.numInputs(); ++i)
+    value[netlist.inputNet(static_cast<std::uint32_t>(i))] = inputs[i] ? 1 : 0;
+  std::vector<std::uint64_t> fanins;
+  for (GateId g : netlist.topoOrder()) {
+    const Netlist::Gate& gate = netlist.gate(g);
+    fanins.resize(gate.fanins.size());
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i)
+      fanins[i] = value[gate.fanins[i]] ? ~0ULL : 0;
+    value[gate.out] =
+        (evalGateWord(gate.type, fanins.data(), fanins.size()) & 1) ? 1 : 0;
+  }
+  std::vector<std::uint8_t> outs(netlist.numOutputs());
+  for (std::size_t o = 0; o < netlist.numOutputs(); ++o)
+    outs[o] = value[netlist.outputNet(static_cast<std::uint32_t>(o))];
+  return outs;
+}
+
+bool evalNetOnce(const Netlist& netlist, NetId net, const InputPattern& in) {
+  SYSECO_CHECK(in.size() == netlist.numInputs());
+  std::vector<std::uint8_t> value(netlist.numNetsTotal(), 0);
+  for (std::size_t i = 0; i < netlist.numInputs(); ++i)
+    value[netlist.inputNet(static_cast<std::uint32_t>(i))] = in[i] ? 1 : 0;
+  std::vector<std::uint64_t> fanins;
+  for (GateId g : netlist.coneGates({net})) {
+    const Netlist::Gate& gate = netlist.gate(g);
+    fanins.resize(gate.fanins.size());
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i)
+      fanins[i] = value[gate.fanins[i]] ? ~0ULL : 0;
+    value[gate.out] =
+        (evalGateWord(gate.type, fanins.data(), fanins.size()) & 1) ? 1 : 0;
+  }
+  return value[net] != 0;
+}
+
+}  // namespace syseco

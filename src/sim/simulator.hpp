@@ -1,0 +1,84 @@
+#pragma once
+// Bit-parallel combinational simulation.
+//
+// The simulator evaluates a netlist over W machine words per net, i.e.
+// 64*W input patterns at once. It is the workhorse behind:
+//  * failing-output detection (C vs C' signature comparison),
+//  * the symbolic-sampling domain: each net's value vector on the N sampled
+//    assignments is exactly its function in the sampling domain (paper §5.1),
+//  * the rectification-utility heuristic (paper §4.3),
+//  * sweeping (signature-based equivalence candidates).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+
+/// A pattern assignment: one bit per primary input.
+using InputPattern = std::vector<std::uint8_t>;
+
+/// Multi-word signature of a net over the simulated patterns.
+using Signature = std::vector<std::uint64_t>;
+
+class Simulator {
+ public:
+  /// Prepares simulation storage for `words` 64-pattern words per net.
+  Simulator(const Netlist& netlist, std::size_t words);
+
+  std::size_t words() const { return words_; }
+  std::size_t numPatterns() const { return words_ * 64; }
+
+  /// Fills all input words with uniformly random patterns.
+  void randomizeInputs(Rng& rng);
+
+  /// Loads explicit patterns: patterns[k] is the assignment for pattern k
+  /// (bit k of the words). Unused pattern slots replicate the last pattern,
+  /// so that "don't care" tail bits never introduce spurious behaviors.
+  void loadPatterns(const std::vector<InputPattern>& patterns);
+
+  /// Sets input i's value word w directly.
+  void setInputWord(std::uint32_t input, std::size_t word, std::uint64_t bits);
+
+  /// Evaluates all live gates in topological order.
+  void run();
+
+  /// Re-evaluates after inputs changed; identical to run() (full pass).
+  void rerun() { run(); }
+
+  const Signature& value(NetId net) const { return values_[net]; }
+  std::uint64_t word(NetId net, std::size_t w) const { return values_[net][w]; }
+
+  /// Value of `net` under pattern index k.
+  bool bit(NetId net, std::size_t k) const {
+    return (values_[net][k / 64] >> (k % 64)) & 1;
+  }
+
+  /// Output signature by output index.
+  const Signature& outputValue(std::uint32_t o) const {
+    return values_[netlist_.outputNet(o)];
+  }
+
+  const Netlist& netlist() const { return netlist_; }
+
+  /// Number of nets captured at construction (the netlist may grow later;
+  /// values exist only for nets below this bound).
+  std::size_t numNetsSimulated() const { return values_.size(); }
+
+ private:
+  const Netlist& netlist_;
+  std::size_t words_;
+  std::vector<Signature> values_;  // per net
+  std::vector<GateId> topo_;
+};
+
+/// Evaluates `netlist` on a single input assignment; returns output bits.
+std::vector<std::uint8_t> evalOnce(const Netlist& netlist,
+                                   const InputPattern& inputs);
+
+/// Evaluates a single net on a single input assignment.
+bool evalNetOnce(const Netlist& netlist, NetId net, const InputPattern& in);
+
+}  // namespace syseco

@@ -1,0 +1,87 @@
+#include "timing/timing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace syseco {
+
+std::uint32_t circuitDepth(const Netlist& netlist) {
+  const std::vector<std::uint32_t> levels = netlist.netLevels();
+  std::uint32_t depth = 0;
+  for (std::uint32_t o = 0; o < netlist.numOutputs(); ++o)
+    depth = std::max(depth, levels[netlist.outputNet(o)]);
+  return depth;
+}
+
+double worstSlackPs(const Netlist& netlist, double requiredPs,
+                    double psPerLevel) {
+  return requiredPs - psPerLevel * static_cast<double>(circuitDepth(netlist));
+}
+
+double defaultRequiredPs(const Netlist& implementation, double psPerLevel,
+                         double marginLevels) {
+  return psPerLevel *
+         (static_cast<double>(circuitDepth(implementation)) + marginLevels);
+}
+
+std::vector<double> outputRequiredPs(const Netlist& reference,
+                                     double psPerLevel, double marginLevels) {
+  const std::vector<std::uint32_t> levels = reference.netLevels();
+  std::vector<double> required(reference.numOutputs(), 0.0);
+  for (std::uint32_t o = 0; o < reference.numOutputs(); ++o) {
+    required[o] = psPerLevel * (static_cast<double>(
+                                    levels[reference.outputNet(o)]) +
+                                marginLevels);
+  }
+  return required;
+}
+
+double worstSlackPsWithEcoPenalty(const Netlist& netlist,
+                                  const std::vector<double>& requiredPerOutput,
+                                  std::size_t firstEcoGate, double psPerLevel,
+                                  double extraLevels) {
+  // Arrival recomputation with per-gate cost: base arity-aware unit delay
+  // plus the placement penalty on ECO cells.
+  std::vector<double> arrival(netlist.numNetsTotal(), 0.0);
+  for (GateId g : netlist.topoOrder()) {
+    const auto& gate = netlist.gate(g);
+    double cost = 1.0;
+    const std::size_t arity = gate.fanins.size();
+    if (gate.type != GateType::Mux && arity > 2) {
+      cost = 0.0;
+      std::size_t n = arity - 1;
+      while (n > 0) {
+        cost += 1.0;
+        n >>= 1;
+      }
+    }
+    if (g >= firstEcoGate) cost += extraLevels;
+    double maxIn = 0.0;
+    for (NetId f : gate.fanins) maxIn = std::max(maxIn, arrival[f] + cost);
+    arrival[gate.out] = gate.fanins.empty() ? 0.0 : maxIn;
+  }
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::uint32_t o = 0;
+       o < netlist.numOutputs() && o < requiredPerOutput.size(); ++o) {
+    worst = std::min(worst, requiredPerOutput[o] -
+                                psPerLevel * arrival[netlist.outputNet(o)]);
+  }
+  return worst;
+}
+
+double worstSlackPs(const Netlist& netlist,
+                    const std::vector<double>& requiredPerOutput,
+                    double psPerLevel) {
+  const std::vector<std::uint32_t> levels = netlist.netLevels();
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::uint32_t o = 0;
+       o < netlist.numOutputs() && o < requiredPerOutput.size(); ++o) {
+    const double slack =
+        requiredPerOutput[o] -
+        psPerLevel * static_cast<double>(levels[netlist.outputNet(o)]);
+    worst = std::min(worst, slack);
+  }
+  return worst;
+}
+
+}  // namespace syseco

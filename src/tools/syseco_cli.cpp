@@ -1,0 +1,157 @@
+// syseco command-line tool.
+//
+// Reads an optimized implementation and a revised specification (netlist
+// text format or BLIF, selected by extension), runs one of the ECO engines,
+// reports the patch attributes and writes the rectified design.
+//
+//   syseco_cli --impl C.blif --spec Cprime.blif [options]
+//
+// Options:
+//   --engine syseco|deltasyn|conesynth|exactfix|interpfix     (default: syseco)
+//   --out FILE          write the rectified netlist (.blif/.v/.netlist)
+//   --samples N         sampling-domain size             (default 64)
+//   --max-points M      rectification points per try     (default 3)
+//   --level-driven      timing-aware rewire selection
+//   --uniform-sampling  ablation: uniform instead of error-domain samples
+//   --no-sweep          disable the patch-input sweeping post-process
+//   --seed S            RNG seed                          (default 1)
+//   --verbose           trace the search to stderr
+//
+// Exit code 0 iff the rectification was SAT-verified.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "eco/conesynth.hpp"
+#include "eco/deltasyn.hpp"
+#include "eco/exactfix.hpp"
+#include "eco/syseco.hpp"
+#include "itp/interp_fix.hpp"
+#include "io/blif_io.hpp"
+#include "io/netlist_io.hpp"
+#include "io/verilog_io.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace syseco;
+
+bool endsWith(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+Netlist loadAny(const std::string& path) {
+  if (endsWith(path, ".blif")) return loadBlif(path);
+  return loadNetlist(path);
+}
+
+void saveAny(const std::string& path, const Netlist& nl) {
+  if (endsWith(path, ".blif")) {
+    saveBlif(path, nl);
+  } else if (endsWith(path, ".v")) {
+    saveVerilog(path, nl);
+  } else {
+    saveNetlist(path, nl);
+  }
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --impl FILE --spec FILE [--engine "
+               "syseco|deltasyn|conesynth]\n"
+               "          [--out FILE] [--samples N] [--max-points M]\n"
+               "          [--level-driven] [--uniform-sampling] [--no-sweep]"
+               "\n          [--seed S] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string implPath, specPath, outPath, engine = "syseco";
+  SysecoOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--impl") implPath = value();
+    else if (arg == "--spec") specPath = value();
+    else if (arg == "--out") outPath = value();
+    else if (arg == "--engine") engine = value();
+    else if (arg == "--samples") opt.numSamples =
+        static_cast<std::size_t>(std::stoul(value()));
+    else if (arg == "--max-points") opt.maxPoints = std::stoi(value());
+    else if (arg == "--level-driven") opt.levelDriven = true;
+    else if (arg == "--uniform-sampling") opt.useErrorDomainSampling = false;
+    else if (arg == "--no-sweep") opt.enableSweeping = false;
+    else if (arg == "--seed") opt.seed = std::stoull(value());
+    else if (arg == "--verbose") opt.verbose = true;
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (implPath.empty() || specPath.empty()) usage(argv[0]);
+
+  try {
+    const Netlist impl = loadAny(implPath);
+    const Netlist spec = loadAny(specPath);
+    std::printf("implementation: %zu gates, %zu inputs, %zu outputs\n",
+                impl.countLiveGates(), impl.numInputs(), impl.numOutputs());
+    std::printf("revised spec:   %zu gates\n", spec.countLiveGates());
+
+    EcoResult result;
+    SysecoDiagnostics diag;
+    if (engine == "syseco") {
+      result = runSyseco(impl, spec, opt, &diag);
+    } else if (engine == "deltasyn") {
+      DeltaSynOptions d;
+      d.seed = opt.seed;
+      result = runDeltaSyn(impl, spec, d);
+    } else if (engine == "conesynth") {
+      result = runConeSynth(impl, spec, opt.seed);
+    } else if (engine == "exactfix") {
+      ExactFixOptions x;
+      x.seed = opt.seed;
+      result = runExactFix(impl, spec, x);
+    } else if (engine == "interpfix") {
+      InterpFixOptions x;
+      x.seed = opt.seed;
+      result = runInterpFix(impl, spec, x);
+    } else {
+      std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+      return 2;
+    }
+
+    std::printf("failing outputs: %zu\n", result.failingOutputsBefore);
+    std::printf("patch: inputs=%zu outputs=%zu gates=%zu nets=%zu\n",
+                result.stats.inputs, result.stats.outputs,
+                result.stats.gates, result.stats.nets);
+    if (engine == "syseco") {
+      std::printf("rewired in place: %zu, cone fallbacks: %zu, sweep "
+                  "merges: %zu\n",
+                  diag.outputsViaRewire, diag.outputsViaFallback,
+                  diag.sweepMerges);
+    }
+    std::printf("runtime: %s\n", formatHms(result.seconds).c_str());
+    std::printf("verification: %s\n",
+                result.success ? "EQUIVALENT (SAT-proven)" : "FAILED");
+    if (!outPath.empty()) {
+      saveAny(outPath, result.rectified);
+      std::printf("rectified design written to %s\n", outPath.c_str());
+    }
+    return result.success ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

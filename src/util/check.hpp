@@ -1,0 +1,23 @@
+#pragma once
+// Internal invariant checking. SYSECO_CHECK is active in all build types:
+// the algorithms in this library rely on structural invariants (acyclicity,
+// pin/net consistency, BDD ordering) whose violation must never be silent.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace syseco::detail {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "syseco: invariant violated: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace syseco::detail
+
+#define SYSECO_CHECK(expr)                                         \
+  do {                                                             \
+    if (!(expr)) ::syseco::detail::checkFailed(#expr, __FILE__, __LINE__); \
+  } while (false)

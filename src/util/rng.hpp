@@ -1,0 +1,90 @@
+#pragma once
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Every stochastic component (test-case generation, sampling, simulation
+// patterns, decision heuristics) draws from a seeded Rng so that every run,
+// test and benchmark is reproducible bit-for-bit.
+
+#include <cstdint>
+#include <vector>
+
+namespace syseco {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via splitmix64, which
+  /// guarantees a well-mixed non-zero state for any seed (including 0).
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // the bounds used in this project (< 2^32).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+  /// Uniform bool.
+  bool flip() { return (next() & 1) != 0; }
+
+  /// Uniform double in [0, 1).
+  double real() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; container must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Derives an independent child generator (for parallel-safe sub-streams).
+  Rng split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace syseco

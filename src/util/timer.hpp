@@ -1,0 +1,46 @@
+#pragma once
+// Wall-clock timing helpers used by the ECO engines and the benchmark
+// harnesses to report runtimes in the same h:m:s format as the paper's
+// Table 2.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace syseco {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration as "hh:mm:ss" (Table 2 style); sub-second durations
+/// keep two decimals in the seconds field for readability.
+inline std::string formatHms(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const long total = static_cast<long>(seconds);
+  const long h = total / 3600;
+  const long m = (total % 3600) / 60;
+  const double s = seconds - static_cast<double>(h * 3600 + m * 60);
+  char buf[48];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "00:00:%05.2f", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02ld:%02ld:%02.0f", h, m, s);
+  }
+  return buf;
+}
+
+}  // namespace syseco

@@ -1,0 +1,237 @@
+// Unit and property tests for the BDD package: ITE identities,
+// quantification, counting, truth-table import, ISOP covers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bdd/bdd.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+/// Evaluates a BDD against a brute-force assignment loop over n variables,
+/// comparing with `truth` (bit k = value under assignment k, little-endian:
+/// bit j of k assigns variable j).
+void expectMatchesTruth(Bdd& mgr, Bdd::Ref f, std::uint32_t n,
+                        std::uint64_t truth) {
+  for (std::uint64_t k = 0; k < (1ULL << n); ++k) {
+    std::vector<std::uint8_t> a(mgr.numVars(), 0);
+    for (std::uint32_t j = 0; j < n; ++j) a[j] = (k >> j) & 1;
+    EXPECT_EQ(mgr.eval(f, a), ((truth >> k) & 1) != 0)
+        << "assignment " << k;
+  }
+}
+
+TEST(Bdd, ConstantsAndVariables) {
+  Bdd mgr(3);
+  EXPECT_EQ(mgr.constant(false), Bdd::kFalse);
+  EXPECT_EQ(mgr.constant(true), Bdd::kTrue);
+  const auto x0 = mgr.var(0);
+  expectMatchesTruth(mgr, x0, 3, 0b10101010);
+  const auto nx1 = mgr.nvar(1);
+  expectMatchesTruth(mgr, nx1, 3, 0b00110011);
+}
+
+TEST(Bdd, BasicOperators) {
+  Bdd mgr(2);
+  const auto a = mgr.var(0);
+  const auto b = mgr.var(1);
+  expectMatchesTruth(mgr, mgr.bAnd(a, b), 2, 0b1000);
+  expectMatchesTruth(mgr, mgr.bOr(a, b), 2, 0b1110);
+  expectMatchesTruth(mgr, mgr.bXor(a, b), 2, 0b0110);
+  expectMatchesTruth(mgr, mgr.bXnor(a, b), 2, 0b1001);
+  expectMatchesTruth(mgr, mgr.bImp(a, b), 2, 0b1101);
+  expectMatchesTruth(mgr, mgr.bNot(a), 2, 0b0101);
+}
+
+TEST(Bdd, IteIdentities) {
+  Bdd mgr(3);
+  const auto f = mgr.var(0);
+  const auto g = mgr.var(1);
+  const auto h = mgr.var(2);
+  EXPECT_EQ(mgr.ite(Bdd::kTrue, g, h), g);
+  EXPECT_EQ(mgr.ite(Bdd::kFalse, g, h), h);
+  EXPECT_EQ(mgr.ite(f, Bdd::kTrue, Bdd::kFalse), f);
+  EXPECT_EQ(mgr.ite(f, g, g), g);
+  // Canonicity: same function, same node.
+  EXPECT_EQ(mgr.bAnd(f, g), mgr.bAnd(g, f));
+  EXPECT_EQ(mgr.bNot(mgr.bNot(h)), h);
+}
+
+TEST(Bdd, RandomizedEquivalenceWithTruthTables) {
+  // Property: a random expression built both as BDD and as a truth table
+  // agrees on every assignment.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t n = 4;
+    Bdd mgr(n);
+    std::vector<Bdd::Ref> refs;
+    std::vector<std::uint64_t> tts;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      refs.push_back(mgr.var(v));
+      std::uint64_t tt = 0;
+      for (std::uint64_t k = 0; k < 16; ++k)
+        if ((k >> v) & 1) tt |= (1ULL << k);
+      tts.push_back(tt);
+    }
+    for (int step = 0; step < 12; ++step) {
+      const std::size_t i = static_cast<std::size_t>(rng.below(refs.size()));
+      const std::size_t j = static_cast<std::size_t>(rng.below(refs.size()));
+      switch (rng.below(4)) {
+        case 0:
+          refs.push_back(mgr.bAnd(refs[i], refs[j]));
+          tts.push_back(tts[i] & tts[j]);
+          break;
+        case 1:
+          refs.push_back(mgr.bOr(refs[i], refs[j]));
+          tts.push_back(tts[i] | tts[j]);
+          break;
+        case 2:
+          refs.push_back(mgr.bXor(refs[i], refs[j]));
+          tts.push_back(tts[i] ^ tts[j]);
+          break;
+        default:
+          refs.push_back(mgr.bNot(refs[i]));
+          tts.push_back(~tts[i] & 0xFFFF);
+      }
+    }
+    expectMatchesTruth(mgr, refs.back(), n, tts.back());
+  }
+}
+
+TEST(Bdd, QuantificationMatchesCofactorDefinition) {
+  Bdd mgr(3);
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random function of 3 vars from a random truth table.
+    std::vector<std::uint64_t> bits{rng.next() & 0xFF};
+    const auto f = mgr.fromTruthTable(bits, {0, 1, 2});
+    for (std::uint32_t v = 0; v < 3; ++v) {
+      const auto lo = mgr.cofactor(f, v, false);
+      const auto hi = mgr.cofactor(f, v, true);
+      EXPECT_EQ(mgr.exists(f, {v}), mgr.bOr(lo, hi));
+      EXPECT_EQ(mgr.forall(f, {v}), mgr.bAnd(lo, hi));
+    }
+  }
+}
+
+TEST(Bdd, SatCountIsExact) {
+  Bdd mgr(6);
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> bits{rng.next()};
+    const auto f = mgr.fromTruthTable(bits, {0, 1, 2, 3, 4, 5});
+    std::size_t expected = 0;
+    for (std::uint64_t k = 0; k < 64; ++k)
+      if ((bits[0] >> k) & 1) ++expected;
+    EXPECT_DOUBLE_EQ(mgr.satCount(f), static_cast<double>(expected));
+  }
+}
+
+TEST(Bdd, PickCubeReturnsSatisfyingAssignment) {
+  Bdd mgr(4);
+  const auto f = mgr.bAnd(mgr.var(0), mgr.bXor(mgr.var(2), mgr.var(3)));
+  BddCube cube;
+  ASSERT_TRUE(mgr.pickCube(f, cube));
+  std::vector<std::uint8_t> a(4, 0);
+  for (std::uint32_t v = 0; v < 4; ++v)
+    if (cube.lits[v] >= 0) a[v] = static_cast<std::uint8_t>(cube.lits[v]);
+  EXPECT_TRUE(mgr.eval(f, a));
+  BddCube none;
+  EXPECT_FALSE(mgr.pickCube(Bdd::kFalse, none));
+}
+
+TEST(Bdd, FromTruthTableLittleEndianConvention) {
+  Bdd mgr(2);
+  // f(x0,x1) = x0 AND !x1 -> true only for index 0b01 = 1.
+  std::vector<std::uint64_t> bits{0b0010};
+  const auto f = mgr.fromTruthTable(bits, {0, 1});
+  EXPECT_EQ(f, mgr.bAnd(mgr.var(0), mgr.nvar(1)));
+}
+
+TEST(Bdd, MintermOfUsesBigEndianPaperConvention) {
+  // Paper: v^3 with v = (v1,v2,v3) is !v1 v2 v3.
+  Bdd mgr(3);
+  const auto m3 = mgr.mintermOf(3, {0, 1, 2});
+  EXPECT_EQ(m3, mgr.andMany({mgr.nvar(0), mgr.var(1), mgr.var(2)}));
+}
+
+TEST(Bdd, IsopCoverEqualsFunction) {
+  Bdd mgr(5);
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> bits{rng.next() & 0xFFFFFFFFULL};
+    const auto f = mgr.fromTruthTable(bits, {0, 1, 2, 3, 4});
+    const auto cubes = mgr.isop(f);
+    // Rebuild the union of cubes and compare.
+    Bdd::Ref cover = Bdd::kFalse;
+    for (const BddCube& c : cubes) {
+      Bdd::Ref cube = Bdd::kTrue;
+      for (std::uint32_t v = 0; v < 5; ++v) {
+        if (c.lits[v] == 1) cube = mgr.bAnd(cube, mgr.var(v));
+        if (c.lits[v] == 0) cube = mgr.bAnd(cube, mgr.nvar(v));
+      }
+      cover = mgr.bOr(cover, cube);
+    }
+    EXPECT_EQ(cover, f);
+  }
+}
+
+TEST(Bdd, IsopBetweenBoundsLiesBetween) {
+  Bdd mgr(4);
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t lowBits = rng.next() & 0xFFFF;
+    const std::uint64_t careBits = rng.next() & 0xFFFF;
+    std::vector<std::uint64_t> lo{lowBits & careBits};
+    std::vector<std::uint64_t> hi{lowBits | ~careBits};
+    const auto L = mgr.fromTruthTable(lo, {0, 1, 2, 3});
+    const auto U = mgr.fromTruthTable(
+        std::vector<std::uint64_t>{hi[0] & 0xFFFF}, {0, 1, 2, 3});
+    const auto cubes = mgr.isop(L, U);
+    Bdd::Ref cover = Bdd::kFalse;
+    for (const BddCube& c : cubes) {
+      Bdd::Ref cube = Bdd::kTrue;
+      for (std::uint32_t v = 0; v < 4; ++v) {
+        if (c.lits[v] == 1) cube = mgr.bAnd(cube, mgr.var(v));
+        if (c.lits[v] == 0) cube = mgr.bAnd(cube, mgr.nvar(v));
+      }
+      cover = mgr.bOr(cover, cube);
+    }
+    EXPECT_EQ(mgr.bImp(L, cover), Bdd::kTrue);
+    EXPECT_EQ(mgr.bImp(cover, U), Bdd::kTrue);
+  }
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  Bdd mgr(20, /*nodeLimit=*/64);
+  EXPECT_THROW(
+      {
+        Bdd::Ref acc = Bdd::kFalse;
+        Rng rng(3);
+        for (int i = 0; i < 40; ++i) {
+          Bdd::Ref cube = Bdd::kTrue;
+          for (std::uint32_t v = 0; v < 20; ++v)
+            cube = mgr.bAnd(cube, rng.flip() ? mgr.var(v) : mgr.nvar(v));
+          acc = mgr.bOr(acc, cube);
+        }
+      },
+      BddLimitExceeded);
+}
+
+TEST(Bdd, ExistsForallDuality) {
+  Bdd mgr(5);
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> bits{rng.next() & 0xFFFFFFFFULL};
+    const auto f = mgr.fromTruthTable(bits, {0, 1, 2, 3, 4});
+    const std::vector<std::uint32_t> vars{1, 3};
+    EXPECT_EQ(mgr.forall(f, vars),
+              mgr.bNot(mgr.exists(mgr.bNot(f), vars)));
+  }
+}
+
+}  // namespace
+}  // namespace syseco

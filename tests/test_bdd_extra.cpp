@@ -1,0 +1,80 @@
+// BDD composition and support extraction.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+TEST(BddCompose, ReplacesVariableFunctionally) {
+  Bdd mgr(4);
+  // f = x0 XOR x1; compose x1 := x2 AND x3.
+  const auto f = mgr.bXor(mgr.var(0), mgr.var(1));
+  const auto g = mgr.bAnd(mgr.var(2), mgr.var(3));
+  const auto composed = mgr.compose(f, 1, g);
+  EXPECT_EQ(composed, mgr.bXor(mgr.var(0), g));
+}
+
+TEST(BddCompose, IdentityAndConstants) {
+  Bdd mgr(3);
+  const auto f = mgr.bOr(mgr.var(0), mgr.bAnd(mgr.var(1), mgr.var(2)));
+  EXPECT_EQ(mgr.compose(f, 1, mgr.var(1)), f);
+  // Composing with constants equals cofactoring.
+  EXPECT_EQ(mgr.compose(f, 1, Bdd::kTrue), mgr.cofactor(f, 1, true));
+  EXPECT_EQ(mgr.compose(f, 1, Bdd::kFalse), mgr.cofactor(f, 1, false));
+  // Absent variable: no effect.
+  const auto g = mgr.var(0);
+  EXPECT_EQ(mgr.compose(g, 2, mgr.var(1)), g);
+}
+
+TEST(BddCompose, RandomizedAgainstBruteForce) {
+  Rng rng(19);
+  for (int trial = 0; trial < 40; ++trial) {
+    Bdd mgr(5);
+    std::vector<std::uint64_t> fb{rng.next() & 0xFFFFFFFFull};
+    std::vector<std::uint64_t> gb{rng.next() & 0xFFFFFFFFull};
+    const auto f = mgr.fromTruthTable(fb, {0, 1, 2, 3, 4});
+    const auto g = mgr.fromTruthTable(gb, {0, 1, 2, 3, 4});
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.below(5));
+    const auto composed = mgr.compose(f, v, g);
+    for (std::uint32_t m = 0; m < 32; ++m) {
+      std::vector<std::uint8_t> a(5);
+      for (std::uint32_t j = 0; j < 5; ++j) a[j] = (m >> j) & 1;
+      std::vector<std::uint8_t> b = a;
+      b[v] = mgr.eval(g, a) ? 1 : 0;
+      EXPECT_EQ(mgr.eval(composed, a), mgr.eval(f, b))
+          << "trial " << trial << " assignment " << m;
+    }
+  }
+}
+
+TEST(BddSupport, ReportsExactDependencies) {
+  Bdd mgr(6);
+  const auto f =
+      mgr.bOr(mgr.bAnd(mgr.var(0), mgr.var(3)), mgr.nvar(5));
+  EXPECT_EQ(mgr.support(f), (std::vector<std::uint32_t>{0, 3, 5}));
+  EXPECT_TRUE(mgr.support(Bdd::kTrue).empty());
+  EXPECT_TRUE(mgr.support(Bdd::kFalse).empty());
+  // XOR(x1, x1) vanishes from the support entirely.
+  const auto g = mgr.bXor(mgr.var(1), mgr.var(1));
+  EXPECT_TRUE(mgr.support(g).empty());
+}
+
+TEST(BddSupport, QuantificationShrinksSupport) {
+  Bdd mgr(4);
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> bits{rng.next() & 0xFFFF};
+    const auto f = mgr.fromTruthTable(bits, {0, 1, 2, 3});
+    const auto g = mgr.exists(f, {1, 2});
+    for (std::uint32_t v : mgr.support(g)) {
+      EXPECT_NE(v, 1u);
+      EXPECT_NE(v, 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace syseco

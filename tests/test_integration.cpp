@@ -1,0 +1,74 @@
+// End-to-end smoke: generator -> engines -> verified rectification.
+
+#include <gtest/gtest.h>
+
+#include "cnf/encode.hpp"
+#include "eco/conesynth.hpp"
+#include "eco/deltasyn.hpp"
+#include "eco/syseco.hpp"
+#include "gen/eco_case.hpp"
+#include "opt/passes.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+CaseRecipe tinyRecipe(std::uint64_t seed) {
+  CaseRecipe r;
+  r.name = "tiny";
+  r.spec = SpecParams{2, 4, 2, 2, 3, 2, 2, 2};
+  r.mutations = 1;
+  r.targetRevisedFraction = 0.3;
+  r.optRounds = 2;
+  r.seed = seed;
+  return r;
+}
+
+TEST(Integration, GeneratedCaseHasRealErrors) {
+  const EcoCase c = makeCase(tinyRecipe(5));
+  Rng rng(1);
+  const auto failing = findFailingOutputs(c.impl, c.spec, rng);
+  EXPECT_FALSE(failing.empty());
+  EXPECT_GT(c.designerEstimateGates, 0u);
+}
+
+TEST(Integration, HeavyOptimizePreservesFunction) {
+  const CaseRecipe r = tinyRecipe(6);
+  Rng rng(r.seed);
+  SpecCircuit sc = buildSpec(r.spec, rng);
+  Netlist opt = heavyOptimize(sc.netlist, rng, 2);
+  EXPECT_TRUE(verifyAllOutputs(opt, lightSynth(sc.netlist)));
+}
+
+TEST(Integration, ConeSynthRectifies) {
+  const EcoCase c = makeCase(tinyRecipe(7));
+  const EcoResult r = runConeSynth(c.impl, c.spec);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.failingOutputsBefore, 0u);
+}
+
+TEST(Integration, DeltaSynRectifies) {
+  const EcoCase c = makeCase(tinyRecipe(8));
+  const EcoResult r = runDeltaSyn(c.impl, c.spec);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Integration, SysecoRectifies) {
+  const EcoCase c = makeCase(tinyRecipe(9));
+  SysecoDiagnostics diag;
+  const EcoResult r = runSyseco(c.impl, c.spec, SysecoOptions{}, &diag);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(diag.outputsRectified, 0u);
+}
+
+TEST(Integration, SysecoPatchNoLargerThanConeSynth) {
+  const EcoCase c = makeCase(tinyRecipe(10));
+  const EcoResult cone = runConeSynth(c.impl, c.spec);
+  const EcoResult sys = runSyseco(c.impl, c.spec);
+  ASSERT_TRUE(cone.success);
+  ASSERT_TRUE(sys.success);
+  EXPECT_LE(sys.stats.gates, cone.stats.gates);
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,181 @@
+// Interpolating solver and interpolation-based patch engine tests.
+//
+// The interpolant contract (Craig, via McMillan's labeled resolutions):
+//   A implies I,  I AND B unsatisfiable,  support(I) subset shared vars.
+// Verified exhaustively on randomized small A/B partitions, then the
+// engine is exercised end to end.
+
+#include <gtest/gtest.h>
+
+#include "eco/syseco.hpp"
+#include "gen/eco_case.hpp"
+#include "itp/interp_fix.hpp"
+#include "itp/itp_solver.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+TEST(ItpSolver, TrivialUnsatSharedUnits) {
+  // A: z0.  B: !z0.  Interpolant must be exactly z0.
+  ItpSolver s(1);
+  ASSERT_TRUE(s.addClause({Lit::make(0)}, ItpSolver::Side::A));
+  ASSERT_TRUE(s.addClause({Lit::make(0, true)}, ItpSolver::Side::B));
+  ASSERT_EQ(s.solve(), ItpSolver::Result::Unsat);
+  EXPECT_EQ(s.interpolant(), s.bdd().var(0));
+}
+
+TEST(ItpSolver, SatWhenConsistent) {
+  ItpSolver s(1);
+  const Var a = s.newVar();
+  s.addClause({Lit::make(0), Lit::make(a)}, ItpSolver::Side::A);
+  s.addClause({Lit::make(0, true), Lit::make(a)}, ItpSolver::Side::B);
+  EXPECT_EQ(s.solve(), ItpSolver::Result::Sat);
+  // Model satisfies both clauses.
+  const bool z = s.modelValue(0), av = s.modelValue(a);
+  EXPECT_TRUE(z || av);
+  EXPECT_TRUE(!z || av);
+}
+
+TEST(ItpSolver, ChainThroughSharedVariable) {
+  // A: a, a -> z.  B: z -> b, !b.  I must be implied by A, refuted by B:
+  // the only candidate over {z} is z itself.
+  ItpSolver s(1);
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  s.addClause({Lit::make(a)}, ItpSolver::Side::A);
+  s.addClause({Lit::make(a, true), Lit::make(0)}, ItpSolver::Side::A);
+  s.addClause({Lit::make(0, true), Lit::make(b)}, ItpSolver::Side::B);
+  s.addClause({Lit::make(b, true)}, ItpSolver::Side::B);
+  ASSERT_EQ(s.solve(), ItpSolver::Result::Unsat);
+  EXPECT_EQ(s.interpolant(), s.bdd().var(0));
+}
+
+/// Brute-force checks of the interpolant contract over <= 16 variables.
+class ItpRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ItpRandom, ContractHoldsOnRandomUnsatPartitions) {
+  Rng rng(GetParam());
+  int unsatSeen = 0;
+  for (int trial = 0; trial < 60 && unsatSeen < 12; ++trial) {
+    const std::uint32_t numShared = 3;
+    const int numALocal = 3, numBLocal = 3;
+    // Variables: 0..2 shared, 3..5 A-local, 6..8 B-local.
+    std::vector<std::vector<Lit>> clausesA, clausesB;
+    auto randomClause = [&](bool sideA) {
+      std::vector<Lit> c;
+      const int len = 2 + static_cast<int>(rng.below(2));
+      for (int k = 0; k < len; ++k) {
+        Var v;
+        if (rng.chance(1, 2)) {
+          v = static_cast<Var>(rng.below(numShared));
+        } else if (sideA) {
+          v = static_cast<Var>(numShared + rng.below(numALocal));
+        } else {
+          v = static_cast<Var>(numShared + numALocal + rng.below(numBLocal));
+        }
+        c.push_back(Lit::make(v, rng.flip()));
+      }
+      return c;
+    };
+    for (int k = 0; k < 9; ++k) clausesA.push_back(randomClause(true));
+    for (int k = 0; k < 9; ++k) clausesB.push_back(randomClause(false));
+
+    ItpSolver s(numShared);
+    for (int k = 0; k < numALocal + numBLocal; ++k) s.newVar();
+    for (auto& c : clausesA) s.addClause(c, ItpSolver::Side::A);
+    for (auto& c : clausesB) s.addClause(c, ItpSolver::Side::B);
+    if (s.solve() != ItpSolver::Result::Unsat) continue;
+    ++unsatSeen;
+
+    Bdd& mgr = s.bdd();
+    const Bdd::Ref I = s.interpolant();
+    // support(I) within shared variables: by construction of the manager.
+    // Brute force over all 9 variables.
+    auto clauseSat = [&](const std::vector<Lit>& c, std::uint32_t m) {
+      for (const Lit& l : c) {
+        const bool v = (m >> l.var()) & 1;
+        if (v != l.sign()) return true;
+      }
+      return false;
+    };
+    for (std::uint32_t m = 0; m < (1u << 9); ++m) {
+      bool aSat = true, bSat = true;
+      for (const auto& c : clausesA) aSat &= clauseSat(c, m);
+      for (const auto& c : clausesB) bSat &= clauseSat(c, m);
+      std::vector<std::uint8_t> zAssign(numShared);
+      for (std::uint32_t v = 0; v < numShared; ++v)
+        zAssign[v] = (m >> v) & 1;
+      const bool iVal = mgr.eval(I, zAssign);
+      EXPECT_FALSE(aSat && !iVal) << "A does not imply I at " << m;
+      EXPECT_FALSE(bSat && iVal) << "I AND B satisfiable at " << m;
+    }
+  }
+  EXPECT_GT(unsatSeen, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItpRandom,
+                         ::testing::Values(2, 3, 5, 7, 11, 13));
+
+TEST(InterpFix, SynthesizesPatchThroughInterpolation) {
+  // impl: o = (a AND b) OR c. spec: o = (a XOR b) OR c.
+  Netlist impl;
+  {
+    const NetId a = impl.addInput("a");
+    const NetId b = impl.addInput("b");
+    const NetId c = impl.addInput("c");
+    const NetId t = impl.addGate(GateType::And, {a, b});
+    impl.addOutput("o", impl.addGate(GateType::Or, {t, c}));
+  }
+  Netlist spec;
+  {
+    const NetId a = spec.addInput("a");
+    const NetId b = spec.addInput("b");
+    const NetId c = spec.addInput("c");
+    const NetId t = spec.addGate(GateType::Xor, {a, b});
+    spec.addOutput("o", spec.addGate(GateType::Or, {t, c}));
+  }
+  InterpFixDiagnostics diag;
+  const EcoResult r = runInterpFix(impl, spec, InterpFixOptions{}, &diag);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(diag.outputsViaInterpolant + diag.outputsViaFallback, 1u);
+}
+
+class InterpFixSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterpFixSeeds, RectifiesGeneratedCases) {
+  CaseRecipe r;
+  r.name = "itp";
+  r.spec = SpecParams{2, 5, 3, 2, 4, 3, 2, 2};
+  r.mutations = 2;
+  r.targetRevisedFraction = 0.3;
+  r.optRounds = 2;
+  r.seed = GetParam();
+  const EcoCase c = makeCase(r);
+  InterpFixDiagnostics diag;
+  const EcoResult res =
+      runInterpFix(c.impl, c.spec, InterpFixOptions{}, &diag);
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(res.rectified.isWellFormed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterpFixSeeds,
+                         ::testing::Values(101, 202, 303));
+
+TEST(InterpFix, SysecoStillWinsOnGates) {
+  CaseRecipe r;
+  r.name = "itp-vs";
+  r.spec = SpecParams{3, 6, 3, 2, 5, 4, 3, 3};
+  r.mutations = 2;
+  r.targetRevisedFraction = 0.25;
+  r.optRounds = 2;
+  r.seed = 777;
+  const EcoCase c = makeCase(r);
+  const EcoResult itp = runInterpFix(c.impl, c.spec);
+  const EcoResult sys = runSyseco(c.impl, c.spec);
+  ASSERT_TRUE(itp.success && sys.success);
+  EXPECT_LE(sys.stats.gates, itp.stats.gates + 2);
+}
+
+}  // namespace
+}  // namespace syseco

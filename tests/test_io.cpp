@@ -1,0 +1,91 @@
+// Netlist text format: round-trip fidelity and error reporting.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cnf/encode.hpp"
+#include "eco/patch.hpp"
+#include "gen/spec_builder.hpp"
+#include "io/netlist_io.hpp"
+
+namespace syseco {
+namespace {
+
+TEST(NetlistIo, RoundTripPreservesFunctionAndInterface) {
+  Rng rng(4);
+  SpecCircuit sc = buildSpec(SpecParams{2, 4, 2, 2, 4, 3, 2, 2}, rng);
+  std::ostringstream os;
+  writeNetlist(os, sc.netlist, "roundtrip");
+  std::istringstream is(os.str());
+  const Netlist back = readNetlist(is);
+  EXPECT_EQ(back.numInputs(), sc.netlist.numInputs());
+  EXPECT_EQ(back.numOutputs(), sc.netlist.numOutputs());
+  for (std::uint32_t i = 0; i < back.numInputs(); ++i)
+    EXPECT_EQ(back.inputName(i), sc.netlist.inputName(i));
+  EXPECT_TRUE(verifyAllOutputs(back, sc.netlist));
+}
+
+TEST(NetlistIo, ParsesHandWrittenModel) {
+  const char* text = R"(
+.model adder1
+.inputs a b cin
+.outputs s cout
+# full adder
+.gate xor t0 a b
+.gate xor s_net t0 cin
+.gate and c1 a b
+.gate and c2 t0 cin
+.gate or cout_net c1 c2
+.assign s s_net
+.assign cout cout_net
+.end
+)";
+  std::istringstream is(text);
+  const Netlist nl = readNetlist(is);
+  EXPECT_EQ(nl.numInputs(), 3u);
+  EXPECT_EQ(nl.numOutputs(), 2u);
+  // Full-adder truth check.
+  for (int a = 0; a <= 1; ++a)
+    for (int b = 0; b <= 1; ++b)
+      for (int c = 0; c <= 1; ++c) {
+        const auto out = evalOnce(nl, {static_cast<std::uint8_t>(a),
+                                       static_cast<std::uint8_t>(b),
+                                       static_cast<std::uint8_t>(c)});
+        EXPECT_EQ(out[0], (a + b + c) & 1);
+        EXPECT_EQ(out[1], (a + b + c) >= 2);
+      }
+}
+
+TEST(NetlistIo, RejectsUnknownNet) {
+  std::istringstream is(".inputs a\n.outputs o\n.gate not x bogus\n.end\n");
+  EXPECT_THROW(readNetlist(is), std::runtime_error);
+}
+
+TEST(NetlistIo, RejectsBadArity) {
+  std::istringstream is(".inputs a b\n.outputs o\n.gate not x a b\n.end\n");
+  EXPECT_THROW(readNetlist(is), std::runtime_error);
+}
+
+TEST(NetlistIo, RejectsDuplicateName) {
+  std::istringstream is(".inputs a a\n.outputs o\n.end\n");
+  EXPECT_THROW(readNetlist(is), std::runtime_error);
+}
+
+TEST(NetlistIo, RejectsMissingEnd) {
+  std::istringstream is(".inputs a\n.outputs o\n.assign o a\n");
+  EXPECT_THROW(readNetlist(is), std::runtime_error);
+}
+
+TEST(NetlistIo, RejectsUnassignedOutput) {
+  std::istringstream is(".inputs a\n.outputs o p\n.assign o a\n.end\n");
+  EXPECT_THROW(readNetlist(is), std::runtime_error);
+}
+
+TEST(NetlistIo, RejectsUnknownDirective) {
+  std::istringstream is(".wires a\n.end\n");
+  EXPECT_THROW(readNetlist(is), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace syseco

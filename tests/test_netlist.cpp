@@ -1,0 +1,184 @@
+// Unit tests for the netlist data model: construction, rewiring, topology,
+// supports, cloning, well-formedness auditing.
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace syseco {
+namespace {
+
+Netlist makeHalfAdder() {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId sum = nl.addGate(GateType::Xor, {a, b});
+  const NetId carry = nl.addGate(GateType::And, {a, b});
+  nl.addOutput("sum", sum);
+  nl.addOutput("carry", carry);
+  return nl;
+}
+
+TEST(Netlist, BuildsWellFormedHalfAdder) {
+  Netlist nl = makeHalfAdder();
+  std::string why;
+  EXPECT_TRUE(nl.isWellFormed(&why)) << why;
+  EXPECT_EQ(nl.numInputs(), 2u);
+  EXPECT_EQ(nl.numOutputs(), 2u);
+  EXPECT_EQ(nl.countLiveGates(), 2u);
+}
+
+TEST(Netlist, EvalMatchesTruthTable) {
+  Netlist nl = makeHalfAdder();
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      const auto out = evalOnce(nl, {static_cast<std::uint8_t>(a),
+                                     static_cast<std::uint8_t>(b)});
+      EXPECT_EQ(out[0], a ^ b);
+      EXPECT_EQ(out[1], a & b);
+    }
+  }
+}
+
+TEST(Netlist, GateArityIsEnforcedInEval) {
+  // n-ary gates evaluate over all fanins.
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId c = nl.addInput("c");
+  nl.addOutput("o", nl.addGate(GateType::And, {a, b, c}));
+  EXPECT_EQ(evalOnce(nl, {1, 1, 1})[0], 1);
+  EXPECT_EQ(evalOnce(nl, {1, 0, 1})[0], 0);
+}
+
+TEST(Netlist, RewireGatePinMovesSinkBookkeeping) {
+  Netlist nl = makeHalfAdder();
+  const NetId a = nl.inputNet(0);
+  const NetId b = nl.inputNet(1);
+  // The XOR gate drives output "sum"; find it.
+  const GateId xorGate = nl.driverOf(nl.outputNet(0));
+  ASSERT_NE(xorGate, kNullId);
+  const std::size_t sinksOfABefore = nl.net(a).sinks.size();
+  nl.rewireGatePin(xorGate, 1, a);  // sum becomes XOR(a, a) = 0
+  EXPECT_TRUE(nl.isWellFormed());
+  EXPECT_EQ(nl.net(a).sinks.size(), sinksOfABefore + 1);
+  EXPECT_EQ(evalOnce(nl, {1, 1})[0], 0);
+  EXPECT_EQ(evalOnce(nl, {1, 0})[0], 0);
+  // b lost one sink.
+  EXPECT_EQ(nl.net(b).sinks.size(), 1u);
+}
+
+TEST(Netlist, RewireOutputRedrives) {
+  Netlist nl = makeHalfAdder();
+  nl.rewireOutput(0, nl.outputNet(1));  // sum := carry
+  EXPECT_TRUE(nl.isWellFormed());
+  EXPECT_EQ(evalOnce(nl, {1, 1})[0], 1);
+  EXPECT_EQ(evalOnce(nl, {1, 0})[0], 0);
+}
+
+TEST(Netlist, RewireToSameNetIsNoOp) {
+  Netlist nl = makeHalfAdder();
+  const GateId xorGate = nl.driverOf(nl.outputNet(0));
+  const NetId b = nl.inputNet(1);
+  const std::size_t before = nl.net(b).sinks.size();
+  nl.rewireGatePin(xorGate, 1, b);
+  EXPECT_EQ(nl.net(b).sinks.size(), before);
+  EXPECT_TRUE(nl.isWellFormed());
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  NetId cur = a;
+  for (int i = 0; i < 20; ++i) cur = nl.addGate(GateType::Not, {cur});
+  nl.addOutput("o", cur);
+  const auto order = nl.topoOrder();
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    // Each gate's fanin is the previous gate's output.
+    EXPECT_EQ(nl.gate(order[i]).fanins[0], nl.gate(order[i - 1]).out);
+  }
+}
+
+TEST(Netlist, SupportComputesTransitiveInputs) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId c = nl.addInput("c");
+  (void)c;
+  const NetId g = nl.addGate(GateType::And, {a, b});
+  nl.addOutput("o", g);
+  const auto sup = nl.support(g);
+  EXPECT_EQ(sup, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Netlist, SweepDeadLogicRemovesUnreachable) {
+  Netlist nl = makeHalfAdder();
+  const NetId a = nl.inputNet(0);
+  nl.addGate(GateType::Not, {a});  // dangling
+  EXPECT_EQ(nl.countLiveGates(), 3u);
+  EXPECT_EQ(nl.sweepDeadLogic(), 1u);
+  EXPECT_EQ(nl.countLiveGates(), 2u);
+  EXPECT_TRUE(nl.isWellFormed());
+}
+
+TEST(Netlist, CloneConeCopiesFunction) {
+  Netlist src = makeHalfAdder();
+  Netlist dst;
+  const NetId a = dst.addInput("a");
+  const NetId b = dst.addInput("b");
+  (void)a;
+  (void)b;
+  std::unordered_map<std::string, NetId> inputs{{"a", a}, {"b", b}};
+  std::unordered_map<NetId, NetId> cache;
+  const NetId sum = dst.cloneCone(src, src.outputNet(0), inputs, cache);
+  const NetId carry = dst.cloneCone(src, src.outputNet(1), inputs, cache);
+  dst.addOutput("sum", sum);
+  dst.addOutput("carry", carry);
+  EXPECT_TRUE(dst.isWellFormed());
+  for (int x = 0; x <= 1; ++x) {
+    for (int y = 0; y <= 1; ++y) {
+      const InputPattern p{static_cast<std::uint8_t>(x),
+                           static_cast<std::uint8_t>(y)};
+      EXPECT_EQ(evalOnce(dst, p), evalOnce(src, p));
+    }
+  }
+  // Shared cache reuses logic: 2 gates, not more.
+  EXPECT_EQ(dst.countLiveGates(), 2u);
+}
+
+TEST(Netlist, LevelsAreUnitDelay) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId n1 = nl.addGate(GateType::Not, {a});
+  const NetId n2 = nl.addGate(GateType::Not, {n1});
+  const NetId n3 = nl.addGate(GateType::And, {a, n2});
+  nl.addOutput("o", n3);
+  const auto levels = nl.netLevels();
+  EXPECT_EQ(levels[a], 0u);
+  EXPECT_EQ(levels[n1], 1u);
+  EXPECT_EQ(levels[n2], 2u);
+  EXPECT_EQ(levels[n3], 3u);
+}
+
+TEST(Netlist, FindersReturnNullForUnknownNames) {
+  Netlist nl = makeHalfAdder();
+  EXPECT_EQ(nl.findInput("nope"), kNullId);
+  EXPECT_EQ(nl.findOutput("nope"), kNullId);
+  EXPECT_EQ(nl.findInput("a"), 0u);
+  EXPECT_EQ(nl.findOutput("carry"), 1u);
+}
+
+TEST(Netlist, MuxSemantics) {
+  Netlist nl;
+  const NetId s = nl.addInput("s");
+  const NetId d0 = nl.addInput("d0");
+  const NetId d1 = nl.addInput("d1");
+  nl.addOutput("o", nl.addGate(GateType::Mux, {s, d0, d1}));
+  EXPECT_EQ(evalOnce(nl, {0, 1, 0})[0], 1);  // sel=0 -> d0
+  EXPECT_EQ(evalOnce(nl, {1, 1, 0})[0], 0);  // sel=1 -> d1
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,139 @@
+// PatchTracker tests: rewiring records, rollback, clone caching, and the
+// Table-2 attribute definitions (inputs / outputs / gates / nets).
+
+#include <gtest/gtest.h>
+
+#include "eco/patch.hpp"
+#include "sim/simulator.hpp"
+
+namespace syseco {
+namespace {
+
+/// impl: o = a AND b, plus an unrelated output p = a OR b.
+Netlist makeImpl() {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.addOutput("o", nl.addGate(GateType::And, {a, b}));
+  nl.addOutput("p", nl.addGate(GateType::Or, {a, b}));
+  return nl;
+}
+
+Netlist makeSpecXor() {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.addOutput("o", nl.addGate(GateType::Xor, {a, b}));
+  nl.addOutput("p", nl.addGate(GateType::Or, {a, b}));
+  return nl;
+}
+
+TEST(PatchTracker, RollbackRestoresDrivers) {
+  Netlist impl = makeImpl();
+  PatchTracker tracker(impl);
+  const NetId a = impl.inputNet(0);
+  const std::size_t mark = tracker.mark();
+  tracker.rewire(Sink{kNullId, 0}, a);
+  EXPECT_EQ(impl.outputNet(0), a);
+  tracker.rollback(mark);
+  EXPECT_NE(impl.outputNet(0), a);
+  EXPECT_TRUE(impl.isWellFormed());
+  // Rolled-back rewires leave no patch trace.
+  EXPECT_EQ(tracker.finalize().outputs, 0u);
+}
+
+TEST(PatchTracker, CloneCacheSharesLogic) {
+  Netlist impl = makeImpl();
+  const Netlist spec = makeSpecXor();
+  PatchTracker tracker(impl);
+  const NetId c1 = tracker.cloneSpecCone(spec, spec.outputNet(0));
+  const NetId c2 = tracker.cloneSpecCone(spec, spec.outputNet(0));
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(PatchTracker, StatsCountDefinitions) {
+  // Rewire output o to a clone of XOR(a,b): 1 patch gate, 1 patch net,
+  // 2 patch inputs (a, b), 1 patch output (the rewired PO pin).
+  Netlist impl = makeImpl();
+  const Netlist spec = makeSpecXor();
+  PatchTracker tracker(impl);
+  const NetId clone = tracker.cloneSpecCone(spec, spec.outputNet(0));
+  tracker.rewire(Sink{kNullId, 0}, clone);
+  const PatchStats stats = tracker.finalize();
+  EXPECT_EQ(stats.gates, 1u);
+  EXPECT_EQ(stats.nets, 1u);
+  EXPECT_EQ(stats.inputs, 2u);
+  EXPECT_EQ(stats.outputs, 1u);
+  EXPECT_TRUE(verifyAllOutputs(impl, spec));
+}
+
+TEST(PatchTracker, ConstantsCountAsNetsNotGates) {
+  // Tie output o to constant 0: paper-style "0 gates, 1 net" patch
+  // (Table 2 row 5's shape).
+  Netlist impl = makeImpl();
+  PatchTracker tracker(impl);
+  const NetId zero = impl.addGate(GateType::Const0, {});
+  tracker.rewire(Sink{kNullId, 0}, zero);
+  const PatchStats stats = tracker.finalize();
+  EXPECT_EQ(stats.gates, 0u);
+  EXPECT_EQ(stats.nets, 1u);
+  EXPECT_EQ(stats.inputs, 0u);
+  EXPECT_EQ(stats.outputs, 1u);
+}
+
+TEST(PatchTracker, PureRewireToExistingNetCountsAsInputAndNet) {
+  Netlist impl = makeImpl();
+  PatchTracker tracker(impl);
+  tracker.rewire(Sink{kNullId, 0}, impl.outputNet(1));  // o := p's net
+  const PatchStats stats = tracker.finalize();
+  EXPECT_EQ(stats.gates, 0u);
+  EXPECT_EQ(stats.nets, 1u);
+  EXPECT_EQ(stats.inputs, 1u);
+  EXPECT_EQ(stats.outputs, 1u);
+}
+
+TEST(PatchTracker, RewiringBackCancelsTheRecord) {
+  Netlist impl = makeImpl();
+  PatchTracker tracker(impl);
+  const NetId original = impl.outputNet(0);
+  tracker.rewire(Sink{kNullId, 0}, impl.inputNet(0));
+  tracker.rewire(Sink{kNullId, 0}, original);
+  const PatchStats stats = tracker.finalize();
+  EXPECT_EQ(stats.outputs, 0u);
+  EXPECT_EQ(stats.nets, 0u);
+}
+
+TEST(PatchTracker, InternalPinRewiresOfAddedGatesAreNotPatchOutputs) {
+  Netlist impl = makeImpl();
+  const Netlist spec = makeSpecXor();
+  PatchTracker tracker(impl);
+  const NetId clone = tracker.cloneSpecCone(spec, spec.outputNet(0));
+  tracker.rewire(Sink{kNullId, 0}, clone);
+  // Simulate a sweeping merge: rewire the added XOR gate's pin 0 to b.
+  const GateId cloneGate = impl.driverOf(clone);
+  tracker.rewire(Sink{cloneGate, 0}, impl.inputNet(1));
+  const PatchStats stats = tracker.finalize();
+  EXPECT_EQ(stats.outputs, 1u);  // only the PO pin counts
+}
+
+TEST(PatchTracker, DeadCloneFragmentsAreSweptFromStats) {
+  Netlist impl = makeImpl();
+  const Netlist spec = makeSpecXor();
+  PatchTracker tracker(impl);
+  // Clone but never connect: finalize must sweep it away.
+  tracker.cloneSpecCone(spec, spec.outputNet(0));
+  const PatchStats stats = tracker.finalize();
+  EXPECT_EQ(stats.gates, 0u);
+  EXPECT_EQ(stats.nets, 0u);
+  EXPECT_EQ(stats.inputs, 0u);
+}
+
+TEST(VerifyAllOutputs, DetectsResidualDifference) {
+  const Netlist impl = makeImpl();
+  const Netlist spec = makeSpecXor();
+  EXPECT_FALSE(verifyAllOutputs(impl, spec));
+  EXPECT_TRUE(verifyAllOutputs(impl, impl));
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,134 @@
+// Paper-construct tests for §4.2: the parameterized pin-selection mux of
+// Figure 2 and the feasible-point-set characteristic function H(t) of
+// Example 1, built explicitly with the BDD package in the *exact* domain
+// (no sampling) so the expected result is known in closed form.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+
+namespace syseco {
+namespace {
+
+// Variable layout for the Example-1 instance with n = 2 word bits:
+//   x: a0 a1 b0 b1 p q   (inputs; v(0) currently p, v(1) currently q)
+//   y: y1 y2             (rectification-point free inputs)
+//   t: t1 (2 bits), t2 (2 bits) - selection among pins q0..q3,
+//      where q0/q1 are the v(0) pins of bits 0/1 and q2/q3 the v(1) pins.
+struct Example1 {
+  Bdd mgr{12};
+  // Indices.
+  std::uint32_t a0 = 0, a1 = 1, b0 = 2, b1 = 3, p = 4, q = 5;
+  std::uint32_t y1 = 6, y2 = 7;
+  std::vector<std::uint32_t> t1{8, 9};
+  std::vector<std::uint32_t> t2{10, 11};
+
+  Bdd::Ref var(std::uint32_t v) { return mgr.var(v); }
+
+  /// t_i^j minterms (paper's big-endian v^j code).
+  Bdd::Ref t1j(std::uint32_t j) { return mgr.mintermOf(j, t1); }
+  Bdd::Ref t2j(std::uint32_t j) { return mgr.mintermOf(j, t2); }
+
+  /// Figure 2's construct for pin j with value `base`:
+  /// sel = t1^j | t2^j, data1 = (t1^j -> y1) & (t2^j -> y2).
+  Bdd::Ref pinMux(std::uint32_t j, Bdd::Ref base) {
+    const Bdd::Ref sel = mgr.bOr(t1j(j), t2j(j));
+    const Bdd::Ref data1 = mgr.bAnd(mgr.bImp(t1j(j), var(y1)),
+                                    mgr.bImp(t2j(j), var(y2)));
+    return mgr.ite(sel, data1, base);
+  }
+
+  /// Parameterized composition function of output w_k (k = 0 or 1):
+  /// h = (a_k & pin(q_k)) | (b_k & pin(q_{2+k})), pins currently p / q.
+  Bdd::Ref h(std::uint32_t k) {
+    const Bdd::Ref ak = var(k == 0 ? a0 : a1);
+    const Bdd::Ref bk = var(k == 0 ? b0 : b1);
+    return mgr.bOr(mgr.bAnd(ak, pinMux(k, var(p))),
+                   mgr.bAnd(bk, pinMux(2 + k, var(q))));
+  }
+
+  /// Revised specification: w_k' = (a_k & c) | (b_k & !c), c = p & q.
+  Bdd::Ref fPrime(std::uint32_t k) {
+    const Bdd::Ref c = mgr.bAnd(var(p), var(q));
+    const Bdd::Ref ak = var(k == 0 ? a0 : a1);
+    const Bdd::Ref bk = var(k == 0 ? b0 : b1);
+    return mgr.bOr(mgr.bAnd(ak, c), mgr.bAnd(bk, mgr.bNot(c)));
+  }
+
+  /// H(t) = forall x exists y (h == f') - Eq. (2), exact domain.
+  Bdd::Ref H(std::uint32_t k) {
+    const Bdd::Ref equal = mgr.bXnor(h(k), fPrime(k));
+    const Bdd::Ref inner = mgr.exists(equal, {y1, y2});
+    return mgr.forall(inner, {a0, a1, b0, b1, p, q});
+  }
+};
+
+TEST(PointSets, MintermEncodingMatchesFigure2) {
+  // Figure 2: t_i^2 = !t_i0 & t_i1 encodes choosing pin q2.
+  Example1 ex;
+  EXPECT_EQ(ex.t1j(2),
+            ex.mgr.bAnd(ex.mgr.var(8), ex.mgr.nvar(9)));
+}
+
+TEST(PointSets, UnselectedPinKeepsOriginalNet) {
+  // With t1 = t2 = 3 (pin q3), pin q0's mux must pass its base value.
+  Example1 ex;
+  const Bdd::Ref muxed = ex.pinMux(0, ex.var(ex.p));
+  // Cofactor the selectors to the q3 code: 11 for both groups.
+  Bdd::Ref r = muxed;
+  for (std::uint32_t v : {8u, 9u, 10u, 11u}) r = ex.mgr.cofactor(r, v, true);
+  EXPECT_EQ(r, ex.var(ex.p));
+}
+
+TEST(PointSets, SelectedPinBecomesFreeInput) {
+  // With t1 = 0, pin q0's mux value under that selection is y1 (for any t2
+  // not selecting q0).
+  Example1 ex;
+  Bdd::Ref r = ex.pinMux(0, ex.var(ex.p));
+  // t1 = 00 selects q0; t2 = 11 selects q3.
+  r = ex.mgr.cofactor(r, 8, false);
+  r = ex.mgr.cofactor(r, 9, false);
+  r = ex.mgr.cofactor(r, 10, true);
+  r = ex.mgr.cofactor(r, 11, true);
+  EXPECT_EQ(r, ex.var(ex.y1));
+}
+
+TEST(PointSets, Example1CharacteristicFunction) {
+  // Paper Example 1 (n = 2, m = 2): for output w_k,
+  //   H_k(t1, t2) = t1^k t2^{2+k}  |  t1^{2+k} t2^k.
+  for (std::uint32_t k = 0; k <= 1; ++k) {
+    Example1 ex;
+    const Bdd::Ref expected =
+        ex.mgr.bOr(ex.mgr.bAnd(ex.t1j(k), ex.t2j(2 + k)),
+                   ex.mgr.bAnd(ex.t1j(2 + k), ex.t2j(k)));
+    EXPECT_EQ(ex.H(k), expected) << "output w_" << k;
+  }
+}
+
+TEST(PointSets, MergedSelectionCannotRectify) {
+  // Selecting the same pin with both points merges them (one free input),
+  // which is insufficient here: H must exclude t1 == t2.
+  Example1 ex;
+  const Bdd::Ref H = ex.H(0);
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(ex.mgr.bAnd(H, ex.mgr.bAnd(ex.t1j(j), ex.t2j(j))), Bdd::kFalse);
+  }
+}
+
+TEST(PointSets, WrongBitPinsCannotRectify) {
+  // Pins of word bit 1 cannot rectify output w_0.
+  Example1 ex;
+  const Bdd::Ref H = ex.H(0);
+  EXPECT_EQ(ex.mgr.bAnd(H, ex.mgr.bAnd(ex.t1j(1), ex.t2j(3))), Bdd::kFalse);
+}
+
+TEST(PointSets, SatCountAgreesWithClosedForm) {
+  // H_0 has exactly two satisfying t assignments.
+  Example1 ex;
+  // Abstract away the 8 non-t variables first.
+  Bdd::Ref H = ex.H(0);
+  EXPECT_DOUBLE_EQ(ex.mgr.satCount(H) / 256.0, 2.0);  // 2^8 non-t vars
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,80 @@
+// RNG determinism and distribution sanity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace syseco {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+    const auto v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 8> hist{};
+  for (int i = 0; i < 80000; ++i) ++hist[rng.below(8)];
+  for (int count : hist) {
+    EXPECT_GT(count, 9000);
+    EXPECT_LT(count, 11000);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c1.next() == c2.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  bool sawNonZero = false;
+  for (int i = 0; i < 8; ++i) sawNonZero |= (rng.next() != 0);
+  EXPECT_TRUE(sawNonZero);
+}
+
+TEST(FormatHms, TableTwoStyle) {
+  EXPECT_EQ(formatHms(0.0), "00:00:00.00");
+  EXPECT_EQ(formatHms(39.0), "00:00:39.00");
+  EXPECT_EQ(formatHms(3600 + 20 * 60 + 9), "01:20:09");
+  EXPECT_EQ(formatHms(12 * 60 + 6), "00:12:06");
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,136 @@
+// Symbolic-sampling domain tests (paper §5.1): the signature -> BDD bridge,
+// error masks, sample translation, and the central soundness property that
+// sampling yields a superset of exact answers.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "eco/sampling.hpp"
+#include "gen/spec_builder.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+TEST(SampleSet, PaddingAndZVarCounts) {
+  SampleSet s;
+  s.add({1});
+  EXPECT_EQ(s.numZVars(), 1u);
+  EXPECT_EQ(s.paddedCount(), 2u);
+  s.add({0});
+  s.add({1});
+  EXPECT_EQ(s.numZVars(), 2u);
+  EXPECT_EQ(s.paddedCount(), 4u);
+  for (int k = 0; k < 70; ++k) s.add({0});
+  EXPECT_EQ(s.count(), 73u);
+  EXPECT_EQ(s.numZVars(), 7u);
+  EXPECT_EQ(s.paddedCount(), 128u);
+  EXPECT_EQ(s.simWords(), 2u);
+}
+
+TEST(Sampling, SampledBddMatchesSignature) {
+  // The sampling-domain function of a net over z must evaluate, on the
+  // binary code of each sample index, to the net's simulated value.
+  Rng rng(6);
+  SpecCircuit sc = buildSpec(SpecParams{2, 4, 2, 2, 4, 3, 2, 2}, rng);
+  const Netlist& nl = sc.netlist;
+
+  SampleSet samples;
+  for (int k = 0; k < 13; ++k) {
+    InputPattern p(nl.numInputs());
+    for (auto& bit : p) bit = rng.flip() ? 1 : 0;
+    samples.add(std::move(p));
+  }
+  Rng fill(1);
+  Simulator sim = simulateOnSamples(nl, nl, samples, fill);
+
+  const std::uint32_t nz = samples.numZVars();
+  Bdd mgr(nz);
+  std::vector<std::uint32_t> zVars(nz);
+  for (std::uint32_t i = 0; i < nz; ++i) zVars[i] = i;
+
+  for (std::uint32_t o = 0; o < nl.numOutputs(); ++o) {
+    const Bdd::Ref f = mgr.fromTruthTable(sim.outputValue(o), zVars);
+    for (std::size_t k = 0; k < samples.count(); ++k) {
+      std::vector<std::uint8_t> assignment(nz, 0);
+      for (std::uint32_t j = 0; j < nz; ++j)
+        assignment[j] = (k >> j) & 1;  // little-endian index encoding
+      EXPECT_EQ(mgr.eval(f, assignment), sim.bit(nl.outputNet(o), k))
+          << "output " << o << " sample " << k;
+    }
+  }
+}
+
+TEST(Sampling, ErrorMaskIgnoresPadding) {
+  SampleSet samples;
+  for (int k = 0; k < 5; ++k) samples.add({1});
+  // Signatures that differ everywhere: only the 5 genuine samples count.
+  const Signature a(samples.simWords(), ~0ULL);
+  const Signature b(samples.simWords(), 0);
+  const auto mask = errorMask(a, b, samples);
+  EXPECT_EQ(countBits(mask), 5u);
+}
+
+TEST(Sampling, TranslationMatchesByLabelNotIndex) {
+  // Two netlists with the same labels in different orders must receive the
+  // same per-label values.
+  Netlist a;
+  const NetId ax = a.addInput("x");
+  const NetId ay = a.addInput("y");
+  a.addOutput("o", a.addGate(GateType::And, {ax, ay}));
+  Netlist b;
+  const NetId by = b.addInput("y");  // swapped order
+  const NetId bx = b.addInput("x");
+  b.addOutput("o", b.addGate(GateType::And, {bx, by}));
+
+  SampleSet samples;
+  samples.add({1, 0});  // x=1, y=0 in a's ordering
+  samples.add({0, 1});
+  Rng fill(9);
+  Simulator simA = simulateOnSamples(a, a, samples, fill);
+  Simulator simB = simulateOnSamples(b, a, samples, fill);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(simA.bit(ax, k), simB.bit(bx, k));
+    EXPECT_EQ(simA.bit(ay, k), simB.bit(by, k));
+    EXPECT_EQ(simA.bit(a.outputNet(0), k), simB.bit(b.outputNet(0), k));
+  }
+}
+
+TEST(Sampling, DomainAnswersAreSupersetOfExact) {
+  // Soundness direction of §5.1: any y-substitution that works for ALL
+  // inputs also works on every sampled subset. Build f(x) = x0 XOR x1 and
+  // a "pin" y replacing x1: exact feasibility of r(x) = NOT x1 for
+  // changing f to XNOR must imply sampled feasibility.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random 3-input functions f (impl with pin) and f' (target).
+    const std::uint64_t implTT = rng.next() & 0xFFFF;   // over (x0,x1,x2,y)
+    const std::uint64_t specTT = rng.next() & 0xFF;     // over (x0,x1,x2)
+    const std::uint64_t rTT = rng.next() & 0xFF;        // candidate r(x)
+
+    auto implAt = [&](unsigned x, bool y) {
+      return ((implTT >> (x | (y ? 8u : 0u))) & 1) != 0;
+    };
+    auto specAt = [&](unsigned x) { return ((specTT >> x) & 1) != 0; };
+    auto rAt = [&](unsigned x) { return ((rTT >> x) & 1) != 0; };
+
+    // Exact feasibility of r.
+    bool exact = true;
+    for (unsigned x = 0; x < 8; ++x)
+      exact &= implAt(x, rAt(x)) == specAt(x);
+
+    // Sampled feasibility over a random subset of assignments.
+    bool sampled = true;
+    for (unsigned x = 0; x < 8; ++x) {
+      if (!rng.flip()) continue;  // not sampled
+      sampled &= implAt(x, rAt(x)) == specAt(x);
+    }
+    if (exact) {
+      EXPECT_TRUE(sampled);  // superset property
+    }
+  }
+}
+
+}  // namespace
+}  // namespace syseco

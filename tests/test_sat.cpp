@@ -1,0 +1,186 @@
+// Unit and property tests for the CDCL SAT solver, including randomized
+// cross-checking against brute-force enumeration.
+
+#include <gtest/gtest.h>
+
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v, false); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+TEST(Sat, TrivialSatAndModel) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  ASSERT_TRUE(s.addClause(pos(a)));
+  ASSERT_TRUE(s.addClause(neg(b)));
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(s.modelValue(a));
+  EXPECT_FALSE(s.modelValue(b));
+}
+
+TEST(Sat, UnitConflictIsUnsat) {
+  Solver s;
+  const Var a = s.newVar();
+  ASSERT_TRUE(s.addClause(pos(a)));
+  EXPECT_FALSE(s.addClause(neg(a)));
+  EXPECT_EQ(s.solve(), Solver::Result::Unsat);
+}
+
+TEST(Sat, PigeonHole3Into2IsUnsat) {
+  // PHP(3,2): 3 pigeons, 2 holes.
+  Solver s;
+  Var x[3][2];
+  for (auto& row : x)
+    for (auto& v : row) v = s.newVar();
+  for (int p = 0; p < 3; ++p) s.addClause(pos(x[p][0]), pos(x[p][1]));
+  for (int h = 0; h < 2; ++h)
+    for (int p1 = 0; p1 < 3; ++p1)
+      for (int p2 = p1 + 1; p2 < 3; ++p2)
+        s.addClause(neg(x[p1][h]), neg(x[p2][h]));
+  EXPECT_EQ(s.solve(), Solver::Result::Unsat);
+}
+
+TEST(Sat, PigeonHole5Into4IsUnsat) {
+  Solver s;
+  std::vector<std::vector<Var>> x(5, std::vector<Var>(4));
+  for (auto& row : x)
+    for (auto& v : row) v = s.newVar();
+  for (int p = 0; p < 5; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < 4; ++h) c.push_back(pos(x[p][h]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < 4; ++h)
+    for (int p1 = 0; p1 < 5; ++p1)
+      for (int p2 = p1 + 1; p2 < 5; ++p2)
+        s.addClause(neg(x[p1][h]), neg(x[p2][h]));
+  EXPECT_EQ(s.solve(), Solver::Result::Unsat);
+}
+
+TEST(Sat, AssumptionsSelectModels) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  s.addClause(pos(a), pos(b));  // a or b
+  EXPECT_EQ(s.solve({neg(a)}), Solver::Result::Sat);
+  EXPECT_TRUE(s.modelValue(b));
+  EXPECT_EQ(s.solve({neg(b)}), Solver::Result::Sat);
+  EXPECT_TRUE(s.modelValue(a));
+  EXPECT_EQ(s.solve({neg(a), neg(b)}), Solver::Result::Unsat);
+  // Solver stays usable incrementally after Unsat-under-assumptions.
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+  // A hard instance (PHP 8/7) with a tiny budget must give up cleanly.
+  Solver s;
+  std::vector<std::vector<Var>> x(8, std::vector<Var>(7));
+  for (auto& row : x)
+    for (auto& v : row) v = s.newVar();
+  for (int p = 0; p < 8; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < 7; ++h) c.push_back(pos(x[p][h]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < 7; ++h)
+    for (int p1 = 0; p1 < 8; ++p1)
+      for (int p2 = p1 + 1; p2 < 8; ++p2)
+        s.addClause(neg(x[p1][h]), neg(x[p2][h]));
+  EXPECT_EQ(s.solve({}, 5), Solver::Result::Unknown);
+}
+
+TEST(Sat, DuplicateAndTautologicalClausesAreHandled) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({pos(a), neg(a)}));  // tautology: dropped
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+}
+
+/// Brute-force evaluation of a CNF.
+bool bruteForceSat(const std::vector<std::vector<Lit>>& cnf, int numVars,
+                   std::uint64_t* modelOut = nullptr) {
+  for (std::uint64_t m = 0; m < (1ULL << numVars); ++m) {
+    bool all = true;
+    for (const auto& clause : cnf) {
+      bool any = false;
+      for (const Lit& l : clause) {
+        const bool val = (m >> l.var()) & 1;
+        if (val != l.sign()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      if (modelOut) *modelOut = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+class SatRandomCnf : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatRandomCnf, AgreesWithBruteForce) {
+  // Random 3-SAT near the phase transition, cross-checked exhaustively.
+  Rng rng(GetParam());
+  const int numVars = 10;
+  const int numClauses = 42;
+  std::vector<std::vector<Lit>> cnf;
+  Solver s;
+  for (int v = 0; v < numVars; ++v) s.newVar();
+  bool ok = true;
+  for (int c = 0; c < numClauses; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      const Var v = static_cast<Var>(rng.below(numVars));
+      clause.push_back(Lit::make(v, rng.flip()));
+    }
+    cnf.push_back(clause);
+    ok = s.addClause(clause) && ok;
+  }
+  const bool expected = bruteForceSat(cnf, numVars);
+  const Solver::Result got = ok ? s.solve() : Solver::Result::Unsat;
+  EXPECT_EQ(got == Solver::Result::Sat, expected);
+  if (got == Solver::Result::Sat) {
+    // The model must satisfy every clause.
+    for (const auto& clause : cnf) {
+      bool any = false;
+      for (const Lit& l : clause)
+        any |= (s.modelValue(l.var()) != l.sign());
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomCnf,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(Sat, LargeRandomSatisfiableChain) {
+  // Implication chain: x0 -> x1 -> ... -> x999; assuming x0 forces all.
+  Solver s;
+  std::vector<Var> x(1000);
+  for (auto& v : x) v = s.newVar();
+  for (std::size_t i = 0; i + 1 < x.size(); ++i)
+    s.addClause(neg(x[i]), pos(x[i + 1]));
+  EXPECT_EQ(s.solve({pos(x[0])}), Solver::Result::Sat);
+  for (const Var v : x) EXPECT_TRUE(s.modelValue(v));
+  // Now forbid the last one: chain is contradictory under x0.
+  s.addClause(neg(x.back()));
+  EXPECT_EQ(s.solve({pos(x[0])}), Solver::Result::Unsat);
+  EXPECT_EQ(s.solve({neg(x[0])}), Solver::Result::Sat);
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,102 @@
+// Failed-assumption cores (analyzeFinal) and SAT sweeping.
+
+#include <gtest/gtest.h>
+
+#include "cnf/encode.hpp"
+#include "gen/eco_case.hpp"
+#include "opt/passes.hpp"
+#include "sat/solver.hpp"
+
+namespace syseco {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v, false); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+TEST(SolverCore, FailedAssumptionsContainTheCulprits) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  const Var c = s.newVar();
+  const Var unused = s.newVar();
+  s.addClause(neg(a), neg(b));  // a & b impossible
+  ASSERT_EQ(s.solve({pos(a), pos(b), pos(c), pos(unused)}),
+            Solver::Result::Unsat);
+  const auto& core = s.failedAssumptions();
+  ASSERT_FALSE(core.empty());
+  // Core must only mention a and b (c and `unused` are irrelevant).
+  for (const Lit& l : core) {
+    EXPECT_TRUE(l.var() == a || l.var() == b)
+        << "irrelevant var in core: " << l.var();
+  }
+}
+
+TEST(SolverCore, CoreEmptyOnUnconditionalUnsat) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  s.addClause(pos(a));
+  s.addClause(neg(a));
+  EXPECT_EQ(s.solve({pos(b)}), Solver::Result::Unsat);
+  EXPECT_TRUE(s.failedAssumptions().empty());
+}
+
+TEST(SolverCore, CoreIsActuallyUnsat) {
+  // Re-solving with only the core assumptions must stay Unsat.
+  Solver s;
+  std::vector<Var> x;
+  for (int i = 0; i < 8; ++i) x.push_back(s.newVar());
+  // Chain x0 -> x1 -> ... -> x5, and a clause blocking x5 with x6.
+  for (int i = 0; i < 5; ++i) s.addClause(neg(x[i]), pos(x[i + 1]));
+  s.addClause(neg(x[5]), neg(x[6]));
+  std::vector<Lit> assumptions{pos(x[0]), pos(x[6]), pos(x[7])};
+  ASSERT_EQ(s.solve(assumptions), Solver::Result::Unsat);
+  const auto core = s.failedAssumptions();
+  ASSERT_FALSE(core.empty());
+  std::vector<Lit> coreOnly;
+  for (const Lit& l : core) coreOnly.push_back(l);
+  EXPECT_EQ(s.solve(coreOnly), Solver::Result::Unsat);
+  // x7 must not be needed.
+  for (const Lit& l : core) EXPECT_NE(l.var(), x[7]);
+}
+
+TEST(SatSweeping, SweptAndPlainAgree) {
+  // The swept solve must give identical verdicts to the plain one, on both
+  // equivalent and differing output pairs of a realistic case.
+  CaseRecipe r;
+  r.name = "sweep";
+  r.spec = SpecParams{3, 6, 3, 2, 5, 4, 3, 3};
+  r.mutations = 1;
+  r.targetRevisedFraction = 0.3;
+  r.optRounds = 2;
+  r.seed = 321;
+  const EcoCase c = makeCase(r);
+  PairEncoding plain(c.impl, c.spec);
+  PairEncoding swept(c.impl, c.spec);
+  Rng rng(9);
+  for (std::uint32_t o = 0; o < c.impl.numOutputs(); ++o) {
+    const std::uint32_t op = c.spec.findOutput(c.impl.outputName(o));
+    if (op == kNullId) continue;
+    EXPECT_EQ(plain.solveDiff(o, op), swept.solveDiffSwept(o, op, -1, rng))
+        << "output " << o;
+  }
+}
+
+TEST(SatSweeping, ProvenEquivalencesSpeedUpIdenticalFunctions) {
+  // A restructured twin: every output is equivalent; sweeping must prove
+  // them all Unsat (this also exercises complement-equivalence pinning).
+  Rng grng(77);
+  SpecCircuit sc = buildSpec(SpecParams{2, 6, 3, 2, 5, 4, 2, 3}, grng);
+  const Netlist spec = lightSynth(sc.netlist);
+  const Netlist impl = heavyOptimize(sc.netlist, grng, 2);
+  PairEncoding pe(impl, spec);
+  Rng rng(5);
+  for (std::uint32_t o = 0; o < impl.numOutputs(); ++o) {
+    const std::uint32_t op = spec.findOutput(impl.outputName(o));
+    ASSERT_NE(op, kNullId);
+    EXPECT_EQ(pe.solveDiffSwept(o, op, -1, rng), Solver::Result::Unsat);
+  }
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,143 @@
+// Theorem 1 (paper §4.4) and Example 2 tests.
+//
+// Theorem 1: r rectifies the implementation at an output iff the
+// composition function h(x,y) satisfies L => h and h => U, with
+// L = f' & R, U = f' | !R, R = AND_i (y_i == r_i(x)).
+//
+// We verify the theorem itself by randomized cross-checking against the
+// direct definition (substitute r into h and compare with f'), and the
+// concrete Example 2 instance.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+TEST(Theorem1, AgreesWithDirectSubstitutionRandomized) {
+  Rng rng(21);
+  // Variables: x0..x2 (inputs), y0..y1 (rectification points).
+  const std::uint32_t numX = 3, numY = 2;
+  for (int trial = 0; trial < 200; ++trial) {
+    Bdd mgr(numX + numY);
+    std::vector<std::uint32_t> xVars{0, 1, 2};
+    std::vector<std::uint32_t> yVars{3, 4};
+
+    // Random h(x, y) over all 5 variables, random f'(x), random r_i(x).
+    const auto randomOver = [&](const std::vector<std::uint32_t>& vars) {
+      std::vector<std::uint64_t> bits{rng.next()};
+      return mgr.fromTruthTable(
+          std::vector<std::uint64_t>{bits[0] &
+                                     ((1ULL << (1u << vars.size())) - 1)},
+          vars);
+    };
+    const Bdd::Ref h = randomOver({0, 1, 2, 3, 4});
+    const Bdd::Ref fPrime = randomOver(xVars);
+    const Bdd::Ref r0 = randomOver(xVars);
+    const Bdd::Ref r1 = randomOver(xVars);
+
+    // Direct check: h(x, r(x)) == f'(x) for all x. Compose by
+    // constraining y and quantifying: exists y (R & h) == h(x, r(x)).
+    const Bdd::Ref R = mgr.bAnd(mgr.bXnor(mgr.var(3), r0),
+                                mgr.bXnor(mgr.var(4), r1));
+    const Bdd::Ref composed = mgr.exists(mgr.bAnd(R, h), yVars);
+    const bool direct = composed == fPrime;
+
+    // Theorem 1 check.
+    const Bdd::Ref L = mgr.bAnd(fPrime, R);
+    const Bdd::Ref U = mgr.bOr(fPrime, mgr.bNot(R));
+    const bool viaTheorem =
+        mgr.bAnd(mgr.bImp(L, h), mgr.bImp(h, U)) == Bdd::kTrue;
+
+    EXPECT_EQ(direct, viaTheorem) << "trial " << trial;
+  }
+}
+
+// Example 2 instance (n = 2 word bits, output w_0).
+// Variables: a0 b0 p q | y1 y2 | c1 (2 bits) c2 (2 bits).
+struct Example2 {
+  Bdd mgr{10};
+  std::uint32_t a0 = 0, b0 = 1, p = 2, q = 3;
+  std::uint32_t y1 = 4, y2 = 5;
+  std::vector<std::uint32_t> c1{6, 7};
+  std::vector<std::uint32_t> c2{8, 9};
+
+  Bdd::Ref var(std::uint32_t v) { return mgr.var(v); }
+  Bdd::Ref c1j(std::uint32_t j) { return mgr.mintermOf(j, c1); }
+  Bdd::Ref c2j(std::uint32_t j) { return mgr.mintermOf(j, c2); }
+
+  /// h(x, y) with both pins free: (a0 & y1) | (b0 & y2).
+  Bdd::Ref h() {
+    return mgr.bOr(mgr.bAnd(var(a0), var(y1)), mgr.bAnd(var(b0), var(y2)));
+  }
+  Bdd::Ref c() { return mgr.bAnd(var(p), var(q)); }
+  Bdd::Ref fPrime() {
+    return mgr.bOr(mgr.bAnd(var(a0), c()),
+                   mgr.bAnd(var(b0), mgr.bNot(c())));
+  }
+
+  /// R(x, y, c): S1 = (v(0)=p, c, !c) for y1; S2 = (v(1)=q, c, !c) for y2.
+  Bdd::Ref R() {
+    auto constrain = [&](std::uint32_t y, auto cj, Bdd::Ref r0, Bdd::Ref r1,
+                         Bdd::Ref r2) {
+      Bdd::Ref acc = mgr.bImp(cj(0), mgr.bXnor(var(y), r0));
+      acc = mgr.bAnd(acc, mgr.bImp(cj(1), mgr.bXnor(var(y), r1)));
+      acc = mgr.bAnd(acc, mgr.bImp(cj(2), mgr.bXnor(var(y), r2)));
+      return acc;
+    };
+    const Bdd::Ref rc = c();
+    const Bdd::Ref rnc = mgr.bNot(c());
+    return mgr.bAnd(
+        constrain(y1, [&](std::uint32_t j) { return c1j(j); }, var(p), rc,
+                  rnc),
+        constrain(y2, [&](std::uint32_t j) { return c2j(j); }, var(q), rc,
+                  rnc));
+  }
+
+  /// Xi(c) = forall x,y ((L -> h) & (h -> U)).
+  Bdd::Ref Xi() {
+    const Bdd::Ref L = mgr.bAnd(fPrime(), R());
+    const Bdd::Ref U = mgr.bOr(fPrime(), mgr.bNot(R()));
+    const Bdd::Ref F = mgr.bAnd(mgr.bImp(L, h()), mgr.bImp(h(), U));
+    return mgr.forall(F, {a0, b0, p, q, y1, y2});
+  }
+};
+
+TEST(Theorem1, Example2ValidRewiringIsAccepted) {
+  // The rewiring R = q_k/c, q_{n+k}/!c (c1 = 1, c2 = 2) rectifies w_0.
+  Example2 ex;
+  const Bdd::Ref xi = ex.Xi();
+  EXPECT_NE(ex.mgr.bAnd(xi, ex.mgr.bAnd(ex.c1j(1), ex.c2j(2))), Bdd::kFalse);
+}
+
+TEST(Theorem1, Example2InvalidRewiringsAreRejected) {
+  Example2 ex;
+  const Bdd::Ref xi = ex.Xi();
+  // Keeping either original net cannot rectify.
+  EXPECT_EQ(ex.mgr.bAnd(xi, ex.mgr.bAnd(ex.c1j(0), ex.c2j(2))), Bdd::kFalse);
+  EXPECT_EQ(ex.mgr.bAnd(xi, ex.mgr.bAnd(ex.c1j(1), ex.c2j(0))), Bdd::kFalse);
+  // Swapping the polarities is wrong.
+  EXPECT_EQ(ex.mgr.bAnd(xi, ex.mgr.bAnd(ex.c1j(2), ex.c2j(1))), Bdd::kFalse);
+}
+
+TEST(Theorem1, Example2SolutionIsExactlyTheConjunction) {
+  // The paper's Example 2 prints Xi_k = c1^1 OR c2^2; the semantics of
+  // Theorem 1 require BOTH selections (an OR would claim that picking c for
+  // q_k alone rectifies regardless of q_{n+k}, which fails for
+  // a_k=0, b_k=1). We reproduce the conjunction and flag the OR as an
+  // apparent typo in the paper (see EXPERIMENTS.md).
+  Example2 ex;
+  const Bdd::Ref valid = [&] {
+    // Restrict to well-formed selections (c_i in {0,1,2}).
+    Bdd::Ref v1 = ex.mgr.bOr(ex.c1j(0), ex.mgr.bOr(ex.c1j(1), ex.c1j(2)));
+    Bdd::Ref v2 = ex.mgr.bOr(ex.c2j(0), ex.mgr.bOr(ex.c2j(1), ex.c2j(2)));
+    return ex.mgr.bAnd(v1, v2);
+  }();
+  const Bdd::Ref xi = ex.mgr.bAnd(ex.Xi(), valid);
+  EXPECT_EQ(xi, ex.mgr.bAnd(ex.c1j(1), ex.c2j(2)));
+}
+
+}  // namespace
+}  // namespace syseco

@@ -1,0 +1,100 @@
+// Unit-delay timing model tests.
+
+#include <gtest/gtest.h>
+
+#include "timing/timing.hpp"
+
+namespace syseco {
+namespace {
+
+Netlist chain(int depth) {
+  Netlist nl;
+  NetId cur = nl.addInput("a");
+  for (int i = 0; i < depth; ++i) cur = nl.addGate(GateType::Not, {cur});
+  nl.addOutput("o", cur);
+  return nl;
+}
+
+TEST(Timing, DepthOfChain) {
+  EXPECT_EQ(circuitDepth(chain(0)), 0u);
+  EXPECT_EQ(circuitDepth(chain(7)), 7u);
+}
+
+TEST(Timing, DepthTakesWorstOutput) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  NetId cur = a;
+  for (int i = 0; i < 5; ++i) cur = nl.addGate(GateType::Not, {cur});
+  nl.addOutput("deep", cur);
+  nl.addOutput("shallow", nl.addGate(GateType::Not, {a}));
+  EXPECT_EQ(circuitDepth(nl), 5u);
+}
+
+TEST(Timing, SlackIsRequiredMinusArrival) {
+  const Netlist nl = chain(4);
+  EXPECT_DOUBLE_EQ(worstSlackPs(nl, 100.0), 100.0 - 40.0);
+  EXPECT_DOUBLE_EQ(worstSlackPs(nl, 30.0), -10.0);
+}
+
+TEST(Timing, DefaultRequiredLeavesMargin) {
+  const Netlist nl = chain(6);
+  const double required = defaultRequiredPs(nl);
+  EXPECT_GT(worstSlackPs(nl, required), 0.0);
+  EXPECT_LE(worstSlackPs(nl, required), kPsPerLevel + 1e-9);
+}
+
+TEST(Timing, PerOutputRequiredClosesEveryPath) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  NetId cur = a;
+  for (int i = 0; i < 5; ++i) cur = nl.addGate(GateType::Not, {cur});
+  nl.addOutput("deep", cur);
+  nl.addOutput("shallow", nl.addGate(GateType::Not, {a}));
+  const auto required = outputRequiredPs(nl);
+  ASSERT_EQ(required.size(), 2u);
+  // Each output individually closed with one level of margin.
+  EXPECT_DOUBLE_EQ(required[0], 60.0);
+  EXPECT_DOUBLE_EQ(required[1], 20.0);
+  EXPECT_DOUBLE_EQ(worstSlackPs(nl, required), 10.0);
+}
+
+TEST(Timing, ArityAwareLevels) {
+  // An 8-input AND stands for a 3-deep tree of 2-input cells.
+  Netlist nl;
+  std::vector<NetId> ins;
+  for (int i = 0; i < 8; ++i)
+    ins.push_back(nl.addInput("i" + std::to_string(i)));
+  nl.addOutput("o", nl.addGate(GateType::And, ins));
+  EXPECT_EQ(circuitDepth(nl), 3u);
+}
+
+TEST(Timing, EcoPenaltyChargesOnlyPatchGates) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.addOutput("o", nl.addGate(GateType::And, {a, b}));
+  const auto required = outputRequiredPs(nl);
+  const std::size_t firstEco = nl.numGatesTotal();
+  // Unpatched: the margin survives even under the penalty accounting.
+  EXPECT_DOUBLE_EQ(worstSlackPsWithEcoPenalty(nl, required, firstEco), 10.0);
+  // Splice one ECO gate in front of the output: costs 1 + 2 extra levels.
+  const NetId fix = nl.addGate(GateType::Not, {nl.outputNet(0)});
+  nl.rewireOutput(0, fix);
+  EXPECT_DOUBLE_EQ(worstSlackPsWithEcoPenalty(nl, required, firstEco),
+                   10.0 - 3 * kPsPerLevel);
+}
+
+TEST(Timing, DeepeningLogicDegradesSlack) {
+  Netlist nl = chain(4);
+  const double required = defaultRequiredPs(nl);
+  const double before = worstSlackPs(nl, required);
+  // Insert two extra inverters in front of the output.
+  const NetId o = nl.outputNet(0);
+  const NetId d1 = nl.addGate(GateType::Not, {o});
+  const NetId d2 = nl.addGate(GateType::Not, {d1});
+  nl.rewireOutput(0, d2);
+  EXPECT_LT(worstSlackPs(nl, required), before);
+}
+
+}  // namespace
+}  // namespace syseco
