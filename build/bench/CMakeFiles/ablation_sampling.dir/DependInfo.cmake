@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sampling.cpp" "bench/CMakeFiles/ablation_sampling.dir/ablation_sampling.cpp.o" "gcc" "bench/CMakeFiles/ablation_sampling.dir/ablation_sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eco/CMakeFiles/syseco_eco.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/syseco_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/syseco_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/syseco_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/syseco_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/itp/CMakeFiles/syseco_itp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/syseco_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/syseco_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syseco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/syseco_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/syseco_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_timing_impact.dir/table3_timing_impact.cpp.o"
+  "CMakeFiles/table3_timing_impact.dir/table3_timing_impact.cpp.o.d"
+  "table3_timing_impact"
+  "table3_timing_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_timing_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

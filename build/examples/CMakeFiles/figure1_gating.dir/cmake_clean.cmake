@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_gating.dir/figure1_gating.cpp.o"
+  "CMakeFiles/figure1_gating.dir/figure1_gating.cpp.o.d"
+  "figure1_gating"
+  "figure1_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

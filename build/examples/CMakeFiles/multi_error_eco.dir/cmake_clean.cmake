@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_error_eco.dir/multi_error_eco.cpp.o"
+  "CMakeFiles/multi_error_eco.dir/multi_error_eco.cpp.o.d"
+  "multi_error_eco"
+  "multi_error_eco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_error_eco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

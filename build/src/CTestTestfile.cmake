@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("sim")
+subdirs("bdd")
+subdirs("sat")
+subdirs("cnf")
+subdirs("opt")
+subdirs("io")
+subdirs("gen")
+subdirs("timing")
+subdirs("eco")
+subdirs("itp")
+subdirs("tools")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/syseco_bdd.dir/bdd.cpp.o.d"
+  "libsyseco_bdd.a"
+  "libsyseco_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

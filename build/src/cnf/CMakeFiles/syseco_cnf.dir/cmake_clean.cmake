@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_cnf.dir/encode.cpp.o"
+  "CMakeFiles/syseco_cnf.dir/encode.cpp.o.d"
+  "libsyseco_cnf.a"
+  "libsyseco_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

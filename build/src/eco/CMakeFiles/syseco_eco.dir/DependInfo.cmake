@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eco/conesynth.cpp" "src/eco/CMakeFiles/syseco_eco.dir/conesynth.cpp.o" "gcc" "src/eco/CMakeFiles/syseco_eco.dir/conesynth.cpp.o.d"
+  "/root/repo/src/eco/deltasyn.cpp" "src/eco/CMakeFiles/syseco_eco.dir/deltasyn.cpp.o" "gcc" "src/eco/CMakeFiles/syseco_eco.dir/deltasyn.cpp.o.d"
+  "/root/repo/src/eco/exactfix.cpp" "src/eco/CMakeFiles/syseco_eco.dir/exactfix.cpp.o" "gcc" "src/eco/CMakeFiles/syseco_eco.dir/exactfix.cpp.o.d"
+  "/root/repo/src/eco/matching.cpp" "src/eco/CMakeFiles/syseco_eco.dir/matching.cpp.o" "gcc" "src/eco/CMakeFiles/syseco_eco.dir/matching.cpp.o.d"
+  "/root/repo/src/eco/patch.cpp" "src/eco/CMakeFiles/syseco_eco.dir/patch.cpp.o" "gcc" "src/eco/CMakeFiles/syseco_eco.dir/patch.cpp.o.d"
+  "/root/repo/src/eco/sampling.cpp" "src/eco/CMakeFiles/syseco_eco.dir/sampling.cpp.o" "gcc" "src/eco/CMakeFiles/syseco_eco.dir/sampling.cpp.o.d"
+  "/root/repo/src/eco/syseco.cpp" "src/eco/CMakeFiles/syseco_eco.dir/syseco.cpp.o" "gcc" "src/eco/CMakeFiles/syseco_eco.dir/syseco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/syseco_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syseco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/syseco_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/syseco_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/syseco_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/syseco_timing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_eco.dir/conesynth.cpp.o"
+  "CMakeFiles/syseco_eco.dir/conesynth.cpp.o.d"
+  "CMakeFiles/syseco_eco.dir/deltasyn.cpp.o"
+  "CMakeFiles/syseco_eco.dir/deltasyn.cpp.o.d"
+  "CMakeFiles/syseco_eco.dir/exactfix.cpp.o"
+  "CMakeFiles/syseco_eco.dir/exactfix.cpp.o.d"
+  "CMakeFiles/syseco_eco.dir/matching.cpp.o"
+  "CMakeFiles/syseco_eco.dir/matching.cpp.o.d"
+  "CMakeFiles/syseco_eco.dir/patch.cpp.o"
+  "CMakeFiles/syseco_eco.dir/patch.cpp.o.d"
+  "CMakeFiles/syseco_eco.dir/sampling.cpp.o"
+  "CMakeFiles/syseco_eco.dir/sampling.cpp.o.d"
+  "CMakeFiles/syseco_eco.dir/syseco.cpp.o"
+  "CMakeFiles/syseco_eco.dir/syseco.cpp.o.d"
+  "libsyseco_eco.a"
+  "libsyseco_eco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_eco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

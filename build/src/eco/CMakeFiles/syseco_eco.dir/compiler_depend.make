@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for syseco_eco.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for syseco_eco.
+# This may be replaced when dependencies are built.

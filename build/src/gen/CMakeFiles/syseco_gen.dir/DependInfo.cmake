@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/eco_case.cpp" "src/gen/CMakeFiles/syseco_gen.dir/eco_case.cpp.o" "gcc" "src/gen/CMakeFiles/syseco_gen.dir/eco_case.cpp.o.d"
+  "/root/repo/src/gen/spec_builder.cpp" "src/gen/CMakeFiles/syseco_gen.dir/spec_builder.cpp.o" "gcc" "src/gen/CMakeFiles/syseco_gen.dir/spec_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/syseco_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/syseco_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syseco_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_gen.dir/eco_case.cpp.o"
+  "CMakeFiles/syseco_gen.dir/eco_case.cpp.o.d"
+  "CMakeFiles/syseco_gen.dir/spec_builder.cpp.o"
+  "CMakeFiles/syseco_gen.dir/spec_builder.cpp.o.d"
+  "libsyseco_gen.a"
+  "libsyseco_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for syseco_gen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_io.dir/blif_io.cpp.o"
+  "CMakeFiles/syseco_io.dir/blif_io.cpp.o.d"
+  "CMakeFiles/syseco_io.dir/netlist_io.cpp.o"
+  "CMakeFiles/syseco_io.dir/netlist_io.cpp.o.d"
+  "CMakeFiles/syseco_io.dir/verilog_io.cpp.o"
+  "CMakeFiles/syseco_io.dir/verilog_io.cpp.o.d"
+  "libsyseco_io.a"
+  "libsyseco_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_itp.dir/interp_fix.cpp.o"
+  "CMakeFiles/syseco_itp.dir/interp_fix.cpp.o.d"
+  "CMakeFiles/syseco_itp.dir/itp_solver.cpp.o"
+  "CMakeFiles/syseco_itp.dir/itp_solver.cpp.o.d"
+  "libsyseco_itp.a"
+  "libsyseco_itp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_itp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/syseco_netlist.dir/netlist.cpp.o.d"
+  "libsyseco_netlist.a"
+  "libsyseco_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

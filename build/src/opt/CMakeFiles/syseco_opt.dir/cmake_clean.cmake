@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_opt.dir/passes.cpp.o"
+  "CMakeFiles/syseco_opt.dir/passes.cpp.o.d"
+  "libsyseco_opt.a"
+  "libsyseco_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

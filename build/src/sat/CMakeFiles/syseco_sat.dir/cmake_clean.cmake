@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_sat.dir/solver.cpp.o"
+  "CMakeFiles/syseco_sat.dir/solver.cpp.o.d"
+  "libsyseco_sat.a"
+  "libsyseco_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

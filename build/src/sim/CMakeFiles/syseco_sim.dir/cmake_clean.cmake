@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_sim.dir/simulator.cpp.o"
+  "CMakeFiles/syseco_sim.dir/simulator.cpp.o.d"
+  "libsyseco_sim.a"
+  "libsyseco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

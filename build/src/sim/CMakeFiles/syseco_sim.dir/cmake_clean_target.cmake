@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsyseco_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_timing.dir/timing.cpp.o"
+  "CMakeFiles/syseco_timing.dir/timing.cpp.o.d"
+  "libsyseco_timing.a"
+  "libsyseco_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

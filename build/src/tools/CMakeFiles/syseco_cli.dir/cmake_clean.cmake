@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syseco_cli.dir/syseco_cli.cpp.o"
+  "CMakeFiles/syseco_cli.dir/syseco_cli.cpp.o.d"
+  "syseco_cli"
+  "syseco_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syseco_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

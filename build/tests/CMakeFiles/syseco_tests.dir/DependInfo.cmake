@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bdd.cpp" "tests/CMakeFiles/syseco_tests.dir/test_bdd.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_bdd.cpp.o.d"
+  "/root/repo/tests/test_bdd_exhaustive.cpp" "tests/CMakeFiles/syseco_tests.dir/test_bdd_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_bdd_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_bdd_extra.cpp" "tests/CMakeFiles/syseco_tests.dir/test_bdd_extra.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_bdd_extra.cpp.o.d"
+  "/root/repo/tests/test_cnf.cpp" "tests/CMakeFiles/syseco_tests.dir/test_cnf.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_cnf.cpp.o.d"
+  "/root/repo/tests/test_data_files.cpp" "tests/CMakeFiles/syseco_tests.dir/test_data_files.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_data_files.cpp.o.d"
+  "/root/repo/tests/test_engine_options.cpp" "tests/CMakeFiles/syseco_tests.dir/test_engine_options.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_engine_options.cpp.o.d"
+  "/root/repo/tests/test_engines.cpp" "tests/CMakeFiles/syseco_tests.dir/test_engines.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_engines.cpp.o.d"
+  "/root/repo/tests/test_exactfix.cpp" "tests/CMakeFiles/syseco_tests.dir/test_exactfix.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_exactfix.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/syseco_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/syseco_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/syseco_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interpolation.cpp" "tests/CMakeFiles/syseco_tests.dir/test_interpolation.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_interpolation.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/syseco_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_io_formats.cpp" "tests/CMakeFiles/syseco_tests.dir/test_io_formats.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_io_formats.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/syseco_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/syseco_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_netlist_extra.cpp" "tests/CMakeFiles/syseco_tests.dir/test_netlist_extra.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_netlist_extra.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/syseco_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_patch.cpp" "tests/CMakeFiles/syseco_tests.dir/test_patch.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_patch.cpp.o.d"
+  "/root/repo/tests/test_pointsets.cpp" "tests/CMakeFiles/syseco_tests.dir/test_pointsets.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_pointsets.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/syseco_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/syseco_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_sat.cpp" "tests/CMakeFiles/syseco_tests.dir/test_sat.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_sat.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/syseco_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_solver_core.cpp" "tests/CMakeFiles/syseco_tests.dir/test_solver_core.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_solver_core.cpp.o.d"
+  "/root/repo/tests/test_synthesis.cpp" "tests/CMakeFiles/syseco_tests.dir/test_synthesis.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_synthesis.cpp.o.d"
+  "/root/repo/tests/test_theorem1.cpp" "tests/CMakeFiles/syseco_tests.dir/test_theorem1.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_theorem1.cpp.o.d"
+  "/root/repo/tests/test_timing.cpp" "tests/CMakeFiles/syseco_tests.dir/test_timing.cpp.o" "gcc" "tests/CMakeFiles/syseco_tests.dir/test_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/itp/CMakeFiles/syseco_itp.dir/DependInfo.cmake"
+  "/root/repo/build/src/eco/CMakeFiles/syseco_eco.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/syseco_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/syseco_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/syseco_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/syseco_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/syseco_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/syseco_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/syseco_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syseco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/syseco_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
