@@ -20,6 +20,18 @@ Bdd::Ref Bdd::makeNode(std::uint32_t var, Ref lo, Ref hi) {
   const NodeKey key{var, lo, hi};
   if (auto it = unique_.find(key); it != unique_.end()) return it->second;
   if (nodes_.size() >= nodeLimit_) throw BddLimitExceeded{};
+  if (guard_ != nullptr) {
+    guard_->chargeBddNodes(1);
+    if ((nodes_.size() & 0x3FF) == 0) {
+      const Status s = guard_->checkpoint("bdd");
+      if (!s.isOk()) {
+        // Budget family degrades like the node limit (shrink + retry);
+        // a missed deadline must unwind all the way to the fallback.
+        if (s.code() == StatusCode::kDeadlineExceeded) throw StatusError(s);
+        throw BddLimitExceeded{};
+      }
+    }
+  }
   const Ref r = static_cast<Ref>(nodes_.size());
   nodes_.push_back(Node{var, lo, hi});
   unique_.emplace(key, r);

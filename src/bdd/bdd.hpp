@@ -22,6 +22,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/budget.hpp"
+#include "util/status.hpp"
+
 namespace syseco {
 
 /// Thrown when a computation exceeds the manager's node budget; callers
@@ -55,6 +58,14 @@ class Bdd {
 
   std::uint32_t numVars() const { return numVars_; }
   std::size_t nodeCount() const { return nodes_.size(); }
+
+  /// Installs a cooperative resource governor: every fresh node is charged
+  /// to its BDD-node ledger, and node construction polls it periodically.
+  /// A tripped budget surfaces as BddLimitExceeded (same recovery path as
+  /// the manager's own node limit: shrink the problem and retry), a passed
+  /// deadline as StatusError{kDeadlineExceeded} (no point retrying).
+  /// The guard must outlive the manager. Pass nullptr to detach.
+  void setResourceGuard(ResourceGuard* guard) { guard_ = guard; }
 
   // --- Literals -------------------------------------------------------------
   Ref var(std::uint32_t v);
@@ -183,6 +194,7 @@ class Bdd {
 
   std::uint32_t numVars_;
   std::size_t nodeLimit_;
+  ResourceGuard* guard_ = nullptr;
   std::vector<Node> nodes_;
   std::unordered_map<NodeKey, Ref, NodeKeyHash> unique_;
   std::unordered_map<IteKey, Ref, IteKeyHash> iteCache_;

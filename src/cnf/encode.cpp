@@ -357,9 +357,10 @@ Solver::Result checkNetsEquiv(const Netlist& n, NetId a, NetId b,
   return solver.solve({lit(d)}, conflictBudget);
 }
 
-std::vector<std::uint32_t> findFailingOutputs(const Netlist& c,
-                                              const Netlist& cPrime, Rng& rng,
-                                              std::int64_t perOutputBudget) {
+std::vector<std::uint32_t> findFailingOutputs(
+    const Netlist& c, const Netlist& cPrime, Rng& rng,
+    std::int64_t perOutputBudget, ResourceGuard* guard,
+    std::vector<std::uint32_t>* unresolved) {
   // Phase 1: random simulation quickly classifies definite failures.
   constexpr std::size_t kWords = 16;  // 1024 patterns
   Simulator simC(c, kWords);
@@ -394,12 +395,16 @@ std::vector<std::uint32_t> findFailingOutputs(const Netlist& c,
   // SAT-swept so the structurally-dissimilar miters stay easy.
   if (!undecided.empty()) {
     PairEncoding pe(c, cPrime);
+    pe.setResourceGuard(guard);
     for (std::uint32_t o : undecided) {
       const std::uint32_t op = cPrime.findOutput(c.outputName(o));
       const Solver::Result r = pe.solveDiffSwept(o, op, perOutputBudget, rng);
       if (r == Solver::Result::Sat) failing.push_back(o);
-      // Unknown is treated as "equivalent enough": the validation loop will
-      // still catch a real mismatch later. (Unbounded by default.)
+      // Unknown is treated as "equivalent enough" on unbounded runs: the
+      // validation loop will still catch a real mismatch later. A governed
+      // caller gets the undecided set instead and degrades conservatively.
+      if (r == Solver::Result::Unknown && unresolved != nullptr)
+        unresolved->push_back(o);
     }
   }
   std::sort(failing.begin(), failing.end());

@@ -59,6 +59,15 @@ class PairEncoding {
   NetlistEncoder& implEncoder() { return enc_; }
   NetlistEncoder& specEncoder() { return encPrime_; }
 
+  /// Installs a resource governor on the shared solver: every query made
+  /// through this encoding charges the guard's conflict ledger and honors
+  /// its deadline (see Solver::setResourceGuard). After an Unknown result,
+  /// stopReason() says whether a budget or the deadline was responsible.
+  void setResourceGuard(ResourceGuard* guard) {
+    solver_.setResourceGuard(guard);
+  }
+  StatusCode stopReason() const { return solver_.stopReason(); }
+
   /// Miter variable that is true iff output oC of C differs from output
   /// oCp of C' (created on first use).
   Var diffVar(std::uint32_t oC, std::uint32_t oCp);
@@ -137,8 +146,14 @@ Solver::Result checkNetsEquiv(const Netlist& n, NetId a, NetId b,
 /// incremental SAT encoding confirms or refutes the rest exactly.
 /// Output indices refer to C; outputs of C with no same-label counterpart
 /// in C' are ignored.
-std::vector<std::uint32_t> findFailingOutputs(const Netlist& c,
-                                              const Netlist& cPrime, Rng& rng,
-                                              std::int64_t perOutputBudget = -1);
+///
+/// Under a resource governor the exact confirmations may come back Unknown;
+/// those outputs are appended to `*unresolved` (when non-null) so callers
+/// can treat them conservatively - the governed engine rectifies them via
+/// the guaranteed fallback rather than assuming they are healthy.
+std::vector<std::uint32_t> findFailingOutputs(
+    const Netlist& c, const Netlist& cPrime, Rng& rng,
+    std::int64_t perOutputBudget = -1, ResourceGuard* guard = nullptr,
+    std::vector<std::uint32_t>* unresolved = nullptr);
 
 }  // namespace syseco

@@ -11,8 +11,11 @@
 #include "cnf/encode.hpp"
 #include "eco/matching.hpp"
 #include "eco/sampling.hpp"
+#include "util/budget.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 #include "util/timer.hpp"
 
 namespace syseco {
@@ -151,6 +154,9 @@ struct AttemptOutcome {
   bool applied = false;
   std::vector<InputPattern> counterexamples;        ///< SAT refutations
   std::vector<InputPattern> screenCounterexamples;  ///< sim-screen refutations
+  /// Resource trip that cut this attempt short; the refinement loop stops
+  /// iterating and degrades to the fallback when set.
+  StatusCode limit = StatusCode::kOk;
 };
 
 /// Pre-simulated reference data for the cheap validation screen: the
@@ -170,7 +176,13 @@ class Engine {
  public:
   Engine(const Netlist& impl, const Netlist& spec,
          const SysecoOptions& options, SysecoDiagnostics& diag)
-      : spec_(spec), opt_(options), diag_(diag), rng_(options.seed) {
+      : spec_(spec),
+        opt_(options),
+        diag_(diag),
+        rng_(options.seed),
+        rootGuard_(ResourceGuard::Limits{options.deadlineSeconds,
+                                         options.totalConflictBudget,
+                                         options.totalBddNodeBudget}) {
     result_.rectified = impl;
   }
 
@@ -180,8 +192,14 @@ class Engine {
     tracker_ = &tracker;
     Netlist& w = working();
 
-    std::vector<std::uint32_t> failing = findFailingOutputs(w, spec_, rng_);
+    // Failing-output detection runs under the governor: outputs it cannot
+    // confirm healthy in time are treated as failing, so they end up
+    // provably correct via the fallback instead of silently unchecked.
+    std::vector<std::uint32_t> unresolved;
+    std::vector<std::uint32_t> failing =
+        findFailingOutputs(w, spec_, rng_, -1, &rootGuard_, &unresolved);
     result_.failingOutputsBefore = failing.size();
+    failing.insert(failing.end(), unresolved.begin(), unresolved.end());
     failingSet_.insert(failing.begin(), failing.end());
 
     // Increasing logical complexity: smallest cones first (§5.2).
@@ -191,15 +209,36 @@ class Engine {
                        w.coneGates({w.outputNet(b)}).size();
               });
 
-    for (std::uint32_t o : failing) rectifyOutput(o);
+    for (std::size_t k = 0; k < failing.size(); ++k) {
+      // Fair-share slicing: each output is entitled to 1/left of whatever
+      // conflicts, nodes and time remain - one pathological output cannot
+      // starve the outputs behind it.
+      const std::size_t left = failing.size() - k;
+      double perOutputSeconds = 0.0;
+      const double remaining = rootGuard_.remainingSeconds();
+      if (remaining < 1e17)
+        perOutputSeconds =
+            std::max(remaining, 0.0) / static_cast<double>(left);
+      ResourceGuard outGuard =
+          rootGuard_.sliceSeconds(left, perOutputSeconds);
+      rectifyOutput(failing[k], outGuard);
+    }
 
     {
       Timer phase;
-      if (opt_.enableSweeping) sweepPatch();
+      // Sweeping is optional polish; an exhausted governor skips it and
+      // keeps the (larger but correct) patch.
+      if (opt_.enableSweeping && !rootGuard_.exhausted()) sweepPatch();
       diag_.secondsSweep += phase.seconds();
     }
 
+    diag_.runLimit = rootGuard_.trippedCode();
+    diag_.conflictsUsed = rootGuard_.conflictsUsed();
+    diag_.bddNodesUsed = rootGuard_.bddNodesUsed();
+
     result_.stats = tracker.finalize();
+    // Final verification is the soundness gate: it always runs unbounded,
+    // whatever the governor says - a degraded run still proves its patch.
     Timer verifyPhase;
     result_.success = verifyAllOutputs(result_.rectified, spec_);
     diag_.secondsVerify += verifyPhase.seconds();
@@ -220,37 +259,50 @@ class Engine {
 
   // --- Per-output rectification (the RewireRectification loop body) -------
 
-  void rectifyOutput(std::uint32_t o) {
+  void rectifyOutput(std::uint32_t o, ResourceGuard& outGuard) {
     const std::uint32_t op = specOutput(o);
     if (op == kNullId) return;
     Netlist& w = working();
+
+    Timer outputTimer;
+    OutputReport report;
+    report.output = o;
+    report.name = w.outputName(o);
+    activeGuard_ = &outGuard;
+    degradeSteps_ = 0;
+    effMaxPointSets_ = opt_.maxPointSets;
 
     // Earlier patches may have fixed this output already (global favoring).
     {
       Timer phase;
       PairEncoding pe(w, spec_);
+      pe.setResourceGuard(&outGuard);
       const bool fixed = pe.solveDiffSwept(o, op, opt_.validationBudget,
                                            rng_) == Solver::Result::Unsat;
       diag_.secondsSampling += phase.seconds();
       if (fixed) {
         failingSet_.erase(o);
+        finishReport(std::move(report), outGuard, /*viaFallback=*/false,
+                     outputTimer.seconds());
         return;
       }
     }
 
     Timer samplePhase;
-    SampleSet samples = collectSamples(o, op);
+    SampleSet samples = collectSamples(o, op, outGuard);
     diag_.secondsSampling += samplePhase.seconds();
     bool done = false;
     int screenOnlyRefines = 0;
     for (int iter = 0; iter < opt_.maxRefineIters && !done; ++iter) {
+      if (!outGuard.checkpoint("syseco.refine").isOk()) break;
       if (iter > 0) ++diag_.refinementRounds;
-      AttemptOutcome outcome = attempt(o, op, samples);
+      AttemptOutcome outcome = attempt(o, op, samples, outGuard);
       if (outcome.applied) {
         done = true;
         ++diag_.outputsViaRewire;
         break;
       }
+      if (outcome.limit != StatusCode::kOk) break;  // budget/deadline: stop
       // Refine the sampling domain with whatever refuted the candidates:
       // SAT counterexamples first, then patterns the simulation screen
       // caught (both are genuine members of the mismatch evidence). Screen
@@ -276,12 +328,41 @@ class Engine {
     if (!done) fallback(o, op);
     ++diag_.outputsRectified;
     failingSet_.erase(o);
+    finishReport(std::move(report), outGuard, !done, outputTimer.seconds());
   }
 
-  SampleSet collectSamples(std::uint32_t o, std::uint32_t op) {
+  void finishReport(OutputReport report, const ResourceGuard& outGuard,
+                    bool viaFallback, double seconds) {
+    activeGuard_ = nullptr;
+    report.limit = outGuard.trippedCode();
+    report.degradeSteps = degradeSteps_;
+    report.conflictsUsed = outGuard.conflictsUsed();
+    report.bddNodesUsed = outGuard.bddNodesUsed();
+    report.seconds = seconds;
+    if (viaFallback) {
+      report.status = OutputRectStatus::kFallback;
+    } else if (report.limit != StatusCode::kOk || degradeSteps_ > 0) {
+      report.status = OutputRectStatus::kDegraded;
+    } else {
+      report.status = OutputRectStatus::kExact;
+    }
+    if (opt_.verbose)
+      std::fprintf(stderr, "[syseco] out=%u -> %s (limit=%s, %.2fs)\n",
+                   report.output, outputRectStatusName(report.status),
+                   statusCodeName(report.limit), report.seconds);
+    diag_.outputs.push_back(std::move(report));
+  }
+
+  SampleSet collectSamples(std::uint32_t o, std::uint32_t op,
+                           ResourceGuard& guard) {
     SampleSet samples;
-    if (opt_.useErrorDomainSampling) {
+    // Degraded sampling: when the budget is already gone, skip the SAT
+    // error-domain enumeration entirely and fall through to the uniform
+    // top-up - weaker evidence, but free.
+    const bool canEnumerate = guard.checkpoint("syseco.sampling").isOk();
+    if (opt_.useErrorDomainSampling && canEnumerate) {
       PairEncoding pe(working(), spec_);
+      pe.setResourceGuard(&guard);
       for (InputPattern& p :
            pe.enumerateErrors(o, op, opt_.numSamples, opt_.samplingBudget,
                               &rng_)) {
@@ -321,7 +402,7 @@ class Engine {
   // --- One sampling-domain attempt ----------------------------------------
 
   AttemptOutcome attempt(std::uint32_t o, std::uint32_t op,
-                         const SampleSet& samples) {
+                         const SampleSet& samples, ResourceGuard& guard) {
     AttemptOutcome outcome;
     Netlist& w = working();
 
@@ -401,8 +482,14 @@ class Engine {
     };
     std::vector<GatheredChoice> gathered;
     Timer symbolicPhase;
-    for (std::size_t shrink = 0; shrink < 2 && !pins.empty(); ++shrink) {
+    for (std::size_t shrink = 0; shrink < 3 && !pins.empty(); ++shrink) {
       try {
+        // Deterministic fault hook: forces the blowup / allocation-failure
+        // recovery paths below without a genuinely huge design.
+        if (const auto k = fault::fire("syseco.pointsets")) {
+          if (*k == fault::Kind::kBddBlowup) throw BddLimitExceeded{};
+          if (*k == fault::Kind::kAllocFailure) throw std::bad_alloc{};
+        }
         for (int m = 1; m <= opt_.maxPoints; ++m) {
           // Higher point counts are exponentially costlier symbolically;
           // only escalate while the cheaper levels found too few options.
@@ -439,10 +526,24 @@ class Engine {
         }
         break;  // all m exhausted without node-limit trouble
       } catch (const BddLimitExceeded&) {
-        // Robustness under design complexity: shrink the candidate pin set
-        // and retry with a smaller symbolic problem.
+        // Staged degradation under design complexity or a drained node
+        // ledger: halve the candidate pin set and the point-set quota,
+        // then retry the smaller symbolic problem.
         gathered.clear();
         pins.resize(pins.size() / 2);
+        effMaxPointSets_ = std::max<std::size_t>(effMaxPointSets_ / 2, 1);
+        ++degradeSteps_;
+      } catch (const std::bad_alloc&) {
+        // Allocation pressure degrades the same way a node blowup does.
+        gathered.clear();
+        pins.resize(pins.size() / 2);
+        effMaxPointSets_ = std::max<std::size_t>(effMaxPointSets_ / 2, 1);
+        ++degradeSteps_;
+      } catch (const StatusError& e) {
+        // The deadline passed mid-construction: no smaller retry can help.
+        diag_.secondsSymbolic += symbolicPhase.seconds();
+        outcome.limit = e.status().code();
+        return outcome;
       }
     }
 
@@ -460,6 +561,10 @@ class Engine {
     if (gathered.size() > opt_.maxChoices * 3)
       gathered.resize(opt_.maxChoices * 3);
     for (const GatheredChoice& gc : gathered) {
+      if (!guard.checkpoint("syseco.choices").isOk()) {
+        outcome.limit = guard.trippedCode();
+        return outcome;
+      }
       if (opt_.verbose) {
         std::fprintf(stderr, "[syseco]   try cost=%.2f:", gc.choice.cost);
         for (std::size_t i = 0; i < gc.ps.size(); ++i) {
@@ -776,6 +881,7 @@ class Engine {
         static_cast<std::uint32_t>(m) * tb;
 
     Bdd mgr(numVars, opt_.bddNodeLimit);
+    mgr.setResourceGuard(activeGuard_);
     std::vector<std::uint32_t> zVars(nz);
     for (std::uint32_t i = 0; i < nz; ++i) zVars[i] = i;
     std::vector<std::uint32_t> yVars(static_cast<std::size_t>(m));
@@ -849,7 +955,7 @@ class Engine {
     };
     const std::vector<BddCube> cubes = mgr.isop(H);
     for (const BddCube& cube : cubes) {
-      if (sets.size() >= opt_.maxPointSets * 4) break;
+      if (sets.size() >= effMaxPointSets_ * 4) break;
       // All pin indices consistent with the cube's t_i literals, per point.
       std::vector<std::vector<std::size_t>> consistent(
           static_cast<std::size_t>(m));
@@ -889,7 +995,7 @@ class Engine {
         s.push_back(consistent[static_cast<std::size_t>(i)][0]);
       addSet(std::move(s));
       for (std::size_t draw = 0; draw < 15; ++draw) {
-        if (sets.size() >= opt_.maxPointSets * 4) break;
+        if (sets.size() >= effMaxPointSets_ * 4) break;
         std::vector<std::size_t> t;
         for (int i = 0; i < m; ++i)
           t.push_back(rng_.pick(consistent[static_cast<std::size_t>(i)]));
@@ -905,7 +1011,7 @@ class Engine {
                        for (auto i : b) sb += pins[i].score;
                        return sa > sb;
                      });
-    if (sets.size() > opt_.maxPointSets) sets.resize(opt_.maxPointSets);
+    if (sets.size() > effMaxPointSets_) sets.resize(effMaxPointSets_);
     return sets;
   }
 
@@ -1243,6 +1349,7 @@ class Engine {
     const std::uint32_t numVars =
         nz + static_cast<std::uint32_t>(m) + totalC;
     Bdd mgr(numVars, opt_.bddNodeLimit);
+    mgr.setResourceGuard(activeGuard_);
 
     std::vector<std::uint32_t> zVars(nz);
     for (std::uint32_t i = 0; i < nz; ++i) zVars[i] = i;
@@ -1416,11 +1523,21 @@ class Engine {
     if (opt_.verbose)
       std::fprintf(stderr, "[syseco]     screen pass -> SAT validate\n");
 
+    // A drained governor must not start the expensive SAT validation; the
+    // candidate is rejected and the output degrades to the fallback.
+    if (activeGuard_ != nullptr &&
+        !activeGuard_->checkpoint("syseco.validation").isOk()) {
+      outcome.limit = activeGuard_->trippedCode();
+      tracker().rollback(mark);
+      return false;
+    }
+
     // Exact validation of every output the rewired pins can reach.
     Timer validatePhase;
     ++diag_.candidatesValidated;
     const std::vector<std::uint32_t> affected = affectedOutputs(rewiredPins, o);
     PairEncoding pe(w, spec_);
+    pe.setResourceGuard(activeGuard_);
     for (std::uint32_t ao : affected) {
       const std::uint32_t aop = specOutput(ao);
       if (aop == kNullId) continue;
@@ -1675,18 +1792,61 @@ class Engine {
   SysecoOptions opt_;
   SysecoDiagnostics& diag_;
   Rng rng_;
+  ResourceGuard rootGuard_;
   EcoResult result_;
   PatchTracker* tracker_ = nullptr;
   std::unordered_set<std::uint32_t> failingSet_;
   std::vector<std::uint32_t> cloneCostDp_;
   std::unique_ptr<MatchedSpecCloner> cloner_;
+  // Resource-governor state for the output currently being rectified.
+  ResourceGuard* activeGuard_ = nullptr;
+  int degradeSteps_ = 0;
+  std::size_t effMaxPointSets_ = 0;
 };
 
 }  // namespace
 
+Status validateSysecoOptions(const SysecoOptions& o) {
+  const auto invalid = [](const std::string& msg) {
+    return Status::invalidInput("syseco options: " + msg);
+  };
+  if (o.numSamples == 0) return invalid("numSamples must be positive");
+  if (o.maxPoints <= 0) return invalid("maxPoints must be positive");
+  if (o.maxCandidatePins == 0)
+    return invalid("maxCandidatePins must be positive");
+  if (o.maxRewireNets == 0) return invalid("maxRewireNets must be positive");
+  if (o.maxPointSets == 0) return invalid("maxPointSets must be positive");
+  if (o.maxChoices == 0) return invalid("maxChoices must be positive");
+  if (o.maxRefineIters < 0)
+    return invalid("maxRefineIters must be non-negative");
+  if (o.validationBudget <= 0)
+    return invalid("validationBudget must be positive");
+  if (o.samplingBudget <= 0) return invalid("samplingBudget must be positive");
+  if (o.bddNodeLimit == 0) return invalid("bddNodeLimit must be positive");
+  if (o.deadlineSeconds < 0.0)
+    return invalid("deadlineSeconds must be non-negative");
+  if (o.totalConflictBudget < 0)
+    return invalid("totalConflictBudget must be non-negative");
+  if (o.totalBddNodeBudget < 0)
+    return invalid("totalBddNodeBudget must be non-negative");
+  return Status::ok();
+}
+
 EcoResult runSyseco(const Netlist& impl, const Netlist& spec,
                     const SysecoOptions& options,
                     SysecoDiagnostics* diagnostics) {
+  const Status valid = validateSysecoOptions(options);
+  if (!valid.isOk()) throw StatusError(valid);
+  SysecoDiagnostics local;
+  Engine engine(impl, spec, options, diagnostics ? *diagnostics : local);
+  return engine.run();
+}
+
+Result<EcoResult> runSysecoChecked(const Netlist& impl, const Netlist& spec,
+                                   const SysecoOptions& options,
+                                   SysecoDiagnostics* diagnostics) {
+  const Status valid = validateSysecoOptions(options);
+  if (!valid.isOk()) return valid;
   SysecoDiagnostics local;
   Engine engine(impl, spec, options, diagnostics ? *diagnostics : local);
   return engine.run();

@@ -26,9 +26,12 @@
 // to a clone of its revised cone (completeness, Proposition 1).
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "eco/patch.hpp"
 #include "netlist/netlist.hpp"
+#include "util/status.hpp"
 
 namespace syseco {
 
@@ -58,6 +61,50 @@ struct SysecoOptions {
   bool verbose = false;  ///< trace the per-output search to stderr
 
   std::uint64_t seed = 1;
+
+  // --- Resource governor (whole-run ceilings; 0 = unlimited) --------------
+  // The run always terminates with a correct patch: outputs whose share of
+  // the budget runs dry degrade to the guaranteed cone-clone fallback
+  // (Proposition 1) instead of failing. Each failing output receives a
+  // fair slice of whatever remains when its turn comes.
+  double deadlineSeconds = 0.0;          ///< wall-clock deadline for the run
+  std::int64_t totalConflictBudget = 0;  ///< SAT conflicts across all phases
+  std::int64_t totalBddNodeBudget = 0;   ///< BDD nodes across all managers
+};
+
+/// Rejects nonsensical configurations (zero samples, non-positive point
+/// counts, empty budgets, negative deadlines) with kInvalidInput before the
+/// search can wander into undefined behavior.
+Status validateSysecoOptions(const SysecoOptions& options);
+
+/// How one output ended up correct.
+enum class OutputRectStatus {
+  kExact,     ///< rectified with full-strength search, no resource trouble
+  kDegraded,  ///< rectified, but only after staged degradation or a trip
+  kFallback,  ///< rewired to a clone of its revised cone (Proposition 1)
+};
+
+inline const char* outputRectStatusName(OutputRectStatus s) {
+  switch (s) {
+    case OutputRectStatus::kExact: return "exact";
+    case OutputRectStatus::kDegraded: return "degraded";
+    case OutputRectStatus::kFallback: return "fallback";
+  }
+  return "unknown";
+}
+
+/// Per-output account of the governed search.
+struct OutputReport {
+  std::uint32_t output = 0;  ///< implementation output index
+  std::string name;
+  OutputRectStatus status = OutputRectStatus::kExact;
+  /// Resource that tripped while this output was being processed
+  /// (kOk when the search ran to completion unimpeded).
+  StatusCode limit = StatusCode::kOk;
+  std::int64_t conflictsUsed = 0;   ///< SAT conflicts charged to this output
+  std::int64_t bddNodesUsed = 0;    ///< BDD nodes charged to this output
+  double seconds = 0.0;
+  int degradeSteps = 0;  ///< candidate-space halvings forced by blowups
 };
 
 /// Extra run telemetry (ablation benches report these).
@@ -78,10 +125,35 @@ struct SysecoDiagnostics {
   double secondsFallback = 0.0;    ///< matched cone cloning
   double secondsSweep = 0.0;       ///< patch-input refinement
   double secondsVerify = 0.0;      ///< final full verification
+
+  // Resource-governor accounting.
+  std::vector<OutputReport> outputs;  ///< one entry per processed output
+  StatusCode runLimit = StatusCode::kOk;  ///< first whole-run trip, if any
+  std::int64_t conflictsUsed = 0;         ///< total SAT conflicts charged
+  std::int64_t bddNodesUsed = 0;          ///< total BDD nodes charged
+
+  /// True when a resource limit forced at least one output off the
+  /// full-strength search path - the "degraded run" signal surfaced by the
+  /// CLI exit code. Plain fallbacks chosen on merit do not count.
+  bool resourceDegraded() const {
+    if (runLimit != StatusCode::kOk) return true;
+    for (const OutputReport& r : outputs)
+      if (r.limit != StatusCode::kOk) return true;
+    return false;
+  }
 };
 
+/// Runs the engine; throws StatusError{kInvalidInput} on a nonsensical
+/// configuration (see validateSysecoOptions). Resource exhaustion never
+/// fails the run - it degrades per-output (see SysecoDiagnostics::outputs).
 EcoResult runSyseco(const Netlist& impl, const Netlist& spec,
                     const SysecoOptions& options = {},
                     SysecoDiagnostics* diagnostics = nullptr);
+
+/// Non-throwing variant: kInvalidInput instead of undefined behavior or an
+/// exception when the configuration is rejected.
+Result<EcoResult> runSysecoChecked(const Netlist& impl, const Netlist& spec,
+                                   const SysecoOptions& options = {},
+                                   SysecoDiagnostics* diagnostics = nullptr);
 
 }  // namespace syseco

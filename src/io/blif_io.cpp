@@ -1,13 +1,16 @@
 #include "io/blif_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "io/parse_guard.hpp"
 #include "util/check.hpp"
 
 namespace syseco {
@@ -63,6 +66,7 @@ std::vector<std::string> tokens(const std::string& s) {
 }  // namespace
 
 Netlist readBlif(std::istream& is) {
+  io_detail::hitParseSite("io.blif");
   Netlist nl;
   std::unordered_map<std::string, NetId> netByName;
   std::vector<std::string> declaredOutputs;
@@ -86,8 +90,12 @@ Netlist readBlif(std::istream& is) {
           netByName.emplace(tok[i], nl.addInput(tok[i]));
         }
       } else if (head == ".outputs") {
-        declaredOutputs.insert(declaredOutputs.end(), tok.begin() + 1,
-                               tok.end());
+        for (std::size_t i = 1; i < tok.size(); ++i) {
+          if (std::find(declaredOutputs.begin(), declaredOutputs.end(),
+                        tok[i]) != declaredOutputs.end())
+            fail(line, "duplicate output " + tok[i]);
+          declaredOutputs.push_back(tok[i]);
+        }
       } else if (head == ".names") {
         if (tok.size() < 2) fail(line, ".names needs at least an output");
         covers.push_back(Cover{{tok.begin() + 1, tok.end()}, {}, line});
@@ -284,10 +292,20 @@ void writeBlif(std::ostream& os, const Netlist& netlist,
   os << ".end\n";
 }
 
+Result<Netlist> readBlifChecked(std::istream& is) {
+  return io_detail::guardedParse("blif", [&] { return readBlif(is); });
+}
+
 Netlist loadBlif(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("blif: cannot open " + path);
   return readBlif(f);
+}
+
+Result<Netlist> loadBlifChecked(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::invalidInput("blif: cannot open " + path);
+  return io_detail::withPath(path, readBlifChecked(f));
 }
 
 void saveBlif(const std::string& path, const Netlist& netlist,

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "util/status.hpp"
 
 namespace syseco {
 
@@ -24,12 +25,18 @@ namespace syseco {
 /// message on malformed or unsupported input.
 Netlist readBlif(std::istream& is);
 
+/// Non-throwing variant: malformed input comes back as kInvalidInput with
+/// the same line-accurate diagnostic, allocation failure as kInternal. The
+/// parse itself never crashes or aborts on hostile input.
+Result<Netlist> readBlifChecked(std::istream& is);
+
 /// Serializes the netlist as BLIF: every gate becomes a .names cover.
 void writeBlif(std::ostream& os, const Netlist& netlist,
                const std::string& modelName = "syseco");
 
 /// File wrappers.
 Netlist loadBlif(const std::string& path);
+Result<Netlist> loadBlifChecked(const std::string& path);
 void saveBlif(const std::string& path, const Netlist& netlist,
               const std::string& modelName = "syseco");
 

@@ -6,7 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "io/parse_guard.hpp"
 #include "util/check.hpp"
 
 namespace syseco {
@@ -62,9 +64,11 @@ void writeNetlist(std::ostream& os, const Netlist& netlist,
 }
 
 Netlist readNetlist(std::istream& is) {
+  io_detail::hitParseSite("io.netlist");
   Netlist out;
   std::unordered_map<std::string, NetId> netByName;
   std::vector<std::string> declaredOutputs;
+  std::unordered_set<std::string> assignedOutputs;
   std::string lineText;
   int line = 0;
   bool sawEnd = false;
@@ -117,6 +121,8 @@ Netlist readNetlist(std::istream& is) {
       bool declared = false;
       for (const auto& d : declaredOutputs) declared |= (d == outName);
       if (!declared) fail("output '" + outName + "' not declared");
+      if (!assignedOutputs.insert(outName).second)
+        fail("output '" + outName + "' assigned twice");
       out.addOutput(outName, it->second);
     } else if (tok == ".end") {
       sawEnd = true;
@@ -143,10 +149,21 @@ void saveNetlist(const std::string& path, const Netlist& netlist,
   writeNetlist(f, netlist, modelName);
 }
 
+Result<Netlist> readNetlistChecked(std::istream& is) {
+  return io_detail::guardedParse("netlist_io",
+                                 [&] { return readNetlist(is); });
+}
+
 Netlist loadNetlist(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("netlist_io: cannot open " + path);
   return readNetlist(f);
+}
+
+Result<Netlist> loadNetlistChecked(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::invalidInput("netlist_io: cannot open " + path);
+  return io_detail::withPath(path, readNetlistChecked(f));
 }
 
 }  // namespace syseco

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "util/status.hpp"
 
 namespace syseco {
 
@@ -34,9 +35,14 @@ void writeNetlist(std::ostream& os, const Netlist& netlist,
 /// line-accurate message on malformed input.
 Netlist readNetlist(std::istream& is);
 
+/// Non-throwing variant: malformed input comes back as kInvalidInput with
+/// the same line-accurate diagnostic, allocation failure as kInternal.
+Result<Netlist> readNetlistChecked(std::istream& is);
+
 /// Convenience file wrappers.
 void saveNetlist(const std::string& path, const Netlist& netlist,
                  const std::string& modelName = "model");
 Netlist loadNetlist(const std::string& path);
+Result<Netlist> loadNetlistChecked(const std::string& path);
 
 }  // namespace syseco

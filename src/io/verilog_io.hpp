@@ -1,12 +1,16 @@
 #pragma once
-// Structural Verilog writer: emits the netlist as a synthesizable module
-// over primitive continuous assignments (assign/&,|,^,~ and ?:). Useful for
-// handing patched implementations back to a standard flow.
+// Structural Verilog writer + subset reader. The writer emits the netlist
+// as a synthesizable module over primitive continuous assignments
+// (assign/&,|,^,~ and ?:), useful for handing patched implementations back
+// to a standard flow; the reader accepts exactly that subset (one module,
+// scalar ports, wire declarations, primitive assigns in dependency order)
+// so round-trips and externally patched dumps can come back in.
 
 #include <iosfwd>
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "util/status.hpp"
 
 namespace syseco {
 
@@ -15,5 +19,16 @@ void writeVerilog(std::ostream& os, const Netlist& netlist,
 
 void saveVerilog(const std::string& path, const Netlist& netlist,
                  const std::string& moduleName = "syseco_design");
+
+/// Parses the structural subset writeVerilog emits. Throws
+/// std::runtime_error with a line-accurate message on anything else.
+Netlist readVerilog(std::istream& is);
+
+/// Non-throwing variant: malformed input comes back as kInvalidInput with
+/// the same line-accurate diagnostic, allocation failure as kInternal.
+Result<Netlist> readVerilogChecked(std::istream& is);
+
+Netlist loadVerilog(const std::string& path);
+Result<Netlist> loadVerilogChecked(const std::string& path);
 
 }  // namespace syseco

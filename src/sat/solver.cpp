@@ -410,6 +410,15 @@ Solver::Result Solver::search(std::int64_t conflictsAllowed,
       }
       varDecayActivity();
       claDecayActivity();
+      if (guard_ != nullptr) {
+        guard_->chargeConflicts(1);
+        if ((conflictsHere & 0x3F) == 0 &&
+            !guard_->checkpoint("sat").isOk()) {
+          cancelUntil(0);
+          stopReason_ = guard_->trippedCode();
+          return Result::Unknown;
+        }
+      }
       if (conflictsHere >= conflictsAllowed) {
         cancelUntil(0);
         return Result::Unknown;  // restart (or budget exhausted)
@@ -443,6 +452,14 @@ Solver::Result Solver::search(std::int64_t conflictsAllowed,
           return Result::Sat;
         }
         ++decisions_;
+        // Propagation-heavy instances can go a long time between
+        // conflicts; keep the deadline honest on the decision path too.
+        if (guard_ != nullptr && (decisions_ & 0xFFF) == 0 &&
+            !guard_->checkpoint("sat").isOk()) {
+          cancelUntil(0);
+          stopReason_ = guard_->trippedCode();
+          return Result::Unknown;
+        }
       }
       if (next == kLitUndef) continue;
       trailLim_.push_back(static_cast<std::int32_t>(trail_.size()));
@@ -454,7 +471,14 @@ Solver::Result Solver::search(std::int64_t conflictsAllowed,
 Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
                              std::int64_t conflictBudget) {
   conflictCore_.clear();
+  stopReason_ = StatusCode::kOk;
   if (!ok_) return Result::Unsat;
+  // A guard that tripped before the query even starts: answer immediately
+  // with the structured reason instead of burning propagation effort.
+  if (guard_ != nullptr && !guard_->checkpoint("sat").isOk()) {
+    stopReason_ = guard_->trippedCode();
+    return Result::Unknown;
+  }
   cancelUntil(0);
   if (propagate() != kCRefUndef) {
     ok_ = false;
@@ -463,23 +487,37 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions,
   if (maxLearnts_ == 0)
     maxLearnts_ = std::max(1000.0, static_cast<double>(numProblemClauses_) / 3);
 
+  // The guard's conflict ledger tightens the explicit per-call budget so
+  // a nearly-drained governor cannot be overshot by one long query.
+  if (guard_ != nullptr) {
+    const std::int64_t left = guard_->remainingConflicts();
+    if (left >= 0 && (conflictBudget < 0 || left < conflictBudget))
+      conflictBudget = left;
+  }
+
   std::int64_t spent = 0;
   for (std::int64_t restarts = 0;; ++restarts) {
     std::int64_t allowed = luby(restarts + 1) * 100;
     if (conflictBudget >= 0) allowed = std::min(allowed, conflictBudget - spent);
     if (allowed <= 0) {
       cancelUntil(0);
+      stopReason_ = StatusCode::kBudgetExhausted;
       return Result::Unknown;
     }
     const std::uint64_t before = conflicts_;
     const Result r = search(allowed, assumptions);
     spent += static_cast<std::int64_t>(conflicts_ - before);
+    if (stopReason_ != StatusCode::kOk) {
+      cancelUntil(0);
+      return Result::Unknown;  // guard tripped inside search()
+    }
     if (r != Result::Unknown) {
       cancelUntil(0);
       return r;
     }
     if (conflictBudget >= 0 && spent >= conflictBudget) {
       cancelUntil(0);
+      stopReason_ = StatusCode::kBudgetExhausted;
       return Result::Unknown;
     }
   }

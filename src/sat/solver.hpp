@@ -15,6 +15,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/budget.hpp"
+#include "util/status.hpp"
+
 namespace syseco {
 
 using Var = std::int32_t;
@@ -65,6 +68,19 @@ class Solver {
   /// that many conflicts (the paper's resource constraint).
   Result solve(const std::vector<Lit>& assumptions = {},
                std::int64_t conflictBudget = -1);
+
+  /// Installs a cooperative resource governor. The search polls it every
+  /// few conflicts (and on every restart) and charges each conflict to its
+  /// ledger; a tripped guard makes solve() return Result::Unknown with
+  /// stopReason() saying why. Pass nullptr to detach. The guard must
+  /// outlive every solve() call made while it is installed.
+  void setResourceGuard(ResourceGuard* guard) { guard_ = guard; }
+  ResourceGuard* resourceGuard() const { return guard_; }
+
+  /// Why the last solve() stopped without an answer: kBudgetExhausted for
+  /// an exhausted conflict budget (the explicit argument or the guard's
+  /// ledger), kDeadlineExceeded for a passed deadline, kOk after Sat/Unsat.
+  StatusCode stopReason() const { return stopReason_; }
 
   /// Model access after Result::Sat.
   bool modelValue(Var v) const { return model_[v] == LBool::True; }
@@ -166,6 +182,8 @@ class Solver {
   std::uint64_t decisions_ = 0;
   std::uint64_t propagations_ = 0;
   double maxLearnts_ = 0.0;
+  ResourceGuard* guard_ = nullptr;
+  StatusCode stopReason_ = StatusCode::kOk;
 };
 
 }  // namespace syseco

@@ -1,27 +1,39 @@
 // syseco command-line tool.
 //
 // Reads an optimized implementation and a revised specification (netlist
-// text format or BLIF, selected by extension), runs one of the ECO engines,
-// reports the patch attributes and writes the rectified design.
+// text format, BLIF or structural Verilog, selected by extension), runs one
+// of the ECO engines, reports the patch attributes and writes the rectified
+// design.
 //
 //   syseco_cli --impl C.blif --spec Cprime.blif [options]
 //
 // Options:
 //   --engine syseco|deltasyn|conesynth|exactfix|interpfix     (default: syseco)
 //   --out FILE          write the rectified netlist (.blif/.v/.netlist)
+//   --report FILE       write a machine-readable JSON run report
 //   --samples N         sampling-domain size             (default 64)
 //   --max-points M      rectification points per try     (default 3)
+//   --deadline-ms MS    wall-clock deadline for the whole run
+//   --total-conflict-budget N   SAT conflicts across all phases
+//   --bdd-node-budget N         BDD nodes across all managers
 //   --level-driven      timing-aware rewire selection
 //   --uniform-sampling  ablation: uniform instead of error-domain samples
 //   --no-sweep          disable the patch-input sweeping post-process
 //   --seed S            RNG seed                          (default 1)
 //   --verbose           trace the search to stderr
 //
-// Exit code 0 iff the rectification was SAT-verified.
+// Exit codes:
+//   0  rectification SAT-verified, no resource limit interfered
+//   1  verification failed
+//   2  usage error or internal failure
+//   3  invalid input (unreadable/malformed file, nonsensical options)
+//   4  rectification SAT-verified, but a resource limit degraded the
+//      search (some outputs fell back to cone cloning; see the report)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
@@ -33,20 +45,28 @@
 #include "io/blif_io.hpp"
 #include "io/netlist_io.hpp"
 #include "io/verilog_io.hpp"
+#include "util/status.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using namespace syseco;
 
+constexpr int kExitClean = 0;
+constexpr int kExitVerifyFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInvalidInput = 3;
+constexpr int kExitDegraded = 4;
+
 bool endsWith(const std::string& s, const char* suffix) {
   const std::size_t n = std::strlen(suffix);
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-Netlist loadAny(const std::string& path) {
-  if (endsWith(path, ".blif")) return loadBlif(path);
-  return loadNetlist(path);
+Result<Netlist> loadAnyChecked(const std::string& path) {
+  if (endsWith(path, ".blif")) return loadBlifChecked(path);
+  if (endsWith(path, ".v")) return loadVerilogChecked(path);
+  return loadNetlistChecked(path);
 }
 
 void saveAny(const std::string& path, const Netlist& nl) {
@@ -59,21 +79,84 @@ void saveAny(const std::string& path, const Netlist& nl) {
   }
 }
 
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Machine-readable run report (schema documented in README.md).
+void writeReport(std::ostream& os, const std::string& engine,
+                 const EcoResult& result, const SysecoDiagnostics& diag,
+                 int exitCode) {
+  os << "{\n";
+  os << "  \"engine\": \"" << jsonEscape(engine) << "\",\n";
+  os << "  \"success\": " << (result.success ? "true" : "false") << ",\n";
+  os << "  \"degraded\": " << (diag.resourceDegraded() ? "true" : "false")
+     << ",\n";
+  os << "  \"exit_code\": " << exitCode << ",\n";
+  os << "  \"run_limit\": \"" << statusCodeName(diag.runLimit) << "\",\n";
+  os << "  \"failing_outputs\": " << result.failingOutputsBefore << ",\n";
+  os << "  \"seconds\": " << result.seconds << ",\n";
+  os << "  \"patch\": {\"inputs\": " << result.stats.inputs
+     << ", \"outputs\": " << result.stats.outputs
+     << ", \"gates\": " << result.stats.gates
+     << ", \"nets\": " << result.stats.nets << "},\n";
+  os << "  \"budget\": {\"conflicts_used\": " << diag.conflictsUsed
+     << ", \"bdd_nodes_used\": " << diag.bddNodesUsed << "},\n";
+  os << "  \"phase_seconds\": {"
+     << "\"sampling\": " << diag.secondsSampling
+     << ", \"symbolic\": " << diag.secondsSymbolic
+     << ", \"screening\": " << diag.secondsScreening
+     << ", \"validation\": " << diag.secondsValidation
+     << ", \"fallback\": " << diag.secondsFallback
+     << ", \"sweep\": " << diag.secondsSweep
+     << ", \"verify\": " << diag.secondsVerify << "},\n";
+  os << "  \"outputs\": [";
+  for (std::size_t i = 0; i < diag.outputs.size(); ++i) {
+    const OutputReport& r = diag.outputs[i];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"output\": " << r.output << ", \"name\": \""
+       << jsonEscape(r.name) << "\", \"status\": \""
+       << outputRectStatusName(r.status) << "\", \"limit\": \""
+       << statusCodeName(r.limit) << "\", \"conflicts_used\": "
+       << r.conflictsUsed << ", \"bdd_nodes_used\": " << r.bddNodesUsed
+       << ", \"seconds\": " << r.seconds
+       << ", \"degrade_steps\": " << r.degradeSteps << "}";
+  }
+  os << (diag.outputs.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+}
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --impl FILE --spec FILE [--engine "
-               "syseco|deltasyn|conesynth]\n"
-               "          [--out FILE] [--samples N] [--max-points M]\n"
+               "syseco|deltasyn|conesynth|exactfix|interpfix]\n"
+               "          [--out FILE] [--report FILE] [--samples N] "
+               "[--max-points M]\n"
+               "          [--deadline-ms MS] [--total-conflict-budget N] "
+               "[--bdd-node-budget N]\n"
                "          [--level-driven] [--uniform-sampling] [--no-sweep]"
                "\n          [--seed S] [--verbose]\n",
                argv0);
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string implPath, specPath, outPath, engine = "syseco";
+  std::string implPath, specPath, outPath, reportPath, engine = "syseco";
   SysecoOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -82,29 +165,53 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--impl") implPath = value();
-    else if (arg == "--spec") specPath = value();
-    else if (arg == "--out") outPath = value();
-    else if (arg == "--engine") engine = value();
-    else if (arg == "--samples") opt.numSamples =
-        static_cast<std::size_t>(std::stoul(value()));
-    else if (arg == "--max-points") opt.maxPoints = std::stoi(value());
-    else if (arg == "--level-driven") opt.levelDriven = true;
-    else if (arg == "--uniform-sampling") opt.useErrorDomainSampling = false;
-    else if (arg == "--no-sweep") opt.enableSweeping = false;
-    else if (arg == "--seed") opt.seed = std::stoull(value());
-    else if (arg == "--verbose") opt.verbose = true;
-    else if (arg == "--help" || arg == "-h") usage(argv[0]);
-    else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      usage(argv[0]);
+    try {
+      if (arg == "--impl") implPath = value();
+      else if (arg == "--spec") specPath = value();
+      else if (arg == "--out") outPath = value();
+      else if (arg == "--report") reportPath = value();
+      else if (arg == "--engine") engine = value();
+      else if (arg == "--samples") opt.numSamples =
+          static_cast<std::size_t>(std::stoul(value()));
+      else if (arg == "--max-points") opt.maxPoints = std::stoi(value());
+      else if (arg == "--deadline-ms")
+        opt.deadlineSeconds = std::stod(value()) / 1000.0;
+      else if (arg == "--total-conflict-budget")
+        opt.totalConflictBudget = std::stoll(value());
+      else if (arg == "--bdd-node-budget")
+        opt.totalBddNodeBudget = std::stoll(value());
+      else if (arg == "--level-driven") opt.levelDriven = true;
+      else if (arg == "--uniform-sampling") opt.useErrorDomainSampling = false;
+      else if (arg == "--no-sweep") opt.enableSweeping = false;
+      else if (arg == "--seed") opt.seed = std::stoull(value());
+      else if (arg == "--verbose") opt.verbose = true;
+      else if (arg == "--help" || arg == "-h") usage(argv[0]);
+      else {
+        std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+        usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value for option '%s'\n", arg.c_str());
+      return kExitInvalidInput;
     }
   }
   if (implPath.empty() || specPath.empty()) usage(argv[0]);
 
   try {
-    const Netlist impl = loadAny(implPath);
-    const Netlist spec = loadAny(specPath);
+    Result<Netlist> implLoaded = loadAnyChecked(implPath);
+    if (!implLoaded.isOk()) {
+      std::fprintf(stderr, "error: %s\n",
+                   implLoaded.status().toString().c_str());
+      return kExitInvalidInput;
+    }
+    Result<Netlist> specLoaded = loadAnyChecked(specPath);
+    if (!specLoaded.isOk()) {
+      std::fprintf(stderr, "error: %s\n",
+                   specLoaded.status().toString().c_str());
+      return kExitInvalidInput;
+    }
+    const Netlist impl = implLoaded.take();
+    const Netlist spec = specLoaded.take();
     std::printf("implementation: %zu gates, %zu inputs, %zu outputs\n",
                 impl.countLiveGates(), impl.numInputs(), impl.numOutputs());
     std::printf("revised spec:   %zu gates\n", spec.countLiveGates());
@@ -112,7 +219,14 @@ int main(int argc, char** argv) {
     EcoResult result;
     SysecoDiagnostics diag;
     if (engine == "syseco") {
-      result = runSyseco(impl, spec, opt, &diag);
+      Result<EcoResult> run = runSysecoChecked(impl, spec, opt, &diag);
+      if (!run.isOk()) {
+        std::fprintf(stderr, "error: %s\n", run.status().toString().c_str());
+        return run.status().code() == StatusCode::kInvalidInput
+                   ? kExitInvalidInput
+                   : kExitUsage;
+      }
+      result = run.take();
     } else if (engine == "deltasyn") {
       DeltaSynOptions d;
       d.seed = opt.seed;
@@ -129,7 +243,7 @@ int main(int argc, char** argv) {
       result = runInterpFix(impl, spec, x);
     } else {
       std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
-      return 2;
+      return kExitUsage;
     }
 
     std::printf("failing outputs: %zu\n", result.failingOutputsBefore);
@@ -141,17 +255,48 @@ int main(int argc, char** argv) {
                   "merges: %zu\n",
                   diag.outputsViaRewire, diag.outputsViaFallback,
                   diag.sweepMerges);
+      if (diag.resourceDegraded()) {
+        std::size_t degraded = 0, fallback = 0;
+        for (const OutputReport& r : diag.outputs) {
+          degraded += r.status == OutputRectStatus::kDegraded;
+          fallback += r.status == OutputRectStatus::kFallback;
+        }
+        std::printf("resource limits tripped (%s): %zu output(s) degraded, "
+                    "%zu via fallback\n",
+                    statusCodeName(diag.runLimit), degraded, fallback);
+      }
     }
     std::printf("runtime: %s\n", formatHms(result.seconds).c_str());
     std::printf("verification: %s\n",
                 result.success ? "EQUIVALENT (SAT-proven)" : "FAILED");
+
+    int exitCode = kExitVerifyFailed;
+    if (result.success)
+      exitCode = (engine == "syseco" && diag.resourceDegraded())
+                     ? kExitDegraded
+                     : kExitClean;
+
+    if (!reportPath.empty()) {
+      std::ofstream rf(reportPath);
+      if (!rf) {
+        std::fprintf(stderr, "error: cannot open report file %s\n",
+                     reportPath.c_str());
+        return kExitUsage;
+      }
+      writeReport(rf, engine, result, diag, exitCode);
+      std::printf("run report written to %s\n", reportPath.c_str());
+    }
     if (!outPath.empty()) {
       saveAny(outPath, result.rectified);
       std::printf("rectified design written to %s\n", outPath.c_str());
     }
-    return result.success ? 0 : 1;
+    return exitCode;
+  } catch (const StatusError& e) {
+    std::fprintf(stderr, "error: %s\n", e.status().toString().c_str());
+    return e.status().code() == StatusCode::kInvalidInput ? kExitInvalidInput
+                                                          : kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return kExitUsage;
   }
 }

@@ -1,0 +1,101 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+namespace syseco::fault {
+
+namespace {
+
+std::optional<Kind> kindFromName(std::string_view name) {
+  if (name == "budget") return Kind::kBudgetExhausted;
+  if (name == "deadline") return Kind::kDeadlineExceeded;
+  if (name == "bdd") return Kind::kBddBlowup;
+  if (name == "alloc") return Kind::kAllocFailure;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+Injector::Injector() {
+  if (const char* env = std::getenv("SYSECO_FAULT_INJECT")) configure(env);
+}
+
+void Injector::arm(std::string site, Kind kind, std::uint64_t skip) {
+  for (Trigger& t : triggers_) {
+    if (t.site == site) {
+      t.kind = kind;
+      t.skip = skip;
+      t.hits = 0;
+      return;
+    }
+  }
+  triggers_.push_back(Trigger{std::move(site), kind, skip, 0});
+}
+
+void Injector::reset() { triggers_.clear(); }
+
+std::optional<Kind> Injector::fire(std::string_view site) {
+  for (Trigger& t : triggers_) {
+    if (t.site != site) continue;
+    const std::uint64_t hit = t.hits++;
+    if (hit < t.skip) return std::nullopt;
+    return t.kind;
+  }
+  return std::nullopt;
+}
+
+bool Injector::configure(std::string_view spec) {
+  bool allOk = true;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (clause.empty()) continue;
+
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      allOk = false;
+      continue;
+    }
+    std::string_view kindPart = clause.substr(eq + 1);
+    std::uint64_t skip = 0;
+    if (const std::size_t at = kindPart.find('@');
+        at != std::string_view::npos) {
+      const std::string_view skipPart = kindPart.substr(at + 1);
+      kindPart = kindPart.substr(0, at);
+      if (skipPart.empty()) {
+        allOk = false;
+        continue;
+      }
+      skip = 0;
+      bool digits = true;
+      for (char c : skipPart) {
+        if (c < '0' || c > '9') {
+          digits = false;
+          break;
+        }
+        skip = skip * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      if (!digits) {
+        allOk = false;
+        continue;
+      }
+    }
+    const std::optional<Kind> kind = kindFromName(kindPart);
+    if (!kind) {
+      allOk = false;
+      continue;
+    }
+    arm(std::string(clause.substr(0, eq)), *kind, skip);
+  }
+  return allOk;
+}
+
+}  // namespace syseco::fault

@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic fault injection for the resource-governor degradation paths.
+//
+// Budget exhaustion, BDD node blowups and allocation failures are rare and
+// timing-dependent in production, which makes the code that reacts to them
+// (staged degradation, cone-clone fallback, structured parser errors) the
+// least-tested code in the engine. This hook lets tests - and operators,
+// via the SYSECO_FAULT_INJECT environment variable - force those outcomes
+// at named sites so every degradation path runs deterministically.
+//
+// Environment syntax (comma-separated triggers):
+//
+//   SYSECO_FAULT_INJECT="<site>=<kind>[@<skip>][,...]"
+//
+//   kind: budget | deadline | bdd | alloc
+//   skip: number of hits at the site to let through before firing
+//         (default 0: fire from the first hit onward)
+//
+// e.g. SYSECO_FAULT_INJECT="syseco.sampling=budget,syseco.pointsets=bdd@1"
+//
+// Sites are plain string tags; the instrumented locations are listed next
+// to their call sites (grep for fault::fire). A trigger keeps firing once
+// its skip count is consumed - degradation must hold up under persistent,
+// not transient, exhaustion.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syseco::fault {
+
+enum class Kind {
+  kBudgetExhausted,   ///< behave as if a conflict/node ledger ran dry
+  kDeadlineExceeded,  ///< behave as if the wall clock passed the deadline
+  kBddBlowup,         ///< behave as if the BDD manager hit its node limit
+  kAllocFailure,      ///< behave as if an allocation failed
+};
+
+struct Trigger {
+  std::string site;
+  Kind kind = Kind::kBudgetExhausted;
+  std::uint64_t skip = 0;  ///< hits to let through before firing
+  std::uint64_t hits = 0;  ///< hits observed so far
+};
+
+class Injector {
+ public:
+  /// Process-wide instance, configured from SYSECO_FAULT_INJECT on first
+  /// access. The engine is single-threaded; no locking.
+  static Injector& instance();
+
+  /// Arms a trigger programmatically (unit tests). Replaces any existing
+  /// trigger on the same site.
+  void arm(std::string site, Kind kind, std::uint64_t skip = 0);
+
+  /// Removes every trigger (tests must clean up after themselves).
+  void reset();
+
+  /// Records a hit at `site`; returns the armed kind when the trigger
+  /// fires, nullopt when the site is unarmed or still skipping.
+  std::optional<Kind> fire(std::string_view site);
+
+  bool empty() const { return triggers_.empty(); }
+
+  /// Parses the environment syntax; returns false (and arms nothing from
+  /// the bad clause) on a malformed clause.
+  bool configure(std::string_view spec);
+
+ private:
+  Injector();
+  std::vector<Trigger> triggers_;
+};
+
+/// Convenience: hit a site on the global injector. Zero-cost in the common
+/// (unarmed) case beyond one empty-vector check.
+inline std::optional<Kind> fire(std::string_view site) {
+  Injector& inj = Injector::instance();
+  if (inj.empty()) return std::nullopt;
+  return inj.fire(site);
+}
+
+}  // namespace syseco::fault

@@ -1,15 +1,22 @@
 // Structural fuzz tests: random sequences of mutating operations must
-// never corrupt the data model's invariants, and the optimization +
-// engine pipeline must stay sound across diverse random cases.
+// never corrupt the data model's invariants, the optimization + engine
+// pipeline must stay sound across diverse random cases, and the checked
+// parsers must turn arbitrary garbage into a Status - never a crash.
 
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 #include "cnf/encode.hpp"
 #include "eco/patch.hpp"
 #include "eco/syseco.hpp"
 #include "gen/eco_case.hpp"
 #include "gen/spec_builder.hpp"
+#include "io/blif_io.hpp"
+#include "io/netlist_io.hpp"
+#include "io/verilog_io.hpp"
 #include "sim/simulator.hpp"
+#include "util/fault.hpp"
 
 namespace syseco {
 namespace {
@@ -112,6 +119,158 @@ TEST_P(PipelineFuzz, EndToEndSoundnessOnRandomRecipes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// --- Parser robustness ------------------------------------------------------
+
+/// Runs one text through all three checked readers. The contract under
+/// test: whatever the bytes, the parse returns (ok or a Status) instead of
+/// crashing or aborting, and an accepted netlist is well-formed.
+void parseEverywhere(const std::string& text) {
+  {
+    std::istringstream is(text);
+    const Result<Netlist> r = readBlifChecked(is);
+    if (r.isOk()) {
+      EXPECT_TRUE(r.value().isWellFormed());
+    }
+  }
+  {
+    std::istringstream is(text);
+    const Result<Netlist> r = readNetlistChecked(is);
+    if (r.isOk()) {
+      EXPECT_TRUE(r.value().isWellFormed());
+    }
+  }
+  {
+    std::istringstream is(text);
+    const Result<Netlist> r = readVerilogChecked(is);
+    if (r.isOk()) {
+      EXPECT_TRUE(r.value().isWellFormed());
+    }
+  }
+}
+
+TEST(ParserFuzz, GarbageCorpusNeverCrashes) {
+  const char* corpus[] = {
+      "",
+      "\n\n\n",
+      "garbage",
+      "garbage .blif\x01\x02\xff",
+      ".model\n.end",
+      ".model m\n.inputs a a\n.end",
+      ".model m\n.outputs y y\n.names y\n1\n.end",
+      ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end",
+      ".model m\n.names a b\n.names b a\n.end",  // cycle
+      ".model m\n.inputs a\n.outputs y\n.latch a y\n.end",
+      ".names x\n- -\n",
+      ".model m\n.inputs a\n.outputs y\n.gate nosuch y a\n.end",
+      ".model m\n.inputs a\n.outputs y\n.gate not y a\n"
+      ".assign y n999\n.end",
+      ".model m\n.inputs a\n.outputs y\n.gate not y a a a\n.end",
+      ".model m\n.outputs y\n.assign y y\n.end",
+      "module ; endmodule",
+      "module m (a, a); endmodule",
+      "module m (y); output y; endmodule",
+      "module m (y); output y; assign y = nope; endmodule",
+      "module m (a, y); input a; output y; assign y = ~; endmodule",
+      "module m (a, y); input a; output y;\n"
+      "  assign y = a ? a; endmodule",
+      "module m (a, y); input a; output y;\n"
+      "  assign y = a; assign y = a; endmodule",
+      "module m (a, y); input a; output y; assign y = a & | a; endmodule",
+      "module m (a, y); input a; output y; assign y = 1'b2; endmodule",
+      "// only a comment",
+      "\\  \n",
+  };
+  for (const char* text : corpus) parseEverywhere(text);
+}
+
+TEST(ParserFuzz, TruncatedValidFilesNeverCrash) {
+  // Serialize a real design in all three formats, then feed every prefix
+  // to every reader: truncation must yield a Status, not a crash.
+  Rng rng(7);
+  SpecCircuit sc = buildSpec(SpecParams{2, 6, 3, 2, 4, 3, 2, 2}, rng);
+  std::string texts[3];
+  {
+    std::ostringstream os;
+    writeBlif(os, sc.netlist);
+    texts[0] = os.str();
+  }
+  {
+    std::ostringstream os;
+    writeNetlist(os, sc.netlist);
+    texts[1] = os.str();
+  }
+  {
+    std::ostringstream os;
+    writeVerilog(os, sc.netlist);
+    texts[2] = os.str();
+  }
+  for (const std::string& text : texts) {
+    for (std::size_t cut = 0; cut < text.size(); cut += 7)
+      parseEverywhere(text.substr(0, cut));
+    parseEverywhere(text);
+  }
+}
+
+TEST(ParserFuzz, MutatedValidFilesNeverCrash) {
+  Rng rng(99);
+  SpecCircuit sc = buildSpec(SpecParams{2, 6, 3, 2, 4, 3, 2, 2}, rng);
+  std::ostringstream os;
+  writeBlif(os, sc.netlist);
+  const std::string base = os.str();
+  for (int round = 0; round < 64; ++round) {
+    std::string mutated = base;
+    // A handful of random byte edits per round.
+    for (int e = 0; e < 4; ++e) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<char>(rng.below(256));
+    }
+    parseEverywhere(mutated);
+  }
+}
+
+TEST(ParserFuzz, RoundTripsSurviveAllFormats) {
+  // The readers must accept (and preserve the semantics of) everything the
+  // writers emit - checked via a full write/read/write fixpoint per format.
+  Rng rng(5);
+  SpecCircuit sc = buildSpec(SpecParams{2, 6, 3, 2, 4, 3, 2, 2}, rng);
+  const Netlist& nl = sc.netlist;
+  {
+    std::ostringstream os;
+    writeBlif(os, nl);
+    std::istringstream is(os.str());
+    const Result<Netlist> r = readBlifChecked(is);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(r.value().numOutputs(), nl.numOutputs());
+  }
+  {
+    std::ostringstream os;
+    writeNetlist(os, nl);
+    std::istringstream is(os.str());
+    const Result<Netlist> r = readNetlistChecked(is);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(r.value().numOutputs(), nl.numOutputs());
+  }
+  {
+    std::ostringstream os;
+    writeVerilog(os, nl);
+    std::istringstream is(os.str());
+    const Result<Netlist> r = readVerilogChecked(is);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(r.value().numOutputs(), nl.numOutputs());
+  }
+}
+
+TEST(ParserFuzz, InjectedAllocFailureBecomesInternalStatus) {
+  fault::Injector::instance().reset();
+  fault::Injector::instance().arm("io.blif", fault::Kind::kAllocFailure);
+  std::istringstream is(".model m\n.inputs a\n.outputs y\n"
+                        ".names a y\n1 1\n.end\n");
+  const Result<Netlist> r = readBlifChecked(is);
+  fault::Injector::instance().reset();
+  ASSERT_FALSE(r.isOk());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
 
 }  // namespace
 }  // namespace syseco
