@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# CI gauntlet: Release build + full test suite, sanitizer build + hostile
+# -input suite, and a kill-and-resume smoke test that crash-injects the CLI
+# mid-run (simulated kill -9) and proves the journal resumes to a verified
+# result. Run from anywhere; builds land in build-ci/ and build-ci-asan/.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== Release build + tier-1 tests ==="
+cmake -B "$ROOT/build-ci" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$ROOT/build-ci" -j "$JOBS"
+ctest --test-dir "$ROOT/build-ci" --output-on-failure -j "$JOBS"
+
+echo "=== Sanitizer build (ASan+UBSan) + robustness suite ==="
+cmake -B "$ROOT/build-ci-asan" -S "$ROOT" -DSYSECO_SANITIZE=ON
+cmake --build "$ROOT/build-ci-asan" -j "$JOBS"
+ctest --test-dir "$ROOT/build-ci-asan" --output-on-failure -j "$JOBS" -L sanitize
+
+echo "=== Kill-and-resume smoke test ==="
+CLI="$ROOT/build-ci/src/tools/syseco_cli"
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+IMPL="$ROOT/data/alu_impl.blif"
+SPEC="$ROOT/data/alu_spec.blif"
+
+"$CLI" --impl "$IMPL" --spec "$SPEC" --report "$SMOKE/ref.json" \
+    > "$SMOKE/ref.log"
+
+# Crash (std::_Exit(137), the honest kill -9) right after the first
+# checkpoint commits, then resume until the run completes; each resume may
+# crash again after one more output, so loop with a hard bound.
+set +e
+SYSECO_FAULT_INJECT="journal.checkpoint=crash" \
+    "$CLI" --impl "$IMPL" --spec "$SPEC" --journal "$SMOKE/j" \
+    > "$SMOKE/crash.log" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 137 ] || { echo "expected crash exit 137, got $rc"; exit 1; }
+
+for round in 1 2 3 4 5 6 7 8; do
+  set +e
+  SYSECO_FAULT_INJECT="journal.checkpoint=crash@1" \
+      "$CLI" --impl "$IMPL" --spec "$SPEC" --resume "$SMOKE/j" \
+      --report "$SMOKE/resumed.json" > "$SMOKE/resume$round.log" 2>&1
+  rc=$?
+  set -e
+  [ "$rc" -eq 137 ] && continue
+  [ "$rc" -eq 0 ] || { echo "resume failed with $rc"; cat "$SMOKE/resume$round.log"; exit 1; }
+  break
+done
+[ "$rc" -eq 0 ] || { echo "resume chain never finished"; exit 1; }
+
+# The resumed report must equal the uninterrupted one, timing aside.
+normalize() { grep -v '"phase_seconds"' "$1" | sed 's/"seconds": [0-9.e+-]*/"seconds": T/g'; }
+if ! diff <(normalize "$SMOKE/ref.json") <(normalize "$SMOKE/resumed.json"); then
+  echo "resumed report diverged from the uninterrupted run"
+  exit 1
+fi
+
+echo "=== CI passed ==="

@@ -15,6 +15,27 @@ PatchTracker::PatchTracker(Netlist& working)
     inputByName_.emplace(working_.inputName(i), working_.inputNet(i));
 }
 
+PatchTracker::PatchTracker(Netlist& working, const State& state)
+    : working_(working),
+      baseGates_(state.baseGates),
+      baseNets_(state.baseNets),
+      rewires_(state.rewires) {
+  for (std::uint32_t i = 0; i < working_.numInputs(); ++i)
+    inputByName_.emplace(working_.inputName(i), working_.inputNet(i));
+  for (const auto& [specNet, here] : state.cloneCache)
+    specCloneCache_.emplace(specNet, here);
+}
+
+PatchTracker::State PatchTracker::state() const {
+  State s;
+  s.baseGates = baseGates_;
+  s.baseNets = baseNets_;
+  s.rewires = rewires_;
+  s.cloneCache.assign(specCloneCache_.begin(), specCloneCache_.end());
+  std::sort(s.cloneCache.begin(), s.cloneCache.end());
+  return s;
+}
+
 void PatchTracker::rewire(const Sink& sink, NetId newNet) {
   NetId oldNet;
   if (sink.isOutput()) {

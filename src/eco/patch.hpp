@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -46,7 +47,30 @@ struct EcoResult {
 
 class PatchTracker {
  public:
+  struct RewireRecord {
+    Sink sink;
+    NetId oldNet;
+    NetId newNet;
+  };
+
+  /// Detachable copy of the tracker's accounting, journaled alongside the
+  /// working-netlist snapshot so a resumed run computes the same finalize()
+  /// statistics (and the same clone reuse) as an uninterrupted one.
+  struct State {
+    std::size_t baseGates = 0;
+    std::size_t baseNets = 0;
+    std::vector<RewireRecord> rewires;
+    /// specCloneCache_ as sorted (specNet, workingNet) pairs.
+    std::vector<std::pair<NetId, NetId>> cloneCache;
+  };
+
   explicit PatchTracker(Netlist& working);
+
+  /// Re-attaches journaled accounting to a restored working netlist.
+  PatchTracker(Netlist& working, const State& state);
+
+  /// Snapshot of the accounting for journaling.
+  State state() const;
 
   Netlist& netlist() { return working_; }
   const Netlist& netlist() const { return working_; }
@@ -68,12 +92,6 @@ class PatchTracker {
 
   /// Sweeps dead logic and computes the final patch attributes.
   PatchStats finalize();
-
-  struct RewireRecord {
-    Sink sink;
-    NetId oldNet;
-    NetId newNet;
-  };
 
   const std::vector<RewireRecord>& rewires() const { return rewires_; }
 

@@ -1,0 +1,61 @@
+#pragma once
+// Journal resume: validation, independent re-certification and plan
+// construction (the trust boundary of the crash-safe run journal).
+//
+// The journal is evidence, not truth. prepareResume() never adopts a
+// recorded verdict: it restores the most recent intact checkpoint, checks
+// it structurally against the *current* inputs, then re-proves every
+// claimed output with a fresh unbounded SAT miter. A record that fails any
+// step is demoted to "redo" with a line-accurate note - resume falls back
+// to the next older record, and ultimately to a fresh run. A corrupt or
+// stale journal therefore costs time, never correctness.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eco/syseco.hpp"
+#include "io/journal_io.hpp"
+#include "netlist/netlist.hpp"
+#include "util/status.hpp"
+
+namespace syseco {
+
+/// CRC-32 over the exact snapshot text - the journal's identity check for
+/// the implementation and specification netlists.
+std::uint32_t netlistCrc(const Netlist& nl);
+
+/// Stable fingerprint of every option that shapes the search. Resuming
+/// under different options would interleave two different searches into
+/// one patch, so a mismatch rejects the journal. Hooks and the resume
+/// plan itself are excluded (they don't affect the search).
+std::string sysecoOptionsFingerprint(const SysecoOptions& o);
+
+struct ResumeOutcome {
+  bool adopted = false;  ///< a checkpoint survived re-certification
+  Netlist netlist;       ///< restored working snapshot (when adopted)
+  ResumePlan plan;       ///< hand to SysecoOptions::resumePlan (when adopted)
+  std::vector<std::uint32_t> certified;  ///< outputs re-proven by fresh SAT
+  std::size_t demotedRecords = 0;        ///< records demoted to redo
+  std::vector<std::string> notes;        ///< diagnostics, line-accurate
+};
+
+/// Validates `journal` against the current inputs and re-certifies the
+/// newest adoptable checkpoint. kInvalidInput when the journal belongs to
+/// different inputs (netlist/options/seed fingerprint mismatch) - that is
+/// a user error, not a recoverable corruption. An empty or fully-demoted
+/// journal yields adopted=false: the caller runs fresh.
+Result<ResumeOutcome> prepareResume(const Netlist& impl, const Netlist& spec,
+                                    const SysecoOptions& options,
+                                    const JournalContents& journal);
+
+// --- Record builders (engine hook -> journal payload structs) -------------
+
+JournalRunStart makeRunStartRecord(const Netlist& impl, const Netlist& spec,
+                                   const SysecoOptions& options,
+                                   const std::vector<std::uint32_t>& order,
+                                   std::size_t failingOutputsBefore);
+
+JournalOutputRecord makeOutputRecord(const RunCheckpoint& cp);
+
+}  // namespace syseco

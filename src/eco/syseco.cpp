@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -188,28 +189,57 @@ class Engine {
 
   EcoResult run() {
     Timer timer;
-    PatchTracker tracker(result_.rectified);
+    const ResumePlan* plan = opt_.resumePlan;
+    std::optional<PatchTracker> trackerStore;
+    if (plan)
+      trackerStore.emplace(result_.rectified, plan->tracker);
+    else
+      trackerStore.emplace(result_.rectified);
+    PatchTracker& tracker = *trackerStore;
     tracker_ = &tracker;
     Netlist& w = working();
 
-    // Failing-output detection runs under the governor: outputs it cannot
-    // confirm healthy in time are treated as failing, so they end up
-    // provably correct via the fallback instead of silently unchecked.
-    std::vector<std::uint32_t> unresolved;
-    std::vector<std::uint32_t> failing =
-        findFailingOutputs(w, spec_, rng_, -1, &rootGuard_, &unresolved);
-    result_.failingOutputsBefore = failing.size();
-    failing.insert(failing.end(), unresolved.begin(), unresolved.end());
-    failingSet_.insert(failing.begin(), failing.end());
+    std::vector<std::uint32_t> failing;
+    if (plan) {
+      // Resume: the journal already proved which outputs were failing and
+      // in what order they were (and must keep being) processed - the
+      // order was computed against the unpatched netlist, which no longer
+      // exists. Outputs with an adopted report are skipped outright.
+      result_.failingOutputsBefore = plan->failingOutputsBefore;
+      restoredConflicts_ = plan->conflictsUsed;
+      restoredBddNodes_ = plan->bddNodesUsed;
+      diag_.outputs = plan->restored;
+      std::unordered_set<std::uint32_t> done;
+      for (const OutputReport& r : plan->restored) done.insert(r.output);
+      for (std::uint32_t o : plan->order) {
+        if (done.count(o)) continue;
+        failing.push_back(o);
+        failingSet_.insert(o);
+      }
+      plannedOutputs_ = plan->order.size();
+    } else {
+      // Failing-output detection runs under the governor: outputs it cannot
+      // confirm healthy in time are treated as failing, so they end up
+      // provably correct via the fallback instead of silently unchecked.
+      std::vector<std::uint32_t> unresolved;
+      failing =
+          findFailingOutputs(w, spec_, rng_, -1, &rootGuard_, &unresolved);
+      result_.failingOutputsBefore = failing.size();
+      failing.insert(failing.end(), unresolved.begin(), unresolved.end());
+      failingSet_.insert(failing.begin(), failing.end());
 
-    // Increasing logical complexity: smallest cones first (§5.2).
-    std::sort(failing.begin(), failing.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                return w.coneGates({w.outputNet(a)}).size() <
-                       w.coneGates({w.outputNet(b)}).size();
-              });
+      // Increasing logical complexity: smallest cones first (§5.2).
+      std::sort(failing.begin(), failing.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return w.coneGates({w.outputNet(a)}).size() <
+                         w.coneGates({w.outputNet(b)}).size();
+                });
+      plannedOutputs_ = failing.size();
+      if (opt_.planHook) opt_.planHook(failing, result_.failingOutputsBefore);
+    }
 
-    for (std::size_t k = 0; k < failing.size(); ++k) {
+    bool interrupted = false;
+    for (std::size_t k = 0; k < failing.size() && !interrupted; ++k) {
       // Fair-share slicing: each output is entitled to 1/left of whatever
       // conflicts, nodes and time remain - one pathological output cannot
       // starve the outputs behind it.
@@ -221,10 +251,23 @@ class Engine {
             std::max(remaining, 0.0) / static_cast<double>(left);
       ResourceGuard outGuard =
           rootGuard_.sliceSeconds(left, perOutputSeconds);
-      rectifyOutput(failing[k], outGuard);
+      const bool reported = rectifyOutput(failing[k], outGuard);
+      if (reported && opt_.checkpointHook) {
+        const RunCheckpoint cp{
+            diag_.outputs.back(),
+            diag_.outputs,
+            w,
+            tracker,
+            diag_.outputs.size(),
+            plannedOutputs_,
+            restoredConflicts_ + rootGuard_.conflictsUsed(),
+            restoredBddNodes_ + rootGuard_.bddNodesUsed()};
+        if (!opt_.checkpointHook(cp)) interrupted = true;
+      }
     }
+    diag_.interrupted = interrupted;
 
-    {
+    if (!interrupted) {
       Timer phase;
       // Sweeping is optional polish; an exhausted governor skips it and
       // keeps the (larger but correct) patch.
@@ -233,15 +276,17 @@ class Engine {
     }
 
     diag_.runLimit = rootGuard_.trippedCode();
-    diag_.conflictsUsed = rootGuard_.conflictsUsed();
-    diag_.bddNodesUsed = rootGuard_.bddNodesUsed();
+    diag_.conflictsUsed = restoredConflicts_ + rootGuard_.conflictsUsed();
+    diag_.bddNodesUsed = restoredBddNodes_ + rootGuard_.bddNodesUsed();
 
-    result_.stats = tracker.finalize();
-    // Final verification is the soundness gate: it always runs unbounded,
-    // whatever the governor says - a degraded run still proves its patch.
-    Timer verifyPhase;
-    result_.success = verifyAllOutputs(result_.rectified, spec_);
-    diag_.secondsVerify += verifyPhase.seconds();
+    if (!interrupted) {
+      result_.stats = tracker.finalize();
+      // Final verification is the soundness gate: it always runs unbounded,
+      // whatever the governor says - a degraded run still proves its patch.
+      Timer verifyPhase;
+      result_.success = verifyAllOutputs(result_.rectified, spec_);
+      diag_.secondsVerify += verifyPhase.seconds();
+    }
     result_.seconds = timer.seconds();
     return std::move(result_);
   }
@@ -259,10 +304,21 @@ class Engine {
 
   // --- Per-output rectification (the RewireRectification loop body) -------
 
-  void rectifyOutput(std::uint32_t o, ResourceGuard& outGuard) {
+  /// Returns true when an OutputReport was pushed (the caller's checkpoint
+  /// hook fires only on real progress).
+  bool rectifyOutput(std::uint32_t o, ResourceGuard& outGuard) {
     const std::uint32_t op = specOutput(o);
-    if (op == kNullId) return;
+    if (op == kNullId) return false;
     Netlist& w = working();
+
+    // The per-output search must depend only on (seed, output, current
+    // netlist) - never on how the run got here - so that a journal resume
+    // replays the remaining outputs bit-exactly. Both the RNG stream and
+    // the spec-matching cloner (whose caches encode search history) are
+    // re-derived at each output boundary.
+    rng_.reseed(opt_.seed ^ (0x9e3779b97f4a7c15ULL *
+                             (static_cast<std::uint64_t>(o) + 1)));
+    cloner_.reset();
 
     Timer outputTimer;
     OutputReport report;
@@ -284,7 +340,7 @@ class Engine {
         failingSet_.erase(o);
         finishReport(std::move(report), outGuard, /*viaFallback=*/false,
                      outputTimer.seconds());
-        return;
+        return true;
       }
     }
 
@@ -329,6 +385,7 @@ class Engine {
     ++diag_.outputsRectified;
     failingSet_.erase(o);
     finishReport(std::move(report), outGuard, !done, outputTimer.seconds());
+    return true;
   }
 
   void finishReport(OutputReport report, const ResourceGuard& outGuard,
@@ -1724,6 +1781,9 @@ class Engine {
 
   void sweepPatch() {
     Netlist& w = working();
+    // History-free randomness, mirroring the per-output reseeds: the sweep
+    // must behave identically whether the run was uninterrupted or resumed.
+    rng_.reseed(opt_.seed ^ 0x51eeb5feed5ULL);
     w.sweepDeadLogic();
     constexpr std::size_t kWords = 32;  // 2048 patterns
     Simulator sim(w, kWords);
@@ -1802,6 +1862,12 @@ class Engine {
   ResourceGuard* activeGuard_ = nullptr;
   int degradeSteps_ = 0;
   std::size_t effMaxPointSets_ = 0;
+  // Journal-resume accounting: totals adopted from the journal (reported
+  // on top of this process's own rootGuard_ charges) and the size of the
+  // full processing plan (for checkpoint progress records).
+  std::int64_t restoredConflicts_ = 0;
+  std::int64_t restoredBddNodes_ = 0;
+  std::size_t plannedOutputs_ = 0;
 };
 
 }  // namespace

@@ -26,6 +26,7 @@
 // to a clone of its revised cone (completeness, Proposition 1).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,37 @@
 #include "util/status.hpp"
 
 namespace syseco {
+
+struct OutputReport;
+
+/// Snapshot handed to SysecoOptions::checkpointHook after each per-output
+/// rectification completes. Everything referenced lives only for the call;
+/// a journaling hook serializes what it needs (the working netlist via
+/// Netlist::dumpRaw, the tracker via PatchTracker::state).
+struct RunCheckpoint {
+  const OutputReport& report;                ///< the just-finished output
+  const std::vector<OutputReport>& reports;  ///< cumulative, restored included
+  const Netlist& working;                    ///< current patched netlist
+  const PatchTracker& tracker;               ///< patch accounting so far
+  std::size_t completed = 0;  ///< reports so far (restored included)
+  std::size_t planned = 0;    ///< outputs in the processing plan
+  std::int64_t conflictsUsed = 0;  ///< cumulative run total (restored incl.)
+  std::int64_t bddNodesUsed = 0;   ///< cumulative run total (restored incl.)
+};
+
+/// State adopted from a validated journal: the engine skips the outputs
+/// already proven rectified and re-enters the cascade for the remainder,
+/// replaying the journaled processing order (the order was computed against
+/// the *unpatched* netlist; re-sorting against the restored one would
+/// diverge from the uninterrupted run).
+struct ResumePlan {
+  std::size_t failingOutputsBefore = 0;
+  std::vector<std::uint32_t> order;    ///< journaled processing order
+  std::vector<OutputReport> restored;  ///< reports adopted from the journal
+  std::int64_t conflictsUsed = 0;      ///< totals at the adopted checkpoint
+  std::int64_t bddNodesUsed = 0;
+  PatchTracker::State tracker;
+};
 
 struct SysecoOptions {
   std::size_t numSamples = 64;       ///< sampling-domain size N
@@ -70,6 +102,24 @@ struct SysecoOptions {
   double deadlineSeconds = 0.0;          ///< wall-clock deadline for the run
   std::int64_t totalConflictBudget = 0;  ///< SAT conflicts across all phases
   std::int64_t totalBddNodeBudget = 0;   ///< BDD nodes across all managers
+
+  // --- Crash-safe journaling hooks ----------------------------------------
+  /// Called once, after failing-output detection and ordering, with the
+  /// planned processing order and the failing-output count (a journaling
+  /// caller records them in its run-start record). Not called on resume.
+  std::function<void(const std::vector<std::uint32_t>& order,
+                     std::size_t failingOutputsBefore)>
+      planHook;
+  /// Called after every completed per-output rectification. Returning
+  /// false stops the run cleanly before the next output (the interrupted
+  /// path: sweeping and final verification are skipped, success stays
+  /// false, and SysecoDiagnostics::interrupted is set).
+  std::function<bool(const RunCheckpoint&)> checkpointHook;
+  /// When set, the run resumes from the adopted journal state instead of
+  /// detecting failing outputs itself. The `impl` netlist passed to
+  /// runSyseco must be the restored working snapshot the plan refers to.
+  /// Borrowed pointer; must outlive the run.
+  const ResumePlan* resumePlan = nullptr;
 };
 
 /// Rejects nonsensical configurations (zero samples, non-positive point
@@ -131,6 +181,11 @@ struct SysecoDiagnostics {
   StatusCode runLimit = StatusCode::kOk;  ///< first whole-run trip, if any
   std::int64_t conflictsUsed = 0;         ///< total SAT conflicts charged
   std::int64_t bddNodesUsed = 0;          ///< total BDD nodes charged
+
+  /// True when a checkpoint hook stopped the run early (journaled
+  /// interruption). Sweeping and final verification did not happen; the
+  /// journal is the authoritative record of progress.
+  bool interrupted = false;
 
   /// True when a resource limit forced at least one output off the
   /// full-strength search path - the "degraded run" signal surfaced by the

@@ -32,6 +32,8 @@ inline void hitParseSite(const char* site) {
             std::string("fault injected at ") + site));
       case fault::Kind::kBddBlowup:
         break;  // meaningless in a parser; ignore
+      case fault::Kind::kCrash:
+        break;  // unreachable: Injector::fire exits before returning
     }
   }
 }

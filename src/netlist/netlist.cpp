@@ -1,7 +1,10 @@
 #include "netlist/netlist.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <ostream>
 #include <queue>
+#include <sstream>
 
 #include "util/check.hpp"
 
@@ -391,6 +394,243 @@ NetId Netlist::cloneCone(
   }
   cache.emplace(srcNet, here);
   return here;
+}
+
+namespace {
+
+constexpr const char* kRawMagic = "syseco-raw-netlist-v1";
+// Caps on declared counts: a snapshot of a legitimate run never approaches
+// these, and bounding them keeps a corrupt count from driving a giant
+// allocation before any cross-checking can happen.
+constexpr std::size_t kRawMaxItems = 50u * 1000u * 1000u;
+
+/// Percent-encodes a label so it survives whitespace-delimited parsing.
+/// The empty string encodes as "%" alone (never produced by the encoder
+/// for non-empty input, since '%' itself is escaped).
+std::string encodeRawName(const std::string& s) {
+  if (s.empty()) return "%";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == '%' || u >= 0x7F) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool decodeRawName(const std::string& s, std::string* out) {
+  if (s == "%") {
+    out->clear();
+    return true;
+  }
+  out->clear();
+  out->reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out->push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return false;
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return true;
+}
+
+Status rawError(std::size_t line, const std::string& what) {
+  return Status::invalidInput("raw netlist line " + std::to_string(line) +
+                              ": " + what);
+}
+
+}  // namespace
+
+void Netlist::dumpRaw(std::ostream& os) const {
+  os << kRawMagic << '\n';
+  os << "counts " << gates_.size() << ' ' << nets_.size() << ' '
+     << inputs_.size() << ' ' << outputs_.size() << '\n';
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    os << "input " << inputs_[i] << ' ' << encodeRawName(inputNames_[i])
+       << '\n';
+  for (const Gate& g : gates_) {
+    os << "gate " << static_cast<unsigned>(g.type) << ' ' << g.out << ' '
+       << (g.dead ? 1 : 0) << ' ' << g.fanins.size();
+    for (NetId f : g.fanins) os << ' ' << f;
+    os << '\n';
+  }
+  for (const Net& n : nets_) {
+    os << "net " << static_cast<unsigned>(n.srcKind) << ' ' << n.srcIdx << ' '
+       << encodeRawName(n.name) << ' ' << n.sinks.size();
+    for (const Sink& s : n.sinks) os << ' ' << s.gate << ' ' << s.port;
+    os << '\n';
+  }
+  for (std::size_t o = 0; o < outputs_.size(); ++o)
+    os << "output " << outputs_[o] << ' ' << encodeRawName(outputNames_[o])
+       << '\n';
+  os << "end\n";
+}
+
+std::string Netlist::dumpRawString() const {
+  std::ostringstream os;
+  dumpRaw(os);
+  return os.str();
+}
+
+Result<Netlist> Netlist::restoreRaw(std::istream& is) {
+  std::string line;
+  std::size_t lineNo = 0;
+  auto nextLine = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++lineNo;
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+
+  if (!nextLine() || line != kRawMagic)
+    return rawError(lineNo == 0 ? 1 : lineNo, "bad magic");
+
+  std::size_t nGates = 0, nNets = 0, nInputs = 0, nOutputs = 0;
+  {
+    if (!nextLine()) return rawError(lineNo + 1, "missing counts");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> nGates >> nNets >> nInputs >> nOutputs) ||
+        tag != "counts")
+      return rawError(lineNo, "malformed counts");
+    if (nGates > kRawMaxItems || nNets > kRawMaxItems ||
+        nInputs > kRawMaxItems || nOutputs > kRawMaxItems)
+      return rawError(lineNo, "count exceeds sanity cap");
+  }
+
+  Netlist nl;
+  nl.gates_.resize(nGates);
+  nl.nets_.resize(nNets);
+  nl.inputs_.reserve(nInputs);
+  nl.outputs_.reserve(nOutputs);
+
+  auto checkNet = [&](std::uint64_t id) { return id < nNets; };
+  auto checkGate = [&](std::uint64_t id) { return id < nGates; };
+
+  for (std::size_t i = 0; i < nInputs; ++i) {
+    if (!nextLine()) return rawError(lineNo + 1, "missing input line");
+    std::istringstream ls(line);
+    std::string tag, enc;
+    std::uint64_t net = 0;
+    if (!(ls >> tag >> net >> enc) || tag != "input" || !checkNet(net))
+      return rawError(lineNo, "malformed input line");
+    std::string name;
+    if (!decodeRawName(enc, &name))
+      return rawError(lineNo, "bad input name encoding");
+    if (nl.inputIndex_.count(name))
+      return rawError(lineNo, "duplicate input name");
+    nl.inputIndex_.emplace(name, static_cast<std::uint32_t>(i));
+    nl.inputs_.push_back(static_cast<NetId>(net));
+    nl.inputNames_.push_back(std::move(name));
+  }
+
+  for (std::size_t g = 0; g < nGates; ++g) {
+    if (!nextLine()) return rawError(lineNo + 1, "missing gate line");
+    std::istringstream ls(line);
+    std::string tag;
+    std::uint64_t type = 0, out = 0, dead = 0, nFanins = 0;
+    if (!(ls >> tag >> type >> out >> dead >> nFanins) || tag != "gate" ||
+        type > static_cast<std::uint64_t>(GateType::Mux) || dead > 1 ||
+        !checkNet(out) || nFanins > kRawMaxItems)
+      return rawError(lineNo, "malformed gate line");
+    Gate& gate = nl.gates_[g];
+    gate.type = static_cast<GateType>(type);
+    gate.out = static_cast<NetId>(out);
+    gate.dead = dead != 0;
+    gate.fanins.reserve(nFanins);
+    for (std::uint64_t k = 0; k < nFanins; ++k) {
+      std::uint64_t f = 0;
+      if (!(ls >> f) || !checkNet(f))
+        return rawError(lineNo, "malformed gate fanin");
+      gate.fanins.push_back(static_cast<NetId>(f));
+    }
+  }
+
+  for (std::size_t n = 0; n < nNets; ++n) {
+    if (!nextLine()) return rawError(lineNo + 1, "missing net line");
+    std::istringstream ls(line);
+    std::string tag, enc;
+    std::uint64_t srcKind = 0, srcIdx = 0, nSinks = 0;
+    if (!(ls >> tag >> srcKind >> srcIdx >> enc >> nSinks) || tag != "net" ||
+        srcKind > static_cast<std::uint64_t>(SourceKind::Gate) ||
+        nSinks > kRawMaxItems)
+      return rawError(lineNo, "malformed net line");
+    Net& net = nl.nets_[n];
+    net.srcKind = static_cast<SourceKind>(srcKind);
+    switch (net.srcKind) {
+      case SourceKind::Input:
+        if (srcIdx >= nInputs) return rawError(lineNo, "net PI index range");
+        break;
+      case SourceKind::Gate:
+        if (!checkGate(srcIdx)) return rawError(lineNo, "net gate index range");
+        break;
+      case SourceKind::None:
+        if (srcIdx != kNullId) return rawError(lineNo, "undriven net srcIdx");
+        break;
+    }
+    net.srcIdx = static_cast<std::uint32_t>(srcIdx);
+    if (!decodeRawName(enc, &net.name))
+      return rawError(lineNo, "bad net name encoding");
+    net.sinks.reserve(nSinks);
+    for (std::uint64_t k = 0; k < nSinks; ++k) {
+      std::uint64_t g = 0, port = 0;
+      if (!(ls >> g >> port)) return rawError(lineNo, "malformed sink");
+      if (g != kNullId && !checkGate(g))
+        return rawError(lineNo, "sink gate range");
+      if (g == kNullId && port >= nOutputs)
+        return rawError(lineNo, "sink output range");
+      net.sinks.push_back(Sink{static_cast<GateId>(g),
+                               static_cast<std::uint32_t>(port)});
+    }
+  }
+
+  for (std::size_t o = 0; o < nOutputs; ++o) {
+    if (!nextLine()) return rawError(lineNo + 1, "missing output line");
+    std::istringstream ls(line);
+    std::string tag, enc;
+    std::uint64_t net = 0;
+    if (!(ls >> tag >> net >> enc) || tag != "output" || !checkNet(net))
+      return rawError(lineNo, "malformed output line");
+    std::string name;
+    if (!decodeRawName(enc, &name))
+      return rawError(lineNo, "bad output name encoding");
+    if (nl.outputIndex_.count(name))
+      return rawError(lineNo, "duplicate output name");
+    nl.outputIndex_.emplace(name, static_cast<std::uint32_t>(o));
+    nl.outputs_.push_back(static_cast<NetId>(net));
+    nl.outputNames_.push_back(std::move(name));
+  }
+
+  if (!nextLine() || line != "end")
+    return rawError(lineNo, "missing end marker");
+  if (nextLine()) return rawError(lineNo, "trailing content after end marker");
+
+  std::string why;
+  if (!nl.isWellFormed(&why))
+    return Status::invalidInput("raw netlist fails well-formedness: " + why);
+  return nl;
+}
+
+Result<Netlist> Netlist::restoreRawString(const std::string& text) {
+  std::istringstream is(text);
+  return restoreRaw(is);
 }
 
 const std::string& Netlist::inputName(std::uint32_t i) const {

@@ -15,9 +15,12 @@
 //  * well-formedness auditing (acyclicity, pin/net consistency).
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace syseco {
 
@@ -132,6 +135,25 @@ class Netlist {
   /// Audits all structural invariants (sink lists vs. fanins, source
   /// consistency, acyclicity). Used pervasively by tests.
   bool isWellFormed(std::string* whyNot = nullptr) const;
+
+  // --- Exact snapshots (crash-safe run journal) -----------------------------
+
+  /// Serializes the *exact* internal state - dead gates, sink-list order
+  /// and all ids included - so that restoreRaw() rebuilds a bit-identical
+  /// object. This is stronger than writeNetlist/readNetlist (which emit
+  /// live logic only and renumber): the rectification engine's search is
+  /// deterministic in the netlist's internal layout, and journal resume
+  /// relies on replaying from an indistinguishable state. The text has no
+  /// newline in the first line's absence; format version is embedded.
+  void dumpRaw(std::ostream& os) const;
+  std::string dumpRawString() const;
+
+  /// Rebuilds a netlist from dumpRaw() output. Every id, count and
+  /// cross-reference is validated (and the result audited with
+  /// isWellFormed), so arbitrary corrupt input yields kInvalidInput with a
+  /// line-accurate diagnostic rather than undefined behavior.
+  static Result<Netlist> restoreRaw(std::istream& is);
+  static Result<Netlist> restoreRawString(const std::string& text);
 
   // --- Cloning --------------------------------------------------------------
 

@@ -20,31 +20,46 @@
 //   --uniform-sampling  ablation: uniform instead of error-domain samples
 //   --no-sweep          disable the patch-input sweeping post-process
 //   --seed S            RNG seed                          (default 1)
+//   --journal DIR       crash-safe run journal: one checksummed record per
+//                       completed per-output rectification (syseco only)
+//   --resume DIR        replay DIR's journal, independently re-certify the
+//                       newest checkpoint with fresh SAT miters, and re-run
+//                       only the remaining outputs (implies --journal DIR)
 //   --verbose           trace the search to stderr
 //
 // Exit codes:
-//   0  rectification SAT-verified, no resource limit interfered
-//   1  verification failed
-//   2  usage error or internal failure
-//   3  invalid input (unreadable/malformed file, nonsensical options)
-//   4  rectification SAT-verified, but a resource limit degraded the
-//      search (some outputs fell back to cone cloning; see the report)
+//   0   rectification SAT-verified, no resource limit interfered
+//   1   verification failed
+//   2   usage error or internal failure
+//   3   invalid input (unreadable/malformed file, nonsensical options,
+//       a journal recorded for different inputs)
+//   4   rectification SAT-verified, but a resource limit degraded the
+//       search (some outputs fell back to cone cloning; see the report)
+//   130 interrupted (SIGINT/SIGTERM) with progress journaled; rerun with
+//       --resume to continue from the last committed checkpoint
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "eco/conesynth.hpp"
 #include "eco/deltasyn.hpp"
 #include "eco/exactfix.hpp"
+#include "eco/resume.hpp"
 #include "eco/syseco.hpp"
 #include "itp/interp_fix.hpp"
 #include "io/blif_io.hpp"
+#include "io/journal_io.hpp"
 #include "io/netlist_io.hpp"
 #include "io/verilog_io.hpp"
+#include "util/atomic_file.hpp"
+#include "util/fault.hpp"
+#include "util/journal.hpp"
 #include "util/status.hpp"
 #include "util/timer.hpp"
 
@@ -57,6 +72,26 @@ constexpr int kExitVerifyFailed = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitInvalidInput = 3;
 constexpr int kExitDegraded = 4;
+constexpr int kExitInterrupted = 130;  ///< 128 + SIGINT, journal intact
+
+/// First signal: finish the in-flight output, journal a clean interrupted
+/// record, exit kExitInterrupted. Second signal: give up immediately (the
+/// journal is still consistent - its last append either committed or will
+/// be dropped as a torn record on resume).
+volatile std::sig_atomic_t gInterrupted = 0;
+
+void onSignal(int /*sig*/) {
+  if (gInterrupted) std::_Exit(kExitInterrupted);
+  gInterrupted = 1;
+}
+
+void installSignalHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = onSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 bool endsWith(const std::string& s, const char* suffix) {
   const std::size_t n = std::strlen(suffix);
@@ -77,23 +112,6 @@ void saveAny(const std::string& path, const Netlist& nl) {
   } else {
     saveNetlist(path, nl);
   }
-}
-
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
 }
 
 /// Machine-readable run report (schema documented in README.md).
@@ -148,7 +166,8 @@ void writeReport(std::ostream& os, const std::string& engine,
                "          [--deadline-ms MS] [--total-conflict-budget N] "
                "[--bdd-node-budget N]\n"
                "          [--level-driven] [--uniform-sampling] [--no-sweep]"
-               "\n          [--seed S] [--verbose]\n",
+               "\n          [--journal DIR] [--resume DIR] [--seed S] "
+               "[--verbose]\n",
                argv0);
   std::exit(kExitUsage);
 }
@@ -157,6 +176,7 @@ void writeReport(std::ostream& os, const std::string& engine,
 
 int main(int argc, char** argv) {
   std::string implPath, specPath, outPath, reportPath, engine = "syseco";
+  std::string journalDir, resumeDir;
   SysecoOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -184,6 +204,8 @@ int main(int argc, char** argv) {
       else if (arg == "--uniform-sampling") opt.useErrorDomainSampling = false;
       else if (arg == "--no-sweep") opt.enableSweeping = false;
       else if (arg == "--seed") opt.seed = std::stoull(value());
+      else if (arg == "--journal") journalDir = value();
+      else if (arg == "--resume") resumeDir = value();
       else if (arg == "--verbose") opt.verbose = true;
       else if (arg == "--help" || arg == "-h") usage(argv[0]);
       else {
@@ -196,6 +218,12 @@ int main(int argc, char** argv) {
     }
   }
   if (implPath.empty() || specPath.empty()) usage(argv[0]);
+  if (!resumeDir.empty() && journalDir.empty()) journalDir = resumeDir;
+  if (!journalDir.empty() && engine != "syseco") {
+    std::fprintf(stderr,
+                 "error: --journal/--resume support only the syseco engine\n");
+    return kExitUsage;
+  }
 
   try {
     Result<Netlist> implLoaded = loadAnyChecked(implPath);
@@ -219,7 +247,86 @@ int main(int argc, char** argv) {
     EcoResult result;
     SysecoDiagnostics diag;
     if (engine == "syseco") {
-      Result<EcoResult> run = runSysecoChecked(impl, spec, opt, &diag);
+      // --- Crash-safe journaling setup -----------------------------------
+      JournalWriter journal;
+      ResumePlan plan;
+      Netlist restoredWorking;
+      bool resumed = false;
+      bool haveRunStart = false;
+      if (!resumeDir.empty()) {
+        Result<JournalContents> read = readJournal(resumeDir);
+        if (!read.isOk()) {
+          std::fprintf(stderr, "error: %s\n",
+                       read.status().toString().c_str());
+          return kExitInvalidInput;
+        }
+        Result<ResumeOutcome> prepared =
+            prepareResume(impl, spec, opt, read.value());
+        if (!prepared.isOk()) {
+          std::fprintf(stderr, "error: %s\n",
+                       prepared.status().toString().c_str());
+          return kExitInvalidInput;
+        }
+        ResumeOutcome outcome = prepared.take();
+        for (const std::string& note : outcome.notes)
+          std::fprintf(stderr, "journal: %s\n", note.c_str());
+        haveRunStart = read.value().hasRunStart;
+        if (outcome.adopted) {
+          resumed = true;
+          restoredWorking = std::move(outcome.netlist);
+          plan = std::move(outcome.plan);
+          opt.resumePlan = &plan;
+          std::printf("resume: %zu output(s) re-certified, %zu record(s) "
+                      "demoted to redo\n",
+                      outcome.certified.size(), outcome.demotedRecords);
+        } else {
+          std::printf("resume: no adoptable checkpoint; running fresh\n");
+        }
+      }
+      if (!journalDir.empty()) {
+        Result<JournalScan> scan = scanJournal(journalDir);
+        if (!scan.isOk()) {
+          std::fprintf(stderr, "error: %s\n",
+                       scan.status().toString().c_str());
+          return kExitInvalidInput;
+        }
+        Result<JournalWriter> opened =
+            (!resumeDir.empty() && (haveRunStart ||
+                                    !scan.value().frames.empty()))
+                ? JournalWriter::resume(journalDir, scan.value())
+                : JournalWriter::create(journalDir);
+        if (!opened.isOk()) {
+          std::fprintf(stderr, "error: %s\n",
+                       opened.status().toString().c_str());
+          return kExitUsage;
+        }
+        journal = opened.take();
+        installSignalHandlers();
+        opt.planHook = [&](const std::vector<std::uint32_t>& order,
+                           std::size_t failingBefore) {
+          if (haveRunStart) return;  // the resumed journal already has one
+          const Status s = journal.append(serializeRunStart(
+              makeRunStartRecord(impl, spec, opt, order, failingBefore)));
+          if (!s.isOk())
+            std::fprintf(stderr, "warning: journal write failed: %s\n",
+                         s.toString().c_str());
+        };
+        opt.checkpointHook = [&](const RunCheckpoint& cp) -> bool {
+          const Status s =
+              journal.append(serializeOutputRecord(makeOutputRecord(cp)));
+          if (!s.isOk())
+            std::fprintf(stderr, "warning: journal write failed: %s\n",
+                         s.toString().c_str());
+          // Crash-injection site, deliberately *after* the commit: a crash
+          // here loses no progress, which is exactly what the
+          // kill-and-resume tests assert.
+          fault::fire("journal.checkpoint");
+          return gInterrupted == 0;
+        };
+      }
+
+      Result<EcoResult> run = runSysecoChecked(
+          resumed ? restoredWorking : impl, spec, opt, &diag);
       if (!run.isOk()) {
         std::fprintf(stderr, "error: %s\n", run.status().toString().c_str());
         return run.status().code() == StatusCode::kInvalidInput
@@ -227,6 +334,18 @@ int main(int argc, char** argv) {
                    : kExitUsage;
       }
       result = run.take();
+      if (diag.interrupted) {
+        const Status s = journal.append(serializeInterrupted(
+            diag.outputs.size(), result.failingOutputsBefore));
+        if (!s.isOk())
+          std::fprintf(stderr, "warning: journal write failed: %s\n",
+                       s.toString().c_str());
+        std::printf("interrupted: %zu output(s) journaled to %s; rerun "
+                    "with --resume %s to continue\n",
+                    diag.outputs.size(), journalDir.c_str(),
+                    journalDir.c_str());
+        return kExitInterrupted;
+      }
     } else if (engine == "deltasyn") {
       DeltaSynOptions d;
       d.seed = opt.seed;
@@ -277,13 +396,16 @@ int main(int argc, char** argv) {
                      : kExitClean;
 
     if (!reportPath.empty()) {
-      std::ofstream rf(reportPath);
-      if (!rf) {
-        std::fprintf(stderr, "error: cannot open report file %s\n",
-                     reportPath.c_str());
+      // Atomic temp-file + rename write: a crash mid-report leaves either
+      // the previous report or none, never a truncated JSON document.
+      std::ostringstream rf;
+      writeReport(rf, engine, result, diag, exitCode);
+      const Status s = writeFileAtomic(reportPath, rf.str());
+      if (!s.isOk()) {
+        std::fprintf(stderr, "error: cannot write report file %s: %s\n",
+                     reportPath.c_str(), s.toString().c_str());
         return kExitUsage;
       }
-      writeReport(rf, engine, result, diag, exitCode);
       std::printf("run report written to %s\n", reportPath.c_str());
     }
     if (!outPath.empty()) {

@@ -1,0 +1,27 @@
+#pragma once
+// Crash-safe file replacement: write to a temporary sibling, fsync it, then
+// rename() over the destination. A reader (or a resumed run) either sees
+// the complete old content or the complete new content - never a torn
+// write. Used for the CLI's --report output and the journal commit marker.
+
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace syseco {
+
+/// Atomically replaces `path` with `content`. The temporary file lives in
+/// the same directory (rename must not cross filesystems) and is removed
+/// on failure. The data and the directory entry are both fsync'd before
+/// returning ok, so the replacement survives power loss.
+Status writeFileAtomic(const std::string& path, std::string_view content);
+
+/// fsync() on a directory, making a previous rename/create in it durable.
+/// Best-effort on filesystems that reject directory fsync.
+Status syncDirectory(const std::string& dir);
+
+/// Directory part of `path` ("." when the path has no separator).
+std::string parentDirectory(const std::string& path);
+
+}  // namespace syseco

@@ -1,0 +1,50 @@
+#pragma once
+// CRC-32 (reflected, polynomial 0xEDB88320 - the zlib/PNG variant) used to
+// checksum run-journal records and netlist snapshots. A journal written on
+// one machine must be verifiable on another, so the checksum is a fixed
+// public algorithm rather than a process-local hash.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace syseco {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> makeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = makeCrc32Table();
+
+}  // namespace detail
+
+/// Incremental form: feed `crc32Update(previous, chunk)` chunk by chunk,
+/// starting from crc32Init().
+constexpr std::uint32_t crc32Init() { return 0xFFFFFFFFu; }
+
+constexpr std::uint32_t crc32Update(std::uint32_t state,
+                                    std::string_view data) {
+  for (unsigned char byte : data)
+    state = detail::kCrc32Table[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+constexpr std::uint32_t crc32Final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+constexpr std::uint32_t crc32(std::string_view data) {
+  return crc32Final(crc32Update(crc32Init(), data));
+}
+
+}  // namespace syseco

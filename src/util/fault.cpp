@@ -11,6 +11,7 @@ std::optional<Kind> kindFromName(std::string_view name) {
   if (name == "deadline") return Kind::kDeadlineExceeded;
   if (name == "bdd") return Kind::kBddBlowup;
   if (name == "alloc") return Kind::kAllocFailure;
+  if (name == "crash") return Kind::kCrash;
   return std::nullopt;
 }
 
@@ -44,6 +45,9 @@ std::optional<Kind> Injector::fire(std::string_view site) {
     if (t.site != site) continue;
     const std::uint64_t hit = t.hits++;
     if (hit < t.skip) return std::nullopt;
+    // A crash never returns to the caller: _Exit skips destructors,
+    // atexit handlers and stream flushes, like the SIGKILL it simulates.
+    if (t.kind == Kind::kCrash) std::_Exit(kCrashExitCode);
     return t.kind;
   }
   return std::nullopt;

@@ -12,9 +12,15 @@
 //
 //   SYSECO_FAULT_INJECT="<site>=<kind>[@<skip>][,...]"
 //
-//   kind: budget | deadline | bdd | alloc
+//   kind: budget | deadline | bdd | alloc | crash
 //   skip: number of hits at the site to let through before firing
 //         (default 0: fire from the first hit onward)
+//
+// `crash` is special: the process exits immediately (std::_Exit(137),
+// mirroring a SIGKILL) with no cleanup, destructors or buffer flushes -
+// the honest simulation of kill -9 that the crash-safe run journal must
+// survive. It fires centrally inside Injector::fire, so every armed site
+// doubles as a crash site.
 //
 // e.g. SYSECO_FAULT_INJECT="syseco.sampling=budget,syseco.pointsets=bdd@1"
 //
@@ -36,7 +42,12 @@ enum class Kind {
   kDeadlineExceeded,  ///< behave as if the wall clock passed the deadline
   kBddBlowup,         ///< behave as if the BDD manager hit its node limit
   kAllocFailure,      ///< behave as if an allocation failed
+  kCrash,             ///< hard-exit the process (simulated kill -9)
 };
+
+/// Exit code of a kCrash firing: 128 + SIGKILL, what a shell reports for a
+/// genuinely killed process.
+inline constexpr int kCrashExitCode = 137;
 
 struct Trigger {
   std::string site;

@@ -1,0 +1,243 @@
+#include "util/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+
+namespace syseco {
+
+namespace {
+
+constexpr std::string_view kFrameMagic = "J1 ";
+constexpr std::string_view kMarkerMagic = "syseco-journal-commit-v1";
+
+Status errnoStatus(const std::string& what, const std::string& path) {
+  return Status::internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+bool parseHex32(std::string_view text, std::uint32_t* out) {
+  if (text.size() != 8) return false;
+  std::uint32_t value = 0;
+  for (char c : text) {
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    else return false;
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+std::string frameLine(std::string_view payload) {
+  char head[32];
+  std::snprintf(head, sizeof head, "J1 %08x %08x ",
+                static_cast<std::uint32_t>(payload.size()), crc32(payload));
+  std::string line = head;
+  line.append(payload);
+  line.push_back('\n');
+  return line;
+}
+
+/// Verifies one journal line (without trailing newline); empty result
+/// string means failure, with `why` describing it.
+bool verifyFrame(std::string_view line, std::string* payload,
+                 std::string* why) {
+  if (line.size() < kFrameMagic.size() + 18 ||
+      line.substr(0, kFrameMagic.size()) != kFrameMagic) {
+    *why = "not a journal frame";
+    return false;
+  }
+  std::uint32_t len = 0, crc = 0;
+  if (!parseHex32(line.substr(3, 8), &len) || line[11] != ' ' ||
+      !parseHex32(line.substr(12, 8), &crc) || line[20] != ' ') {
+    *why = "malformed frame header";
+    return false;
+  }
+  const std::string_view body = line.substr(21);
+  if (body.size() != len) {
+    *why = "length mismatch (header says " + std::to_string(len) + ", line has " +
+           std::to_string(body.size()) + " bytes)";
+    return false;
+  }
+  if (crc32(body) != crc) {
+    *why = "checksum mismatch";
+    return false;
+  }
+  payload->assign(body);
+  return true;
+}
+
+}  // namespace
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string journalDataPath(const std::string& dir) {
+  return dir + "/journal.jsonl";
+}
+
+std::string journalMarkerPath(const std::string& dir) {
+  return dir + "/COMMIT";
+}
+
+Result<JournalScan> scanJournal(const std::string& dir) {
+  JournalScan scan;
+
+  // Marker first (informational; the frames themselves are authoritative).
+  {
+    std::ifstream mf(journalMarkerPath(dir));
+    if (mf) {
+      std::string magic;
+      std::size_t records = 0;
+      std::uint64_t bytes = 0;
+      if (mf >> magic >> records >> bytes && magic == kMarkerMagic) {
+        scan.committedRecords = records;
+        scan.markerValid = true;
+      } else {
+        scan.diagnostics.push_back("COMMIT marker unreadable; ignoring it");
+      }
+    }
+  }
+
+  std::ifstream f(journalDataPath(dir), std::ios::binary);
+  if (!f) {
+    if (errno == ENOENT || !f.is_open()) return scan;  // empty journal
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string data = buf.str();
+
+  std::size_t pos = 0, lineNo = 0;
+  while (pos < data.size()) {
+    ++lineNo;
+    std::size_t eol = data.find('\n', pos);
+    const bool torn = eol == std::string::npos;
+    if (torn) eol = data.size();
+    const std::string_view line(data.data() + pos, eol - pos);
+    std::string payload, why;
+    if (verifyFrame(line, &payload, &why) && !torn) {
+      scan.frames.push_back(JournalFrame{lineNo, std::move(payload)});
+      scan.retainBytes = eol + 1;
+    } else if (torn) {
+      scan.diagnostics.push_back("journal.jsonl line " + std::to_string(lineNo) +
+                                 ": torn final record dropped (" +
+                                 (why.empty() ? "no newline" : why) + ")");
+    } else {
+      scan.diagnostics.push_back("journal.jsonl line " + std::to_string(lineNo) +
+                                 ": record dropped: " + why);
+    }
+    pos = eol + 1;
+  }
+  if (scan.markerValid && scan.frames.size() < scan.committedRecords) {
+    scan.diagnostics.push_back(
+        "journal lost committed records: marker attests " +
+        std::to_string(scan.committedRecords) + ", only " +
+        std::to_string(scan.frames.size()) + " verified");
+  }
+  return scan;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    dir_ = std::move(other.dir_);
+    records_ = other.records_;
+    bytes_ = other.bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<JournalWriter> JournalWriter::create(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return errnoStatus("cannot create journal directory", dir);
+  JournalWriter w;
+  w.dir_ = dir;
+  const std::string path = journalDataPath(dir);
+  w.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (w.fd_ < 0) return errnoStatus("cannot create journal", path);
+  const Status marker = w.commitMarker();
+  if (!marker.isOk()) return marker;
+  return w;
+}
+
+Result<JournalWriter> JournalWriter::resume(const std::string& dir,
+                                            const JournalScan& scan) {
+  JournalWriter w;
+  w.dir_ = dir;
+  const std::string path = journalDataPath(dir);
+  w.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (w.fd_ < 0) return errnoStatus("cannot open journal", path);
+  // Physically drop any torn tail or trailing garbage before appending.
+  if (::ftruncate(w.fd_, static_cast<off_t>(scan.retainBytes)) != 0)
+    return errnoStatus("cannot truncate journal", path);
+  if (::lseek(w.fd_, 0, SEEK_END) < 0)
+    return errnoStatus("cannot seek journal", path);
+  w.records_ = scan.frames.size();
+  w.bytes_ = scan.retainBytes;
+  const Status marker = w.commitMarker();
+  if (!marker.isOk()) return marker;
+  return w;
+}
+
+Status JournalWriter::append(std::string_view payload) {
+  if (fd_ < 0) return Status::internal("journal writer is not open");
+  if (payload.find('\n') != std::string_view::npos)
+    return Status::invalidInput("journal payload must not contain newlines");
+  const std::string line = frameLine(payload);
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ::ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errnoStatus("cannot append to journal", journalDataPath(dir_));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0)
+    return errnoStatus("cannot fsync journal", journalDataPath(dir_));
+  ++records_;
+  bytes_ += line.size();
+  return commitMarker();
+}
+
+Status JournalWriter::commitMarker() {
+  std::string content(kMarkerMagic);
+  content += " " + std::to_string(records_) + " " + std::to_string(bytes_) +
+             "\n";
+  return writeFileAtomic(journalMarkerPath(dir_), content);
+}
+
+}  // namespace syseco

@@ -1,0 +1,96 @@
+#pragma once
+// Write-ahead run journal: framing layer.
+//
+// A journal directory holds two files:
+//
+//   journal.jsonl - one record per line:  J1 <len> <crc> <payload>\n
+//                   where <len> is the payload byte count and <crc> its
+//                   CRC-32, both as 8 hex digits. The payload is a JSON
+//                   object with no raw newlines (see io/journal_io.hpp for
+//                   the record schema).
+//   COMMIT        - atomically replaced marker attesting how many records
+//                   and bytes were fully committed (data fsync'd first, so
+//                   the marker never runs ahead of the data).
+//
+// Appends are crash-safe by construction: the frame is written and fsync'd
+// before the marker advances, and a torn final frame fails its length or
+// checksum test on replay and is dropped - never silently half-applied.
+// This layer knows nothing about record content; parsing and the engine
+// coupling live in src/io and src/eco.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace syseco {
+
+/// JSON string escaping shared by every journal/report serializer.
+std::string jsonEscape(std::string_view s);
+
+/// Names of the files inside a journal directory.
+std::string journalDataPath(const std::string& dir);
+std::string journalMarkerPath(const std::string& dir);
+
+/// One checksummed line recovered from a journal file.
+struct JournalFrame {
+  std::size_t line = 0;  ///< 1-based line in journal.jsonl (diagnostics)
+  std::string payload;   ///< verified JSON text
+};
+
+/// Result of scanning a journal file.
+struct JournalScan {
+  std::vector<JournalFrame> frames;       ///< every frame that verified
+  std::vector<std::string> diagnostics;   ///< line-accurate notes on drops
+  std::uint64_t retainBytes = 0;          ///< prefix a resumed writer keeps
+  std::size_t committedRecords = 0;       ///< from the COMMIT marker (0 if absent)
+  bool markerValid = false;
+};
+
+/// Scans `dir`'s journal, dropping (with a diagnostic) every line whose
+/// frame header, length or checksum does not verify. A torn final record
+/// is tolerated; a missing journal file is an empty scan, not an error.
+/// Only unreadable I/O (permissions, directory vanishing mid-read) fails.
+Result<JournalScan> scanJournal(const std::string& dir);
+
+/// Append-only journal writer with fsync-per-record durability.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(JournalWriter&& other) noexcept { *this = std::move(other); }
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates `dir` (one level) if needed and starts a fresh journal,
+  /// truncating any previous content.
+  static Result<JournalWriter> create(const std::string& dir);
+
+  /// Reopens an existing journal for appending after `scan` validated it.
+  /// The file is truncated to scan.retainBytes first, so a torn tail from
+  /// the previous crash is physically removed before new records follow.
+  static Result<JournalWriter> resume(const std::string& dir,
+                                      const JournalScan& scan);
+
+  /// Appends one framed record (payload must not contain raw newlines),
+  /// fsyncs the data, then atomically advances the COMMIT marker.
+  Status append(std::string_view payload);
+
+  bool isOpen() const { return fd_ >= 0; }
+  std::size_t records() const { return records_; }
+  const std::string& directory() const { return dir_; }
+
+ private:
+  Status commitMarker();
+
+  int fd_ = -1;
+  std::string dir_;
+  std::size_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace syseco

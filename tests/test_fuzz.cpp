@@ -5,18 +5,30 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "cnf/encode.hpp"
 #include "eco/patch.hpp"
+#include "eco/resume.hpp"
 #include "eco/syseco.hpp"
 #include "gen/eco_case.hpp"
 #include "gen/spec_builder.hpp"
 #include "io/blif_io.hpp"
+#include "io/journal_io.hpp"
 #include "io/netlist_io.hpp"
 #include "io/verilog_io.hpp"
 #include "sim/simulator.hpp"
 #include "util/fault.hpp"
+#include "util/journal.hpp"
+#include "util/rng.hpp"
+
+#ifndef SYSECO_SOURCE_DIR
+#define SYSECO_SOURCE_DIR "."
+#endif
 
 namespace syseco {
 namespace {
@@ -270,6 +282,202 @@ TEST(ParserFuzz, InjectedAllocFailureBecomesInternalStatus) {
   fault::Injector::instance().reset();
   ASSERT_FALSE(r.isOk());
   EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+// --- Journal corruption corpus --------------------------------------------
+// Resume must survive arbitrary journal damage: readJournal never crashes,
+// prepareResume never crashes, and nothing a corrupt record claims is ever
+// certified - every adopted output is proven by a fresh SAT miter.
+
+class JournalFuzz : public ::testing::Test {
+ protected:
+  static std::string dir() {
+    // Per-process root: ctest runs each test as its own process, possibly
+    // in parallel, and they must not rm -rf each other's working files.
+    static const std::string d = [] {
+      const std::string d = ::testing::TempDir() + "syseco_journal_fuzz_" +
+                            std::to_string(::getpid());
+      const std::string cmd = "rm -rf '" + d + "' && mkdir -p '" + d + "'";
+      EXPECT_EQ(std::system(cmd.c_str()), 0);
+      return d;
+    }();
+    return d;
+  }
+
+  static const Netlist& impl() {
+    static const Netlist nl =
+        loadBlif(std::string(SYSECO_SOURCE_DIR) + "/data/alu_impl.blif");
+    return nl;
+  }
+  static const Netlist& spec() {
+    static const Netlist nl =
+        loadBlif(std::string(SYSECO_SOURCE_DIR) + "/data/alu_spec.blif");
+    return nl;
+  }
+
+  /// A real journal from an interrupted run (run_start + 2 output records),
+  /// built once; each test mutates a private copy of its bytes.
+  static const std::string& pristine() {
+    static const std::string bytes = [] {
+      Result<JournalWriter> w = JournalWriter::create(dir() + "/pristine");
+      EXPECT_TRUE(w.isOk());
+      std::size_t seen = 0;
+      SysecoOptions opt;
+      opt.planHook = [&](const std::vector<std::uint32_t>& order,
+                         std::size_t failingBefore) {
+        EXPECT_TRUE(w.value()
+                        .append(serializeRunStart(makeRunStartRecord(
+                            impl(), spec(), opt, order, failingBefore)))
+                        .isOk());
+      };
+      opt.checkpointHook = [&](const RunCheckpoint& cp) {
+        EXPECT_TRUE(
+            w.value().append(serializeOutputRecord(makeOutputRecord(cp))).isOk());
+        return ++seen < 2;
+      };
+      runSyseco(impl(), spec(), opt);
+      std::ifstream f(journalDataPath(dir() + "/pristine"),
+                      std::ios::binary);
+      std::ostringstream os;
+      os << f.rdbuf();
+      return os.str();
+    }();
+    return bytes;
+  }
+
+  /// Writes `bytes` as a journal and drives the full resume path. Asserts
+  /// the invariant, not any particular diagnosis: no crash, and every
+  /// adopted output independently re-proven against the specification.
+  static void resumeNeverLies(const std::string& bytes,
+                              const std::string& name) {
+    const std::string d = dir() + "/" + name;
+    const std::string cmd = "rm -rf '" + d + "' && mkdir -p '" + d + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    std::ofstream(journalDataPath(d), std::ios::binary) << bytes;
+
+    Result<JournalContents> contents = readJournal(d);
+    ASSERT_TRUE(contents.isOk());
+    Result<ResumeOutcome> prepared =
+        prepareResume(impl(), spec(), SysecoOptions{}, contents.value());
+    if (!prepared.isOk()) return;  // stale-journal rejection is a fine answer
+    const ResumeOutcome& out = prepared.value();
+    if (!out.adopted) return;
+    EXPECT_TRUE(out.netlist.isWellFormed());
+    PairEncoding pe(out.netlist, spec());
+    Rng rng(0xfu);
+    for (std::uint32_t o : out.certified) {
+      ASSERT_LT(o, out.netlist.numOutputs());
+      const std::uint32_t op = spec().findOutput(out.netlist.outputName(o));
+      ASSERT_NE(op, kNullId);
+      EXPECT_EQ(pe.solveDiffSwept(o, op, -1, rng), Solver::Result::Unsat)
+          << "resume certified output " << o << " from a corrupt journal";
+    }
+  }
+};
+
+TEST_F(JournalFuzz, GarbageJournalsNeverCrashResume) {
+  const char* corpus[] = {
+      "",
+      "\n\n\n",
+      "garbage\n",
+      "J1\n",
+      "J1 zzzzzzzz zzzzzzzz {}\n",
+      "J1 00000002 00000000 {}\n",            // wrong checksum
+      "J1 ffffffff 00000000 {}\n",            // absurd length
+      "J1 00000002 d4b334a3 {}\n",            // right crc, junk after
+      "J1 00000013 deadbeef {\"type\":\"output\"}\n",
+      "\x00\x01\x02\xff\xfe",
+      "J1 00000004 9be3e0a3 null\n",          // valid frame, non-object JSON
+  };
+  int i = 0;
+  for (const char* text : corpus)
+    resumeNeverLies(text, "garbage" + std::to_string(i++));
+}
+
+TEST_F(JournalFuzz, TruncatedJournalsNeverCrashResume) {
+  const std::string& base = pristine();
+  ASSERT_FALSE(base.empty());
+  // Cut everywhere near frame boundaries and at coarse steps in between.
+  std::vector<std::size_t> cuts;
+  for (std::size_t pos = 0; pos < base.size(); pos += 97) cuts.push_back(pos);
+  for (std::size_t pos = base.find('\n'); pos != std::string::npos;
+       pos = base.find('\n', pos + 1)) {
+    cuts.push_back(pos);
+    cuts.push_back(pos + 1);
+  }
+  int i = 0;
+  for (std::size_t cut : cuts)
+    resumeNeverLies(base.substr(0, cut), "trunc" + std::to_string(i++));
+}
+
+TEST_F(JournalFuzz, BitFlippedJournalsNeverCertifyCorruptPatches) {
+  const std::string& base = pristine();
+  Rng rng(0xf1a6);
+  for (int round = 0; round < 48; ++round) {
+    std::string mutated = base;
+    for (int e = 0; e < 3; ++e) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] ^= static_cast<char>(1u << rng.below(8));
+    }
+    resumeNeverLies(mutated, "flip" + std::to_string(round));
+  }
+}
+
+TEST_F(JournalFuzz, DuplicateAndReorderedRecordsNeverCrashResume) {
+  const std::string& base = pristine();
+  std::vector<std::string> lines;
+  std::istringstream in(base);
+  for (std::string line; std::getline(in, line);) lines.push_back(line + "\n");
+  ASSERT_GE(lines.size(), 3u);  // run_start + 2 outputs
+
+  const auto join = [](const std::vector<std::string>& ls) {
+    std::string out;
+    for (const std::string& l : ls) out += l;
+    return out;
+  };
+  // Duplicate the newest output record.
+  resumeNeverLies(join({lines[0], lines[1], lines[2], lines[2]}), "dup");
+  // Duplicate the run_start (second one must be dropped, not believed).
+  resumeNeverLies(join({lines[0], lines[0], lines[1], lines[2]}), "dupstart");
+  // Output records before any run_start.
+  resumeNeverLies(join({lines[1], lines[2], lines[0]}), "reordered");
+  // Only output records, no run_start at all.
+  resumeNeverLies(join({lines[1], lines[2]}), "headless");
+  // Stale older record after the journal restarts from scratch.
+  resumeNeverLies(join({lines[2], lines[0], lines[1]}), "restart");
+}
+
+TEST_F(JournalFuzz, ForgedDuplicateReportsAreDemoted) {
+  // A record claiming the same output twice in its cumulative list is
+  // structurally inadmissible regardless of its checksum.
+  pristine();  // materialize the journal (tests run in separate processes)
+  Result<JournalContents> contents = readJournal(dir() + "/pristine");
+  ASSERT_TRUE(contents.isOk());
+  ASSERT_EQ(contents.value().outputs.size(), 2u);
+  JournalOutputRecord forged = contents.value().outputs.back();
+  forged.reports.push_back(forged.reports.back());
+
+  const std::string d = dir() + "/forgeddup";
+  ASSERT_EQ(std::system(("mkdir -p '" + d + "'").c_str()), 0);
+  Result<JournalWriter> w = JournalWriter::create(d);
+  ASSERT_TRUE(w.isOk());
+  ASSERT_TRUE(
+      w.value()
+          .append(serializeRunStart(contents.value().runStart))
+          .isOk());
+  ASSERT_TRUE(w.value().append(serializeOutputRecord(forged)).isOk());
+
+  Result<JournalContents> reread = readJournal(d);
+  ASSERT_TRUE(reread.isOk());
+  Result<ResumeOutcome> prepared =
+      prepareResume(impl(), spec(), SysecoOptions{}, reread.value());
+  ASSERT_TRUE(prepared.isOk());
+  EXPECT_FALSE(prepared.value().adopted);
+  EXPECT_EQ(prepared.value().demotedRecords, 1u);
+  bool noted = false;
+  for (const std::string& n : prepared.value().notes)
+    noted |= n.find("duplicate") != std::string::npos;
+  EXPECT_TRUE(noted);
 }
 
 }  // namespace
