@@ -1,0 +1,181 @@
+// End-to-end perf trajectory: the syseco cascade on the bundled example
+// cases at --jobs 1/2/4, emitting BENCH_e2e.json (wall time, per-phase
+// breakdown, patch sizes, speedups, and a determinism cross-check) so
+// every future change has a recorded baseline to compare against.
+//
+// Usage: bench_e2e [--quick] [--out PATH]
+//   --quick  run a 3-case subset with one repetition (CI smoke)
+//   --out    output JSON path (default: BENCH_e2e.json in the cwd)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eco/syseco.hpp"
+#include "util/timer.hpp"
+
+namespace syseco {
+namespace {
+
+struct PhaseSeconds {
+  double sampling = 0, symbolic = 0, screening = 0, validation = 0,
+         fallback = 0, sweep = 0, verify = 0;
+};
+
+struct RunSample {
+  std::size_t jobs = 0;
+  double seconds = 0;
+  PhaseSeconds phases;
+  PatchStats patch;
+  std::size_t failingBefore = 0;
+  bool success = false;
+  std::string dump;  ///< rectified netlist, for the determinism check
+};
+
+RunSample runOnce(const EcoCase& c, std::size_t jobs) {
+  SysecoOptions opt;
+  opt.jobs = jobs;
+  SysecoDiagnostics diag;
+  Timer t;
+  const EcoResult r = runSyseco(c.impl, c.spec, opt, &diag);
+  RunSample s;
+  s.jobs = jobs;
+  s.seconds = t.seconds();
+  s.phases = PhaseSeconds{diag.secondsSampling,   diag.secondsSymbolic,
+                          diag.secondsScreening,  diag.secondsValidation,
+                          diag.secondsFallback,   diag.secondsSweep,
+                          diag.secondsVerify};
+  s.patch = r.stats;
+  s.failingBefore = r.failingOutputsBefore;
+  s.success = r.success;
+  s.dump = r.rectified.dumpRawString();
+  return s;
+}
+
+void printPhases(FILE* f, const PhaseSeconds& p) {
+  std::fprintf(f,
+               "{\"sampling\":%.4f,\"symbolic\":%.4f,\"screening\":%.4f,"
+               "\"validation\":%.4f,\"fallback\":%.4f,\"sweep\":%.4f,"
+               "\"verify\":%.4f}",
+               p.sampling, p.symbolic, p.screening, p.validation, p.fallback,
+               p.sweep, p.verify);
+}
+
+}  // namespace
+}  // namespace syseco
+
+int main(int argc, char** argv) {
+  using namespace syseco;
+  bool quick = false;
+  std::string outPath = "BENCH_e2e.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_e2e [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> jobsList{1, 2, 4};
+  const int reps = quick ? 1 : 3;
+  std::vector<EcoCase> cases;
+  {
+    const auto recipes = suiteRecipes();
+    const std::vector<std::size_t> pick =
+        quick ? std::vector<std::size_t>{1, 4, 9}
+              : std::vector<std::size_t>{0, 1, 3, 4, 6, 8, 9, 10};
+    for (std::size_t idx : pick) cases.push_back(makeCase(recipes[idx]));
+  }
+
+  FILE* f = std::fopen(outPath.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e2e\",\n  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"repetitions\": %d,\n  \"cases\": [\n", reps);
+
+  bool allIdentical = true;
+  bool allVerified = true;
+  std::vector<double> speedup2, speedup4;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const EcoCase& c = cases[ci];
+    std::fprintf(stdout, "case %-8s", c.name.c_str());
+    std::fflush(stdout);
+    std::vector<RunSample> best;  // min-seconds sample per jobs value
+    for (std::size_t jobs : jobsList) {
+      RunSample bestRun;
+      for (int rep = 0; rep < reps; ++rep) {
+        RunSample s = runOnce(c, jobs);
+        if (rep == 0 || s.seconds < bestRun.seconds) bestRun = std::move(s);
+      }
+      std::fprintf(stdout, "  jobs=%zu %.2fs", jobs, bestRun.seconds);
+      std::fflush(stdout);
+      best.push_back(std::move(bestRun));
+    }
+    std::fputc('\n', stdout);
+
+    const RunSample& base = best.front();
+    std::fprintf(f, "    {\"name\": \"%s\", \"failing_outputs\": %zu,\n",
+                 c.name.c_str(), base.failingBefore);
+    std::fprintf(f,
+                 "     \"patch\": {\"inputs\": %zu, \"outputs\": %zu, "
+                 "\"gates\": %zu, \"nets\": %zu},\n",
+                 base.patch.inputs, base.patch.outputs, base.patch.gates,
+                 base.patch.nets);
+    std::fprintf(f, "     \"runs\": [\n");
+    for (std::size_t k = 0; k < best.size(); ++k) {
+      const RunSample& s = best[k];
+      const bool identical = s.dump == base.dump;
+      allIdentical &= identical;
+      allVerified &= s.success;
+      const double speedup = s.seconds > 0 ? base.seconds / s.seconds : 1.0;
+      if (s.jobs == 2) speedup2.push_back(speedup);
+      if (s.jobs == 4) speedup4.push_back(speedup);
+      std::fprintf(f,
+                   "       {\"jobs\": %zu, \"seconds\": %.4f, "
+                   "\"speedup_vs_jobs1\": %.3f, \"verified\": %s, "
+                   "\"identical_to_jobs1\": %s, \"phases\": ",
+                   s.jobs, s.seconds, speedup, s.success ? "true" : "false",
+                   identical ? "true" : "false");
+      printPhases(f, s.phases);
+      std::fprintf(f, "}%s\n", k + 1 < best.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", ci + 1 < cases.size() ? "," : "");
+  }
+
+  auto geomean = [](const std::vector<double>& v) {
+    if (v.empty()) return 1.0;
+    double s = 0;
+    for (double x : v) s += std::log(std::max(x, 1e-12));
+    return std::exp(s / static_cast<double>(v.size()));
+  };
+  std::fprintf(f, "  ],\n  \"summary\": {\n");
+  std::fprintf(f, "    \"geomean_speedup_jobs2\": %.3f,\n",
+               geomean(speedup2));
+  std::fprintf(f, "    \"geomean_speedup_jobs4\": %.3f,\n",
+               geomean(speedup4));
+  std::fprintf(f, "    \"all_verified\": %s,\n",
+               allVerified ? "true" : "false");
+  std::fprintf(f, "    \"all_jobs_identical\": %s\n  }\n}\n",
+               allIdentical ? "true" : "false");
+  std::fclose(f);
+
+  std::fprintf(stdout,
+               "wrote %s (geomean speedup: jobs2 %.2fx, jobs4 %.2fx, "
+               "identical=%s, verified=%s)\n",
+               outPath.c_str(), geomean(speedup2), geomean(speedup4),
+               allIdentical ? "yes" : "NO", allVerified ? "yes" : "NO");
+  return (allVerified && allIdentical) ? 0 : 1;
+}

@@ -14,9 +14,43 @@ cmake --build "$ROOT/build-ci" -j "$JOBS"
 ctest --test-dir "$ROOT/build-ci" --output-on-failure -j "$JOBS"
 
 echo "=== Sanitizer build (ASan+UBSan) + robustness suite ==="
-cmake -B "$ROOT/build-ci-asan" -S "$ROOT" -DSYSECO_SANITIZE=ON
+cmake -B "$ROOT/build-ci-asan" -S "$ROOT" -DSYSECO_SANITIZE=address
 cmake --build "$ROOT/build-ci-asan" -j "$JOBS"
 ctest --test-dir "$ROOT/build-ci-asan" --output-on-failure -j "$JOBS" -L sanitize
+
+echo "=== ThreadSanitizer build + parallel suite ==="
+cmake -B "$ROOT/build-ci-tsan" -S "$ROOT" -DSYSECO_SANITIZE=thread
+cmake --build "$ROOT/build-ci-tsan" -j "$JOBS"
+ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" -L sanitize
+
+echo "=== Bench smoke (scripts/bench.sh --quick) + schema validation ==="
+BENCH_JSON="$(mktemp)"
+"$ROOT/scripts/bench.sh" --quick --out "$BENCH_JSON"
+python3 - "$BENCH_JSON" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "e2e" and doc["schema_version"] == 1
+assert isinstance(doc["hardware_threads"], int)
+assert doc["cases"], "no cases recorded"
+for case in doc["cases"]:
+    assert case["name"] and isinstance(case["failing_outputs"], int)
+    assert all(k in case["patch"] for k in ("inputs", "outputs", "gates", "nets"))
+    jobs_seen = [run["jobs"] for run in case["runs"]]
+    assert jobs_seen == [1, 2, 4], jobs_seen
+    for run in case["runs"]:
+        assert run["verified"] is True, "unverified bench run"
+        assert run["identical_to_jobs1"] is True, "jobs-N result diverged"
+        assert run["seconds"] >= 0 and run["speedup_vs_jobs1"] > 0
+        assert all(k in run["phases"] for k in
+                   ("sampling", "symbolic", "screening", "validation",
+                    "fallback", "sweep", "verify"))
+s = doc["summary"]
+assert s["all_verified"] is True and s["all_jobs_identical"] is True
+assert s["geomean_speedup_jobs2"] > 0 and s["geomean_speedup_jobs4"] > 0
+print("BENCH_e2e.json schema OK")
+PYEOF
+rm -f "$BENCH_JSON"
 
 echo "=== Kill-and-resume smoke test ==="
 CLI="$ROOT/build-ci/src/tools/syseco_cli"

@@ -162,6 +162,10 @@ std::optional<std::string> tryAdopt(const JournalOutputRecord& rec,
     plan.tracker.rewires.push_back(PatchTracker::RewireRecord{
         Sink{r.gate, r.port}, r.oldNet, r.newNet});
   plan.tracker.cloneCache = t.cloneCache;
+  // The CRC-verified original netlist: the parallel engine's speculative
+  // workers search from the unpatched base, so a resumed run must carry it
+  // alongside the restored snapshot to reproduce the same worker results.
+  plan.base = impl;
   return std::nullopt;
 }
 

@@ -34,7 +34,10 @@ class SampleSet {
   /// Number of z variables: ceil(log2 count), at least 1.
   std::uint32_t numZVars() const;
 
-  /// 2^numZVars(); sample slots past count() replicate the last sample.
+  /// 2^numZVars(); sample slots past count() hold the all-zero assignment
+  /// (the simulator zero-fills unused pattern slots). Padding slots are a
+  /// legitimate if redundant part of the sampling domain - they are always
+  /// excluded from error/utility statistics via errorMask's count() cap.
   std::size_t paddedCount() const { return std::size_t{1} << numZVars(); }
 
   /// Simulator words needed to hold paddedCount() patterns.

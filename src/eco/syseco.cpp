@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -12,11 +13,13 @@
 #include "cnf/encode.hpp"
 #include "eco/matching.hpp"
 #include "eco/sampling.hpp"
+#include "netlist/analysis.hpp"
 #include "util/budget.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace syseco {
@@ -108,48 +111,9 @@ std::uint64_t derivWord(GateType type, const std::vector<const Signature*>& in,
   return 0;
 }
 
-/// Bitset-based PI supports of every net, computed in one topological pass.
-class SupportTable {
- public:
-  explicit SupportTable(const Netlist& nl)
-      : words_((nl.numInputs() + 63) / 64),
-        bits_(nl.numNetsTotal() * std::max<std::size_t>(words_, 1), 0) {
-    if (words_ == 0) words_ = 1;
-    for (std::uint32_t i = 0; i < nl.numInputs(); ++i) {
-      const NetId n = nl.inputNet(i);
-      bits_[n * words_ + i / 64] |= (std::uint64_t{1} << (i % 64));
-    }
-    for (GateId g : nl.topoOrder()) {
-      const auto& gate = nl.gate(g);
-      std::uint64_t* out = &bits_[gate.out * words_];
-      for (NetId f : gate.fanins) {
-        const std::uint64_t* in = &bits_[f * words_];
-        for (std::size_t w = 0; w < words_; ++w) out[w] |= in[w];
-      }
-    }
-  }
-
-  /// True when support(net) is a subset of the given mask.
-  bool subsetOf(NetId net, const std::vector<std::uint64_t>& mask) const {
-    const std::uint64_t* s = &bits_[net * words_];
-    for (std::size_t w = 0; w < words_; ++w)
-      if ((s[w] & ~mask[w]) != 0) return false;
-    return true;
-  }
-
-  std::vector<std::uint64_t> supportMask(NetId net) const {
-    return {bits_.begin() + static_cast<std::ptrdiff_t>(net * words_),
-            bits_.begin() + static_cast<std::ptrdiff_t>((net + 1) * words_)};
-  }
-
-  std::size_t words() const { return words_; }
-  /// Number of nets covered (the netlist may grow after construction).
-  std::size_t numNets() const { return bits_.size() / words_; }
-
- private:
-  std::size_t words_;
-  std::vector<std::uint64_t> bits_;
-};
+// SupportTable and the other shared structural analyses moved to
+// netlist/analysis.hpp (NetlistAnalysis): they are computed once per
+// netlist snapshot and shared read-only across outputs and worker threads.
 
 struct AttemptOutcome {
   bool applied = false;
@@ -190,14 +154,23 @@ class Engine {
   EcoResult run() {
     Timer timer;
     const ResumePlan* plan = opt_.resumePlan;
-    std::optional<PatchTracker> trackerStore;
     if (plan)
-      trackerStore.emplace(result_.rectified, plan->tracker);
+      trackerStore_.emplace(result_.rectified, plan->tracker);
     else
-      trackerStore.emplace(result_.rectified);
-    PatchTracker& tracker = *trackerStore;
-    tracker_ = &tracker;
+      trackerStore_.emplace(result_.rectified);
+    tracker_ = &*trackerStore_;
     Netlist& w = working();
+
+    // Structural analyses of the (immutable) specification: computed once
+    // and shared read-only by every output and every worker thread.
+    ownedSpecAnalysis_ = std::make_unique<NetlistAnalysis>(spec_);
+    specAnalysis_ = ownedSpecAnalysis_.get();
+
+    // Speculative parallel mode needs a resource-unlimited run (fair-share
+    // slicing is inherently completion-order-dependent) and, on resume, a
+    // plan that carries the unpatched base netlist.
+    const bool speculative =
+        !rootGuard_.limited() && (!plan || plan->base.numOutputs() > 0);
 
     std::vector<std::uint32_t> failing;
     if (plan) {
@@ -217,6 +190,10 @@ class Engine {
         failingSet_.insert(o);
       }
       plannedOutputs_ = plan->order.size();
+      if (speculative) {
+        ownedBaseAnalysis_ = std::make_unique<NetlistAnalysis>(plan->base);
+        baseAnalysis_ = ownedBaseAnalysis_.get();
+      }
     } else {
       // Failing-output detection runs under the governor: outputs it cannot
       // confirm healthy in time are treated as failing, so they end up
@@ -228,16 +205,66 @@ class Engine {
       failing.insert(failing.end(), unresolved.begin(), unresolved.end());
       failingSet_.insert(failing.begin(), failing.end());
 
+      // Shared structural analyses of the still-unpatched netlist. Also
+      // backs the plan ordering below (the cone lists are precomputed).
+      ownedBaseAnalysis_ = std::make_unique<NetlistAnalysis>(w);
+      baseAnalysis_ = ownedBaseAnalysis_.get();
+
       // Increasing logical complexity: smallest cones first (§5.2).
       std::sort(failing.begin(), failing.end(),
                 [&](std::uint32_t a, std::uint32_t b) {
-                  return w.coneGates({w.outputNet(a)}).size() <
-                         w.coneGates({w.outputNet(b)}).size();
+                  return baseAnalysis_->outputConeSize(a) <
+                         baseAnalysis_->outputConeSize(b);
                 });
       plannedOutputs_ = failing.size();
       if (opt_.planHook) opt_.planHook(failing, result_.failingOutputsBefore);
     }
 
+    const bool interrupted =
+        speculative ? runSpeculative(failing, plan) : runSequential(failing);
+    diag_.interrupted = interrupted;
+
+    if (!interrupted) {
+      Timer phase;
+      // Sweeping is optional polish; an exhausted governor skips it and
+      // keeps the (larger but correct) patch.
+      if (opt_.enableSweeping && !rootGuard_.exhausted()) sweepPatch();
+      diag_.secondsSweep += phase.seconds();
+    }
+
+    diag_.runLimit = rootGuard_.trippedCode();
+    diag_.conflictsUsed =
+        restoredConflicts_ + rootGuard_.conflictsUsed() + extraConflicts_;
+    diag_.bddNodesUsed =
+        restoredBddNodes_ + rootGuard_.bddNodesUsed() + extraBddNodes_;
+
+    if (!interrupted) {
+      result_.stats = tracker().finalize();
+      // Final verification is the soundness gate: it always runs unbounded,
+      // whatever the governor says - a degraded run still proves its patch.
+      Timer verifyPhase;
+      if (speculative && opt_.jobs > 1) {
+        ThreadPool pool(opt_.jobs);
+        result_.success = verifyAllOutputs(result_.rectified, spec_, pool);
+      } else {
+        result_.success = verifyAllOutputs(result_.rectified, spec_);
+      }
+      diag_.secondsVerify += verifyPhase.seconds();
+    }
+    result_.seconds = timer.seconds();
+    return std::move(result_);
+  }
+
+ private:
+  Netlist& working() { return result_.rectified; }
+  PatchTracker& tracker() { return *tracker_; }
+
+  /// The original fair-share sequential cascade. Used whenever the governor
+  /// imposes limits (slice sizes depend on completion order, so speculation
+  /// cannot reproduce them) or a hand-built resume plan lacks the base
+  /// netlist. Returns true when a checkpoint hook interrupted the run.
+  bool runSequential(const std::vector<std::uint32_t>& failing) {
+    Netlist& w = working();
     bool interrupted = false;
     for (std::size_t k = 0; k < failing.size() && !interrupted; ++k) {
       // Fair-share slicing: each output is entitled to 1/left of whatever
@@ -257,7 +284,7 @@ class Engine {
             diag_.outputs.back(),
             diag_.outputs,
             w,
-            tracker,
+            tracker(),
             diag_.outputs.size(),
             plannedOutputs_,
             restoredConflicts_ + rootGuard_.conflictsUsed(),
@@ -265,35 +292,338 @@ class Engine {
         if (!opt_.checkpointHook(cp)) interrupted = true;
       }
     }
-    diag_.interrupted = interrupted;
-
-    if (!interrupted) {
-      Timer phase;
-      // Sweeping is optional polish; an exhausted governor skips it and
-      // keeps the (larger but correct) patch.
-      if (opt_.enableSweeping && !rootGuard_.exhausted()) sweepPatch();
-      diag_.secondsSweep += phase.seconds();
-    }
-
-    diag_.runLimit = rootGuard_.trippedCode();
-    diag_.conflictsUsed = restoredConflicts_ + rootGuard_.conflictsUsed();
-    diag_.bddNodesUsed = restoredBddNodes_ + rootGuard_.bddNodesUsed();
-
-    if (!interrupted) {
-      result_.stats = tracker.finalize();
-      // Final verification is the soundness gate: it always runs unbounded,
-      // whatever the governor says - a degraded run still proves its patch.
-      Timer verifyPhase;
-      result_.success = verifyAllOutputs(result_.rectified, spec_);
-      diag_.secondsVerify += verifyPhase.seconds();
-    }
-    result_.seconds = timer.seconds();
-    return std::move(result_);
+    return interrupted;
   }
 
- private:
-  Netlist& working() { return result_.rectified; }
-  PatchTracker& tracker() { return *tracker_; }
+  /// Speculative parallel cascade: every planned output is searched by an
+  /// independent worker engine against the unpatched base snapshot, and the
+  /// results are committed strictly in plan order. Each per-output search is
+  /// a pure function of (base netlist, spec, options, output) - the RNG is
+  /// reseeded per output and worker resources are unlimited - and every
+  /// commit-time decision is a deterministic function of the canonical
+  /// state, so the patch, reports and journal are bit-identical for every
+  /// jobs value. Returns true when a checkpoint hook interrupted the run.
+  bool runSpeculative(const std::vector<std::uint32_t>& failing,
+                      const ResumePlan* plan) {
+    Netlist& w = working();
+    // Workers search from the unpatched base. When not resuming, w *is*
+    // that base right now - but it mutates as commits land, so snapshot it.
+    const Netlist base = plan ? plan->base : w;
+    commitBaseGates_ = base.numGatesTotal();
+    commitBaseNets_ = base.numNetsTotal();
+
+    SysecoOptions workerOpt = opt_;
+    workerOpt.planHook = nullptr;
+    workerOpt.checkpointHook = nullptr;
+    workerOpt.resumePlan = nullptr;
+    workerOpt.jobs = 1;
+
+    // Workers protect the *full* planned output set, not just the still-
+    // pending remainder: an uninterrupted run's workers see every planned
+    // output as failing, and a resumed run must reproduce those workers
+    // bit-exactly even though some outputs are already committed.
+    const std::vector<std::uint32_t>& protect = plan ? plan->order : failing;
+
+    struct WorkerSlot {
+      SysecoDiagnostics frag;
+      std::unique_ptr<Engine> engine;
+      bool produced = false;
+      std::future<void> fut;
+    };
+    std::vector<WorkerSlot> slots(failing.size());
+    // jobs=1 degenerates to a zero-thread pool whose submit() runs the task
+    // inline, with a launch window of 1: the worker for output k runs
+    // exactly at commit time, in commit order, through the same code path
+    // as jobs>1. (The pool is declared after `slots` so it joins - and the
+    // in-flight tasks finish - before the slots they write into go away.)
+    ThreadPool pool(opt_.jobs > 1 ? opt_.jobs : 0);
+    const std::size_t window =
+        opt_.jobs > 1 ? std::max<std::size_t>(2 * opt_.jobs, 4) : 1;
+    std::size_t launched = 0;
+    auto launchUpTo = [&](std::size_t limit) {
+      for (; launched < std::min(limit, slots.size()); ++launched) {
+        WorkerSlot& s = slots[launched];
+        const std::uint32_t o = failing[launched];
+        s.engine = std::make_unique<Engine>(base, spec_, workerOpt, s.frag);
+        s.engine->setSharedAnalyses(baseAnalysis_, specAnalysis_);
+        Engine* eng = s.engine.get();
+        bool* produced = &s.produced;
+        s.fut = pool.submit([eng, produced, o, &protect] {
+          *produced = eng->rectifyAsWorker(o, protect);
+        });
+      }
+    };
+
+    bool interrupted = false;
+    for (std::size_t k = 0; k < failing.size(); ++k) {
+      launchUpTo(k + window);
+      slots[k].fut.get();  // rethrows worker failures
+      const bool reported =
+          slots[k].produced && commitWorker(failing[k], *slots[k].engine);
+      slots[k].engine.reset();  // free the worker's netlist copy promptly
+      if (reported && opt_.checkpointHook) {
+        const RunCheckpoint cp{
+            diag_.outputs.back(),
+            diag_.outputs,
+            w,
+            tracker(),
+            diag_.outputs.size(),
+            plannedOutputs_,
+            restoredConflicts_ + rootGuard_.conflictsUsed() + extraConflicts_,
+            restoredBddNodes_ + rootGuard_.bddNodesUsed() + extraBddNodes_};
+        if (!opt_.checkpointHook(cp)) {
+          interrupted = true;
+          break;
+        }
+      }
+    }
+    // An interrupted run leaves speculation in flight; it must finish
+    // before the slots (and `failing`) go out of scope.
+    for (std::size_t k = 0; k < launched; ++k) {
+      if (slots[k].fut.valid()) {
+        try {
+          slots[k].fut.get();
+        } catch (...) {
+          // Abandoned speculation; its failure is irrelevant.
+        }
+      }
+    }
+    return interrupted;
+  }
+
+  /// Applies one worker's speculative result to the canonical netlist,
+  /// reproducing the sequential cascade's semantics at commit time:
+  /// already-fixed outputs commit nothing, and a patch invalidated by
+  /// earlier commits is discarded and redone against the canonical state.
+  /// All commit-time solving uses a per-output commit RNG and an unlimited
+  /// local guard, so the decision depends only on (seed, output, canonical
+  /// netlist) - never on scheduling. Returns true when a report was pushed.
+  bool commitWorker(std::uint32_t o, Engine& worker) {
+    const std::uint32_t op = specOutput(o);
+    if (op == kNullId) return false;
+    Netlist& w = working();
+    const SysecoDiagnostics& frag = worker.diag_;
+    // Commits before this one may have changed the canonical netlist; if
+    // none did, the worker's search *is* the sequential search and its
+    // result is adopted verbatim.
+    const bool dirty = !tracker().rewires().empty();
+    Rng commitRng(opt_.seed ^ (0xc2b2ae3d27d4eb4fULL *
+                               (static_cast<std::uint64_t>(o) + 1)));
+    ResourceGuard commitGuard;
+    Timer commitTimer;
+
+    if (dirty) {
+      // Earlier patches may have fixed this output already (the sequential
+      // cascade's global favoring); the speculative patch is then discarded
+      // in favor of the cheaper no-op, exactly like rectifyOutput's own
+      // already-fixed fast path.
+      Timer phase;
+      PairEncoding pe(w, spec_);
+      pe.setResourceGuard(&commitGuard);
+      const bool fixed = pe.solveDiffSwept(o, op, opt_.validationBudget,
+                                           commitRng) == Solver::Result::Unsat;
+      diag_.secondsSampling += phase.seconds();
+      if (fixed) {
+        OutputReport report;
+        report.output = o;
+        report.name = w.outputName(o);
+        report.conflictsUsed = commitGuard.conflictsUsed();
+        report.bddNodesUsed = commitGuard.bddNodesUsed();
+        report.seconds = commitTimer.seconds();
+        failingSet_.erase(o);
+        pushCommittedReport(std::move(report));
+        return true;
+      }
+    }
+
+    if (dirty) {
+      // Patches that rewire onto newly-created logic (synthesized gates or
+      // cone clones) lose the sequential cascade's cross-output reuse: a
+      // later output could have absorbed an earlier output's patch logic -
+      // or its search leftovers - instead of instantiating a private copy.
+      // Redo those against the canonical netlist, the sequential view.
+      // Pure rewires onto pre-existing nets (the common case, and the
+      // paper's central claim) transplant exactly and stay parallel.
+      std::vector<std::pair<Sink, NetId>> finalBySink;
+      for (const PatchTracker::RewireRecord& r : worker.tracker().rewires()) {
+        auto it = std::find_if(
+            finalBySink.begin(), finalBySink.end(),
+            [&](const auto& p) { return p.first == r.sink; });
+        if (it != finalBySink.end())
+          it->second = r.newNet;
+        else
+          finalBySink.emplace_back(r.sink, r.newNet);
+      }
+      bool addsLogic = false;
+      for (const auto& [sink, newNet] : finalBySink)
+        addsLogic |= newNet >= commitBaseNets_;
+      if (addsLogic) {
+        ResourceGuard redoGuard;
+        const bool reported = rectifyOutput(o, redoGuard);
+        if (reported) {
+          OutputReport& rep = diag_.outputs.back();
+          rep.conflictsUsed += commitGuard.conflictsUsed();
+          rep.bddNodesUsed += commitGuard.bddNodesUsed();
+          extraConflicts_ += rep.conflictsUsed;
+          extraBddNodes_ += rep.bddNodesUsed;
+        }
+        return reported;
+      }
+    }
+
+    // Replay the worker's patch onto the canonical netlist. Worker gate and
+    // net ids above the shared base snapshot are pure offsets (addGate is
+    // the only creator of gates and nets), so the remap is arithmetic; the
+    // SYSECO_CHECK below pins that invariant.
+    const Netlist& wn = worker.working();
+    const std::size_t baseGates = commitBaseGates_;
+    const std::size_t baseNets = commitBaseNets_;
+    const std::size_t canonGates = w.numGatesTotal();
+    const std::size_t canonNets = w.numNetsTotal();
+    auto remapNet = [&](NetId n) {
+      return n < baseNets ? n : static_cast<NetId>(n - baseNets + canonNets);
+    };
+    auto remapSink = [&](Sink s) {
+      if (!s.isOutput() && s.gate >= baseGates)
+        s.gate = static_cast<GateId>(s.gate - baseGates + canonGates);
+      return s;
+    };
+
+    std::optional<Netlist> backup;
+    std::optional<PatchTracker::State> preState;
+    if (dirty) {
+      backup.emplace(w);
+      preState.emplace(tracker().state());
+    }
+
+    for (GateId g = static_cast<GateId>(baseGates); g < wn.numGatesTotal();
+         ++g) {
+      const auto& gate = wn.gate(g);
+      std::vector<NetId> fanins;
+      fanins.reserve(gate.fanins.size());
+      for (NetId f : gate.fanins) fanins.push_back(remapNet(f));
+      const NetId out = w.addGate(gate.type, std::move(fanins));
+      SYSECO_CHECK(out == remapNet(gate.out));
+    }
+    std::vector<Sink> replayedPins;
+    replayedPins.reserve(worker.tracker().rewires().size());
+    for (const PatchTracker::RewireRecord& r : worker.tracker().rewires()) {
+      const Sink sink = remapSink(r.sink);
+      tracker().rewire(sink, remapNet(r.newNet));
+      replayedPins.push_back(sink);
+    }
+
+    if (dirty) {
+      // The worker proved its patch only against the unpatched base;
+      // re-prove every output the replayed patch touches on the canonical
+      // netlist before keeping it.
+      Timer phase;
+      bool ok = true;
+      PairEncoding pe(w, spec_);
+      pe.setResourceGuard(&commitGuard);
+      for (std::uint32_t ao : affectedOutputs(replayedPins, o)) {
+        const std::uint32_t aop = specOutput(ao);
+        if (aop == kNullId) continue;
+        if (pe.solveDiffSwept(ao, aop, opt_.validationBudget, commitRng) !=
+            Solver::Result::Unsat) {
+          ok = false;
+          break;
+        }
+      }
+      diag_.secondsValidation += phase.seconds();
+      if (!ok) {
+        // The speculative patch conflicts with earlier commits. Roll the
+        // canonical netlist back and redo this output sequentially against
+        // the current patched state - the sequential cascade's exact view.
+        w = std::move(*backup);
+        trackerStore_.emplace(w, *preState);
+        tracker_ = &*trackerStore_;
+        ResourceGuard redoGuard;
+        const bool reported = rectifyOutput(o, redoGuard);
+        if (reported) {
+          OutputReport& rep = diag_.outputs.back();
+          rep.conflictsUsed += commitGuard.conflictsUsed();
+          rep.bddNodesUsed += commitGuard.bddNodesUsed();
+          extraConflicts_ += rep.conflictsUsed;
+          extraBddNodes_ += rep.bddNodesUsed;
+        }
+        return reported;
+      }
+    }
+
+    // Adopt: merge the worker's account of its search into the run totals
+    // and take its report, plus whatever the commit-time checks cost.
+    mergeWorkerDiag(frag);
+    SYSECO_CHECK(!frag.outputs.empty());
+    OutputReport report = frag.outputs.back();
+    report.conflictsUsed += commitGuard.conflictsUsed();
+    report.bddNodesUsed += commitGuard.bddNodesUsed();
+    failingSet_.erase(o);
+    pushCommittedReport(std::move(report));
+    return true;
+  }
+
+  void pushCommittedReport(OutputReport report) {
+    extraConflicts_ += report.conflictsUsed;
+    extraBddNodes_ += report.bddNodesUsed;
+    if (opt_.verbose)
+      std::fprintf(stderr, "[syseco] out=%u -> %s (commit, %.2fs)\n",
+                   report.output, outputRectStatusName(report.status),
+                   report.seconds);
+    diag_.outputs.push_back(std::move(report));
+  }
+
+  /// Folds a worker fragment's search counters and phase timings into the
+  /// run diagnostics. The outputs vector, runLimit and sweep counters are
+  /// owned by the canonical engine and never merged.
+  void mergeWorkerDiag(const SysecoDiagnostics& f) {
+    diag_.outputsRectified += f.outputsRectified;
+    diag_.outputsViaRewire += f.outputsViaRewire;
+    diag_.outputsViaFallback += f.outputsViaFallback;
+    diag_.candidatesValidated += f.candidatesValidated;
+    diag_.candidatesRefuted += f.candidatesRefuted;
+    diag_.candidatesScreenRejected += f.candidatesScreenRejected;
+    diag_.refinementRounds += f.refinementRounds;
+    diag_.secondsSampling += f.secondsSampling;
+    diag_.secondsSymbolic += f.secondsSymbolic;
+    diag_.secondsScreening += f.secondsScreening;
+    diag_.secondsValidation += f.secondsValidation;
+    diag_.secondsFallback += f.secondsFallback;
+  }
+
+  /// Worker entry point: rectifies one output of the base snapshot this
+  /// engine was constructed with. `failingAll` is the full planned output
+  /// set - the worker protects every planned output the way the sequential
+  /// cascade protects still-unprocessed ones. Resources are unlimited
+  /// (speculation only runs on unlimited runs). Returns true when a report
+  /// was produced; the diagnostics fragment then holds exactly one entry.
+  bool rectifyAsWorker(std::uint32_t o,
+                       const std::vector<std::uint32_t>& failingAll) {
+    trackerStore_.emplace(result_.rectified);
+    tracker_ = &*trackerStore_;
+    failingSet_.insert(failingAll.begin(), failingAll.end());
+    ResourceGuard unlimited;
+    return rectifyOutput(o, unlimited);
+  }
+
+  /// Borrow the canonical engine's immutable analyses (base snapshot and
+  /// spec); must be called before rectifyAsWorker.
+  void setSharedAnalyses(const NetlistAnalysis* base,
+                         const NetlistAnalysis* spec) {
+    baseAnalysis_ = base;
+    specAnalysis_ = spec;
+  }
+
+  /// True while the working netlist is still byte-identical to the base
+  /// analysis' snapshot: nothing rewired, nothing added. Gate/net counts
+  /// only ever grow and rewiring is the only other mutation, so the check
+  /// is exact.
+  bool baseAnalysisFresh() const {
+    return baseAnalysis_ != nullptr && tracker_ != nullptr &&
+           tracker_->rewires().empty() &&
+           result_.rectified.numGatesTotal() == baseAnalysis_->gatesAtBuild() &&
+           result_.rectified.numNetsTotal() == baseAnalysis_->netsAtBuild();
+  }
 
   std::uint32_t specOutput(std::uint32_t o) const {
     return spec_.findOutput(specOutputName(o));
@@ -482,8 +812,18 @@ class Engine {
     for (std::size_t wd = 0; wd < correctMask.size(); ++wd)
       correctMask[wd] &= ~errMask[wd];
 
-    std::vector<GateId> cone = w.coneGates({w.outputNet(o)});
-    const std::vector<std::uint32_t> wLevels = w.netLevels();
+    // Shared-analysis fast path: while the working netlist is still the
+    // pristine base snapshot (every speculative worker's first attempt, and
+    // the first output of a sequential run), the cone, levels, supports and
+    // topological order come from the immutable NetlistAnalysis instead of
+    // being recomputed per attempt.
+    const bool pristine = baseAnalysisFresh();
+    std::vector<GateId> cone = pristine ? baseAnalysis_->outputConeGates(o)
+                                        : w.coneGates({w.outputNet(o)});
+    std::vector<std::uint32_t> wLevelsLocal;
+    if (!pristine) wLevelsLocal = w.netLevels();
+    const std::vector<std::uint32_t>& wLevels =
+        pristine ? baseAnalysis_->netLevels() : wLevelsLocal;
     std::vector<std::uint64_t> allMask(errMask.size());
     for (std::size_t wd = 0; wd < allMask.size(); ++wd)
       allMask[wd] = errMask[wd] | correctMask[wd];
@@ -517,16 +857,22 @@ class Engine {
           simulateOnSamples(w, w, screen.patterns, baseFill));
       screen.baseNets = w.numNetsTotal();
       screen.topoIndex.assign(w.numGatesTotal(), 0);
-      const auto topo = w.topoOrder();
+      std::vector<GateId> topoLocal;
+      if (!pristine) topoLocal = w.topoOrder();
+      const std::vector<GateId>& topo =
+          pristine ? baseAnalysis_->topoOrder() : topoLocal;
       for (std::size_t k = 0; k < topo.size(); ++k)
         screen.topoIndex[topo[k]] = static_cast<std::uint32_t>(k);
     }
 
-    SupportTable wSupports(w);
+    std::optional<SupportTable> wSupportsLocal;
+    if (!pristine) wSupportsLocal.emplace(w);
+    const SupportTable& wSupports =
+        pristine ? baseAnalysis_->supports() : *wSupportsLocal;
     const std::vector<std::uint64_t> specOutMask =
         specOutSupportMaskInW(op, wSupports.words());
-    const std::vector<std::uint32_t> specLevels = spec_.netLevels();
-    std::vector<NetId> specCone = specConeNets(op);
+    const std::vector<std::uint32_t>& specLevels = specAnalysis_->netLevels();
+    std::vector<NetId> specCone = specAnalysis_->outputConeNets(op);
     computeCloneCostDp(wSim, sSim);
 
     // Phase 1: gather candidate rewire operations across every point count
@@ -552,7 +898,7 @@ class Engine {
           // only escalate while the cheaper levels found too few options.
           if (gathered.size() >= opt_.maxChoices) break;
           std::vector<std::vector<std::size_t>> pointSets =
-              enumeratePointSets(o, samples, wSim, sSim, pins, m, op);
+              enumeratePointSets(o, samples, wSim, sSim, pins, m, op, cone);
           if (opt_.verbose)
             std::fprintf(stderr,
                          "[syseco] out=%u m=%d pins=%zu pointsets=%zu\n", o, m,
@@ -572,8 +918,8 @@ class Engine {
                                              specOutMask, wLevels, specLevels,
                                              specCone, o));
             }
-            std::vector<RewireChoice> choices =
-                computeChoices(o, op, samples, wSim, sSim, pins, ps, *cands);
+            std::vector<RewireChoice> choices = computeChoices(
+                o, op, samples, wSim, sSim, pins, ps, *cands, cone);
             if (opt_.verbose)
               std::fprintf(stderr, "[syseco]   set size=%zu choices=%zu\n",
                            ps.size(), choices.size());
@@ -659,7 +1005,7 @@ class Engine {
       wSigs.insert(hashSignature(wSim.value(n), false));
     }
     cloneCostDp_.assign(spec_.numNetsTotal(), 0);
-    for (GateId g : spec_.topoOrder()) {
+    for (GateId g : specAnalysis_->topoOrder()) {
       const auto& gate = spec_.gate(g);
       const NetId out = gate.out;
       if (wSigs.count(hashSignature(sSim.value(out), false))) {
@@ -926,8 +1272,7 @@ class Engine {
   std::vector<std::vector<std::size_t>> enumeratePointSets(
       std::uint32_t o, const SampleSet& samples, const Simulator& wSim,
       const Simulator& sSim, const std::vector<PinCandidate>& pins, int m,
-      std::uint32_t op) {
-    Netlist& w = working();
+      std::uint32_t op, const std::vector<GateId>& cone) {
     const std::uint32_t nz = samples.numZVars();
     const std::size_t M = pins.size();
     std::uint32_t tb = 0;
@@ -967,7 +1312,6 @@ class Engine {
     sc.mgr = &mgr;
     sc.sim = &wSim;
     sc.zVars = zVars;
-    const std::vector<GateId> cone = w.coneGates({w.outputNet(o)});
 
     // Figure 2's construct: sel_j = OR_i t_i^j; data1_j = AND_i(t_i^j -> y_i).
     auto wrap = [&](Bdd::Ref base, std::size_t j) {
@@ -1351,18 +1695,11 @@ class Engine {
                                                    std::size_t words) {
     Netlist& w = working();
     std::vector<std::uint64_t> mask(words, 0);
-    for (std::uint32_t pi : spec_.support(spec_.outputNet(op))) {
+    for (std::uint32_t pi : specAnalysis_->outputSupport(op)) {
       const std::uint32_t iw = w.findInput(spec_.inputName(pi));
       if (iw != kNullId) mask[iw / 64] |= (std::uint64_t{1} << (iw % 64));
     }
     return mask;
-  }
-
-  std::vector<NetId> specConeNets(std::uint32_t op) {
-    std::vector<NetId> nets;
-    for (GateId g : spec_.coneGates({spec_.outputNet(op)}))
-      nets.push_back(spec_.gate(g).out);
-    return nets;
   }
 
   /// Match-aware clone of a spec net into W. The cloner persists across
@@ -1391,8 +1728,8 @@ class Engine {
       const Simulator& wSim, const Simulator& sSim,
       const std::vector<PinCandidate>& pins,
       const std::vector<std::size_t>& ps,
-      const std::vector<std::vector<NetCandidate>>& cands) {
-    Netlist& w = working();
+      const std::vector<std::vector<NetCandidate>>& cands,
+      const std::vector<GateId>& cone) {
     const std::uint32_t nz = samples.numZVars();
     const std::size_t m = ps.size();
     std::vector<std::uint32_t> cBits(m);
@@ -1422,7 +1759,6 @@ class Engine {
     sc.mgr = &mgr;
     sc.sim = &wSim;
     sc.zVars = zVars;
-    const std::vector<GateId> cone = w.coneGates({w.outputNet(o)});
 
     // Composition function h(z, y): the selected pins become free inputs.
     auto wrap = [&](Bdd::Ref /*base*/, std::size_t i) {
@@ -1854,7 +2190,22 @@ class Engine {
   Rng rng_;
   ResourceGuard rootGuard_;
   EcoResult result_;
+  std::optional<PatchTracker> trackerStore_;
   PatchTracker* tracker_ = nullptr;
+  // Immutable shared structural analyses: the canonical engine owns them;
+  // worker engines borrow pointers (setSharedAnalyses).
+  std::unique_ptr<NetlistAnalysis> ownedBaseAnalysis_;
+  std::unique_ptr<NetlistAnalysis> ownedSpecAnalysis_;
+  const NetlistAnalysis* baseAnalysis_ = nullptr;
+  const NetlistAnalysis* specAnalysis_ = nullptr;
+  // Speculative-commit accounting: charges from commit-time checks and
+  // redo runs, which deliberately run outside rootGuard_ (worker guards are
+  // unlimited and unparented - they never touch the canonical governor).
+  std::int64_t extraConflicts_ = 0;
+  std::int64_t extraBddNodes_ = 0;
+  // Gate/net counts of the shared base snapshot (the worker id remap base).
+  std::size_t commitBaseGates_ = 0;
+  std::size_t commitBaseNets_ = 0;
   std::unordered_set<std::uint32_t> failingSet_;
   std::vector<std::uint32_t> cloneCostDp_;
   std::unique_ptr<MatchedSpecCloner> cloner_;
@@ -1885,6 +2236,7 @@ Status validateSysecoOptions(const SysecoOptions& o) {
   if (o.maxChoices == 0) return invalid("maxChoices must be positive");
   if (o.maxRefineIters < 0)
     return invalid("maxRefineIters must be non-negative");
+  if (o.jobs == 0) return invalid("jobs must be positive");
   if (o.validationBudget <= 0)
     return invalid("validationBudget must be positive");
   if (o.samplingBudget <= 0) return invalid("samplingBudget must be positive");

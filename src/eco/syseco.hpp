@@ -65,6 +65,12 @@ struct ResumePlan {
   std::int64_t conflictsUsed = 0;      ///< totals at the adopted checkpoint
   std::int64_t bddNodesUsed = 0;
   PatchTracker::State tracker;
+  /// The original unpatched implementation (CRC-verified against the
+  /// journal). Speculative per-output workers always search from this base
+  /// snapshot, so a resumed run reproduces the uninterrupted run's worker
+  /// results exactly. Empty (no outputs) on hand-built plans, which forces
+  /// the sequential path.
+  Netlist base;
 };
 
 struct SysecoOptions {
@@ -93,6 +99,14 @@ struct SysecoOptions {
   bool verbose = false;  ///< trace the per-output search to stderr
 
   std::uint64_t seed = 1;
+
+  /// Worker threads for per-output rectification. On unlimited runs (no
+  /// deadline or budget) the engine searches outputs speculatively from
+  /// the unpatched base netlist and commits results in plan order, so the
+  /// patch, reports and journal are bit-identical for every jobs value.
+  /// Runs with a deadline or budget use fair-share slicing, which is
+  /// inherently schedule-dependent; they ignore jobs and stay sequential.
+  std::size_t jobs = 1;
 
   // --- Resource governor (whole-run ceilings; 0 = unlimited) --------------
   // The run always terminates with a correct patch: outputs whose share of

@@ -1,0 +1,47 @@
+#include "netlist/analysis.hpp"
+
+#include <bit>
+
+namespace syseco {
+
+NetlistAnalysis::NetlistAnalysis(const Netlist& nl)
+    : gatesAtBuild_(nl.numGatesTotal()),
+      netsAtBuild_(nl.numNetsTotal()),
+      topoOrder_(nl.topoOrder()),
+      netLevels_(nl.netLevels()),
+      supports_(nl),
+      nl_(&nl) {
+  const std::size_t numOutputs = nl.numOutputs();
+  coneGates_.resize(numOutputs);
+  outputSupports_.resize(numOutputs);
+  coneMember_.assign((numOutputs * gatesAtBuild_ + 63) / 64, 0);
+  for (std::uint32_t o = 0; o < numOutputs; ++o) {
+    coneGates_[o] = nl.coneGates({nl.outputNet(o)});
+    for (GateId g : coneGates_[o]) {
+      const std::size_t bit = o * gatesAtBuild_ + g;
+      coneMember_[bit / 64] |= (std::uint64_t{1} << (bit % 64));
+    }
+    // The support list falls out of the already-built bitset table.
+    const std::vector<std::uint64_t> mask =
+        supports_.supportMask(nl.outputNet(o));
+    for (std::size_t w = 0; w < mask.size(); ++w) {
+      std::uint64_t bits = mask[w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const std::size_t pi = w * 64 + static_cast<std::size_t>(b);
+        if (pi < nl.numInputs())
+          outputSupports_[o].push_back(static_cast<std::uint32_t>(pi));
+      }
+    }
+  }
+}
+
+std::vector<NetId> NetlistAnalysis::outputConeNets(std::uint32_t o) const {
+  std::vector<NetId> nets;
+  nets.reserve(coneGates_[o].size());
+  for (GateId g : coneGates_[o]) nets.push_back(nl_->gate(g).out);
+  return nets;
+}
+
+}  // namespace syseco

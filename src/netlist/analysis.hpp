@@ -1,0 +1,116 @@
+#pragma once
+// Shared, immutable structural analyses of a netlist.
+//
+// The rectification cascade needs the same derived structures over and over
+// - topological order, per-net transitive PI supports, per-output cone-gate
+// lists, logic levels - and used to recompute them from scratch for every
+// output (and once more per refinement attempt). NetlistAnalysis computes
+// them once for a netlist snapshot and serves them read-only; it is safe to
+// share across worker threads because it never mutates after construction.
+//
+// Validity contract: an analysis describes the netlist *as it was at
+// construction*. The specification netlist never changes, so its analysis
+// is valid for the whole run. The working implementation mutates during the
+// search; its base analysis is only consulted while the netlist is still
+// pristine (same gate/net counts, no rewires) - callers must check.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace syseco {
+
+/// Bitset-based PI supports of every net, computed in one topological pass.
+class SupportTable {
+ public:
+  explicit SupportTable(const Netlist& nl)
+      : words_((nl.numInputs() + 63) / 64),
+        bits_(nl.numNetsTotal() * std::max<std::size_t>(words_, 1), 0) {
+    if (words_ == 0) words_ = 1;
+    for (std::uint32_t i = 0; i < nl.numInputs(); ++i) {
+      const NetId n = nl.inputNet(i);
+      bits_[n * words_ + i / 64] |= (std::uint64_t{1} << (i % 64));
+    }
+    for (GateId g : nl.topoOrder()) {
+      const auto& gate = nl.gate(g);
+      std::uint64_t* out = &bits_[gate.out * words_];
+      for (NetId f : gate.fanins) {
+        const std::uint64_t* in = &bits_[f * words_];
+        for (std::size_t w = 0; w < words_; ++w) out[w] |= in[w];
+      }
+    }
+  }
+
+  /// True when support(net) is a subset of the given mask.
+  bool subsetOf(NetId net, const std::vector<std::uint64_t>& mask) const {
+    const std::uint64_t* s = &bits_[net * words_];
+    for (std::size_t w = 0; w < words_; ++w)
+      if ((s[w] & ~mask[w]) != 0) return false;
+    return true;
+  }
+
+  std::vector<std::uint64_t> supportMask(NetId net) const {
+    return {bits_.begin() + static_cast<std::ptrdiff_t>(net * words_),
+            bits_.begin() + static_cast<std::ptrdiff_t>((net + 1) * words_)};
+  }
+
+  std::size_t words() const { return words_; }
+  /// Number of nets covered (the netlist may grow after construction).
+  std::size_t numNets() const { return bits_.size() / words_; }
+
+ private:
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// One-shot cache of the structural analyses the rectification engine
+/// consumes per output: topological order, logic levels, PI-support
+/// bitsets, per-output transitive-fanin cone-gate lists and an
+/// output-cone membership bitset over gates.
+class NetlistAnalysis {
+ public:
+  explicit NetlistAnalysis(const Netlist& nl);
+
+  // Snapshot identity - callers gate base-analysis reuse on these.
+  std::size_t gatesAtBuild() const { return gatesAtBuild_; }
+  std::size_t netsAtBuild() const { return netsAtBuild_; }
+
+  const std::vector<GateId>& topoOrder() const { return topoOrder_; }
+  const std::vector<std::uint32_t>& netLevels() const { return netLevels_; }
+  const SupportTable& supports() const { return supports_; }
+
+  /// Gates of output `o`'s transitive fanin cone, topologically ordered.
+  const std::vector<GateId>& outputConeGates(std::uint32_t o) const {
+    return coneGates_[o];
+  }
+  /// Output nets of the cone's gates (candidate source nets when the
+  /// analyzed netlist is a specification).
+  std::vector<NetId> outputConeNets(std::uint32_t o) const;
+  /// PI indices in the transitive support of output `o`, ascending.
+  const std::vector<std::uint32_t>& outputSupport(std::uint32_t o) const {
+    return outputSupports_[o];
+  }
+  /// True when gate `g` (a gate id valid at build time) lies in the
+  /// transitive fanin cone of output `o`.
+  bool inOutputCone(std::uint32_t o, GateId g) const {
+    const std::size_t bit = o * gatesAtBuild_ + g;
+    return (coneMember_[bit / 64] >> (bit % 64)) & 1;
+  }
+  std::size_t outputConeSize(std::uint32_t o) const {
+    return coneGates_[o].size();
+  }
+
+ private:
+  std::size_t gatesAtBuild_ = 0;
+  std::size_t netsAtBuild_ = 0;
+  std::vector<GateId> topoOrder_;
+  std::vector<std::uint32_t> netLevels_;
+  SupportTable supports_;
+  std::vector<std::vector<GateId>> coneGates_;
+  std::vector<std::vector<std::uint32_t>> outputSupports_;
+  std::vector<std::uint64_t> coneMember_;  ///< outputs x gates bit matrix
+  const Netlist* nl_;
+};
+
+}  // namespace syseco

@@ -20,14 +20,13 @@ void Simulator::randomizeInputs(Rng& rng) {
 void Simulator::loadPatterns(const std::vector<InputPattern>& patterns) {
   SYSECO_CHECK(!patterns.empty());
   SYSECO_CHECK(patterns.size() <= numPatterns());
+  for (const InputPattern& p : patterns)
+    SYSECO_CHECK(p.size() == netlist_.numInputs());
   for (std::size_t i = 0; i < netlist_.numInputs(); ++i) {
     Signature& sig = values_[netlist_.inputNet(static_cast<std::uint32_t>(i))];
     for (std::size_t w = 0; w < words_; ++w) sig[w] = 0;
-    for (std::size_t k = 0; k < numPatterns(); ++k) {
-      const InputPattern& p =
-          patterns[k < patterns.size() ? k : patterns.size() - 1];
-      SYSECO_CHECK(p.size() == netlist_.numInputs());
-      if (p[i]) sig[k / 64] |= (1ULL << (k % 64));
+    for (std::size_t k = 0; k < patterns.size(); ++k) {
+      if (patterns[k][i]) sig[k / 64] |= (1ULL << (k % 64));
     }
   }
 }
@@ -38,23 +37,32 @@ void Simulator::setInputWord(std::uint32_t input, std::size_t word,
 }
 
 void Simulator::run() {
+  // The fanin Signature lookups are hoisted out of the word loop: each
+  // gate resolves values_[fanin] once into a pointer array, so the hot
+  // inner loop touches only the cached word pointers (the per-word
+  // indirection through values_ used to dominate wide simulations).
+  const std::uint64_t* faninSigs[16];
   std::uint64_t faninWords[16];
+  std::vector<const std::uint64_t*> bigSigs;
   std::vector<std::uint64_t> bigFanins;
   for (GateId g : topo_) {
     const Netlist::Gate& gate = netlist_.gate(g);
     Signature& out = values_[gate.out];
     const std::size_t k = gate.fanins.size();
     if (k <= 16) {
+      for (std::size_t i = 0; i < k; ++i)
+        faninSigs[i] = values_[gate.fanins[i]].data();
       for (std::size_t w = 0; w < words_; ++w) {
-        for (std::size_t i = 0; i < k; ++i)
-          faninWords[i] = values_[gate.fanins[i]][w];
+        for (std::size_t i = 0; i < k; ++i) faninWords[i] = faninSigs[i][w];
         out[w] = evalGateWord(gate.type, faninWords, k);
       }
     } else {
+      bigSigs.resize(k);
       bigFanins.resize(k);
+      for (std::size_t i = 0; i < k; ++i)
+        bigSigs[i] = values_[gate.fanins[i]].data();
       for (std::size_t w = 0; w < words_; ++w) {
-        for (std::size_t i = 0; i < k; ++i)
-          bigFanins[i] = values_[gate.fanins[i]][w];
+        for (std::size_t i = 0; i < k; ++i) bigFanins[i] = bigSigs[i][w];
         out[w] = evalGateWord(gate.type, bigFanins.data(), k);
       }
     }

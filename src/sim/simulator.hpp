@@ -35,8 +35,10 @@ class Simulator {
   void randomizeInputs(Rng& rng);
 
   /// Loads explicit patterns: patterns[k] is the assignment for pattern k
-  /// (bit k of the words). Unused pattern slots replicate the last pattern,
-  /// so that "don't care" tail bits never introduce spurious behaviors.
+  /// (bit k of the words). Unused tail slots are zero-filled (the all-zero
+  /// assignment); consumers that aggregate over whole words must mask the
+  /// tail out, or the duplicated tail assignment biases their statistics
+  /// (the sampling code tracks a per-sample validity mask for this reason).
   void loadPatterns(const std::vector<InputPattern>& patterns);
 
   /// Sets input i's value word w directly.

@@ -19,6 +19,9 @@
 //   --level-driven      timing-aware rewire selection
 //   --uniform-sampling  ablation: uniform instead of error-domain samples
 //   --no-sweep          disable the patch-input sweeping post-process
+//   --jobs N            worker threads for per-output rectification
+//                       (default 1; results are bit-identical for every N.
+//                       Runs with a deadline or budget stay sequential)
 //   --seed S            RNG seed                          (default 1)
 //   --journal DIR       crash-safe run journal: one checksummed record per
 //                       completed per-output rectification (syseco only)
@@ -166,8 +169,8 @@ void writeReport(std::ostream& os, const std::string& engine,
                "          [--deadline-ms MS] [--total-conflict-budget N] "
                "[--bdd-node-budget N]\n"
                "          [--level-driven] [--uniform-sampling] [--no-sweep]"
-               "\n          [--journal DIR] [--resume DIR] [--seed S] "
-               "[--verbose]\n",
+               "\n          [--jobs N] [--journal DIR] [--resume DIR] "
+               "[--seed S] [--verbose]\n",
                argv0);
   std::exit(kExitUsage);
 }
@@ -203,6 +206,8 @@ int main(int argc, char** argv) {
       else if (arg == "--level-driven") opt.levelDriven = true;
       else if (arg == "--uniform-sampling") opt.useErrorDomainSampling = false;
       else if (arg == "--no-sweep") opt.enableSweeping = false;
+      else if (arg == "--jobs") opt.jobs =
+          static_cast<std::size_t>(std::stoul(value()));
       else if (arg == "--seed") opt.seed = std::stoull(value());
       else if (arg == "--journal") journalDir = value();
       else if (arg == "--resume") resumeDir = value();

@@ -20,6 +20,7 @@
 // Fault injection: checkpoint(site) consults util/fault.hpp when a site tag
 // is given, so tests can force either exhaustion code at any polling site.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -55,10 +56,20 @@ class ResourceGuard {
   // Children hold a pointer to their parent, so guards are not copyable
   // and only move-constructible (needed to return from slice()); create
   // children in a scope the parent outlives and don't move a guard that
-  // already has children.
+  // already has children. The move is hand-written because the spend
+  // counters are atomics (several workers may charge one guard chain
+  // concurrently); moving is a single-threaded setup-time operation.
   ResourceGuard(const ResourceGuard&) = delete;
   ResourceGuard& operator=(const ResourceGuard&) = delete;
-  ResourceGuard(ResourceGuard&&) = default;
+  ResourceGuard(ResourceGuard&& other) noexcept
+      : parent_(other.parent_),
+        hasDeadline_(other.hasDeadline_),
+        deadline_(other.deadline_),
+        conflictLimit_(other.conflictLimit_),
+        bddNodeLimit_(other.bddNodeLimit_),
+        conflictsUsed_(other.conflictsUsed_.load(std::memory_order_relaxed)),
+        bddNodesUsed_(other.bddNodesUsed_.load(std::memory_order_relaxed)),
+        tripped_(other.tripped_.load(std::memory_order_relaxed)) {}
   ResourceGuard& operator=(ResourceGuard&&) = delete;
 
   /// Child guard entitled to 1/shares of this guard's remaining budgets
@@ -98,13 +109,17 @@ class ResourceGuard {
 
   // --- Consumption ----------------------------------------------------------
 
+  // Charges walk the parent chain with relaxed atomic adds: workers on
+  // different threads may share an ancestor, and the counters are plain
+  // monotone tallies polled cooperatively (no ordering is needed beyond
+  // the eventual-visibility the polls tolerate by design).
   void chargeConflicts(std::int64_t n) {
     for (const ResourceGuard* g = this; g; g = g->parent_)
-      g->conflictsUsed_ += n;
+      g->conflictsUsed_.fetch_add(n, std::memory_order_relaxed);
   }
   void chargeBddNodes(std::int64_t n) {
     for (const ResourceGuard* g = this; g; g = g->parent_)
-      g->bddNodesUsed_ += n;
+      g->bddNodesUsed_.fetch_add(n, std::memory_order_relaxed);
   }
 
   // --- Polling --------------------------------------------------------------
@@ -197,8 +212,9 @@ class ResourceGuard {
 
   void refresh() {
     for (const ResourceGuard* g = this; g; g = g->parent_) {
-      if (g->tripped_ != StatusCode::kOk) {
-        tripped_ = g->tripped_;
+      const StatusCode code = g->tripped_.load(std::memory_order_relaxed);
+      if (code != StatusCode::kOk) {
+        tripped_.store(code, std::memory_order_relaxed);
         return;
       }
       if (g->conflictLimit_ >= 0 && g->conflictsUsed_ >= g->conflictLimit_) {
@@ -232,9 +248,11 @@ class ResourceGuard {
   TimePoint deadline_{};
   std::int64_t conflictLimit_ = -1;  ///< -1: unlimited
   std::int64_t bddNodeLimit_ = -1;
-  mutable std::int64_t conflictsUsed_ = 0;
-  mutable std::int64_t bddNodesUsed_ = 0;
-  StatusCode tripped_ = StatusCode::kOk;
+  // Atomic so that worker threads can charge a shared ancestor while the
+  // owner polls; everything else on a guard is set up before sharing.
+  mutable std::atomic<std::int64_t> conflictsUsed_{0};
+  mutable std::atomic<std::int64_t> bddNodesUsed_{0};
+  std::atomic<StatusCode> tripped_{StatusCode::kOk};
 };
 
 }  // namespace syseco

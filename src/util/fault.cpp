@@ -27,6 +27,7 @@ Injector::Injector() {
 }
 
 void Injector::arm(std::string site, Kind kind, std::uint64_t skip) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (Trigger& t : triggers_) {
     if (t.site == site) {
       t.kind = kind;
@@ -36,11 +37,17 @@ void Injector::arm(std::string site, Kind kind, std::uint64_t skip) {
     }
   }
   triggers_.push_back(Trigger{std::move(site), kind, skip, 0});
+  armedCount_.store(triggers_.size(), std::memory_order_relaxed);
 }
 
-void Injector::reset() { triggers_.clear(); }
+void Injector::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  triggers_.clear();
+  armedCount_.store(0, std::memory_order_relaxed);
+}
 
 std::optional<Kind> Injector::fire(std::string_view site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (Trigger& t : triggers_) {
     if (t.site != site) continue;
     const std::uint64_t hit = t.hits++;

@@ -29,7 +29,9 @@
 // its skip count is consumed - degradation must hold up under persistent,
 // not transient, exhaustion.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -59,7 +61,9 @@ struct Trigger {
 class Injector {
  public:
   /// Process-wide instance, configured from SYSECO_FAULT_INJECT on first
-  /// access. The engine is single-threaded; no locking.
+  /// access. Hit counting is serialized internally so instrumented sites
+  /// may fire from worker threads; arming/resetting still belongs in
+  /// single-threaded test setup.
   static Injector& instance();
 
   /// Arms a trigger programmatically (unit tests). Replaces any existing
@@ -73,7 +77,11 @@ class Injector {
   /// fires, nullopt when the site is unarmed or still skipping.
   std::optional<Kind> fire(std::string_view site);
 
-  bool empty() const { return triggers_.empty(); }
+  /// Lock-free fast path for the unarmed case (the overwhelming majority
+  /// of hits): a relaxed read of the armed-trigger count.
+  bool empty() const {
+    return armedCount_.load(std::memory_order_relaxed) == 0;
+  }
 
   /// Parses the environment syntax; returns false (and arms nothing from
   /// the bad clause) on a malformed clause.
@@ -81,7 +89,9 @@ class Injector {
 
  private:
   Injector();
+  mutable std::mutex mutex_;
   std::vector<Trigger> triggers_;
+  std::atomic<std::size_t> armedCount_{0};
 };
 
 /// Convenience: hit a site on the global injector. Zero-cost in the common

@@ -170,6 +170,7 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
     dir_ = std::move(other.dir_);
     records_ = other.records_;
     bytes_ = other.bytes_;
+    appendMutex_ = std::move(other.appendMutex_);
     other.fd_ = -1;
   }
   return *this;
@@ -184,6 +185,7 @@ Result<JournalWriter> JournalWriter::create(const std::string& dir) {
     return errnoStatus("cannot create journal directory", dir);
   JournalWriter w;
   w.dir_ = dir;
+  w.appendMutex_ = std::make_unique<std::mutex>();
   const std::string path = journalDataPath(dir);
   w.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (w.fd_ < 0) return errnoStatus("cannot create journal", path);
@@ -196,6 +198,7 @@ Result<JournalWriter> JournalWriter::resume(const std::string& dir,
                                             const JournalScan& scan) {
   JournalWriter w;
   w.dir_ = dir;
+  w.appendMutex_ = std::make_unique<std::mutex>();
   const std::string path = journalDataPath(dir);
   w.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
   if (w.fd_ < 0) return errnoStatus("cannot open journal", path);
@@ -215,6 +218,7 @@ Status JournalWriter::append(std::string_view payload) {
   if (fd_ < 0) return Status::internal("journal writer is not open");
   if (payload.find('\n') != std::string_view::npos)
     return Status::invalidInput("journal payload must not contain newlines");
+  const std::lock_guard<std::mutex> lock(*appendMutex_);
   const std::string line = frameLine(payload);
   std::size_t written = 0;
   while (written < line.size()) {

@@ -19,6 +19,8 @@
 // coupling live in src/io and src/eco.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -78,6 +80,9 @@ class JournalWriter {
 
   /// Appends one framed record (payload must not contain raw newlines),
   /// fsyncs the data, then atomically advances the COMMIT marker.
+  /// Serialized internally, so concurrent appenders interleave whole
+  /// records and never tear a frame; open/resume/move stay
+  /// single-threaded setup-time operations.
   Status append(std::string_view payload);
 
   bool isOpen() const { return fd_ >= 0; }
@@ -91,6 +96,9 @@ class JournalWriter {
   std::string dir_;
   std::size_t records_ = 0;
   std::uint64_t bytes_ = 0;
+  // Owned by pointer to keep the writer movable; allocated by
+  // create()/resume(), which are single-threaded by contract.
+  std::unique_ptr<std::mutex> appendMutex_;
 };
 
 }  // namespace syseco

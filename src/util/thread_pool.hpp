@@ -1,0 +1,65 @@
+#pragma once
+// Work-stealing thread pool for the per-output rectification cascade.
+//
+// N worker threads each own a deque of tasks; an idle worker pops from the
+// back of its own deque (LIFO, cache-warm) and steals from the front of a
+// victim's deque (FIFO, oldest first) when its own runs dry. submit()
+// round-robins new tasks across the worker deques and returns a
+// std::future<void> the caller can block on; task exceptions propagate
+// through the future. The pool is deliberately value-free: tasks produce
+// their results through captured state, and *ordering* of result
+// consumption is the caller's job (the syseco engine commits per-output
+// results strictly in plan order, which is what keeps `--jobs N`
+// bit-identical to `--jobs 1`).
+//
+// A ThreadPool with zero threads degenerates to inline execution inside
+// submit() - callers can treat `jobs == 1` and `jobs == N` uniformly.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace syseco {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 means no workers: submit() runs the task
+  /// inline before returning (the returned future is already ready).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers. Pending tasks are still executed; destruction
+  /// waits for the queues to drain.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` and returns a future that becomes ready when it has
+  /// run. Exceptions thrown by the task are captured into the future.
+  std::future<void> submit(std::function<void()> task);
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::packaged_task<void()>> tasks;
+  };
+
+  void workerLoop(std::size_t self);
+  bool popOrSteal(std::size_t self, std::packaged_task<void()>* out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wakeMutex_;
+  std::condition_variable wake_;
+  std::size_t nextQueue_ = 0;  // round-robin submit target (under wakeMutex_)
+  bool stopping_ = false;      // under wakeMutex_
+};
+
+}  // namespace syseco

@@ -41,7 +41,58 @@ TEST_P(SimRandomCircuit, WordSimMatchesScalarReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimRandomCircuit,
                          ::testing::Values(1, 2, 3, 4, 5, 11, 23, 99));
 
-TEST(Simulator, LoadPatternsReplicatesTail) {
+class SimWideGates : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Gates with more than 16 fanins take the heap-buffer (`bigFanins`) path
+// in Simulator::run; exercise it against the scalar references on every
+// simulated pattern, not a sample.
+TEST_P(SimWideGates, BigFaninPathMatchesScalarReference) {
+  Rng rng(GetParam());
+  Netlist nl;
+  std::vector<NetId> ins;
+  for (int i = 0; i < 24; ++i)
+    ins.push_back(nl.addInput("i" + std::to_string(i)));
+  auto pick = [&](std::size_t k) {
+    std::vector<NetId> f;
+    for (std::size_t j = 0; j < k; ++j)
+      f.push_back(ins[static_cast<std::size_t>(rng.below(ins.size()))]);
+    return f;
+  };
+  const NetId wideAnd = nl.addGate(GateType::And, pick(24));
+  const NetId wideOr = nl.addGate(GateType::Or, pick(20));
+  const NetId wideXor = nl.addGate(GateType::Xor, pick(17));
+  const NetId wideNand = nl.addGate(GateType::Nand, pick(19));
+  // A narrow gate combining wide ones: mixed paths in one pass.
+  const NetId mix = nl.addGate(GateType::Xor, {wideAnd, wideOr});
+  nl.addOutput("and", wideAnd);
+  nl.addOutput("or", wideOr);
+  nl.addOutput("xor", wideXor);
+  nl.addOutput("nand", wideNand);
+  nl.addOutput("mix", mix);
+
+  Simulator sim(nl, 2);  // 128 patterns
+  Rng simRng(GetParam() * 7 + 3);
+  sim.randomizeInputs(simRng);
+  sim.run();
+
+  for (std::size_t idx = 0; idx < sim.numPatterns(); ++idx) {
+    InputPattern pattern(nl.numInputs());
+    for (std::size_t i = 0; i < nl.numInputs(); ++i)
+      pattern[i] =
+          sim.bit(nl.inputNet(static_cast<std::uint32_t>(i)), idx) ? 1 : 0;
+    const auto outs = evalOnce(nl, pattern);
+    for (std::uint32_t o = 0; o < nl.numOutputs(); ++o) {
+      EXPECT_EQ(sim.bit(nl.outputNet(o), idx), outs[o] != 0)
+          << "output " << o << " pattern " << idx;
+      EXPECT_EQ(evalNetOnce(nl, nl.outputNet(o), pattern), outs[o] != 0)
+          << "output " << o << " pattern " << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimWideGates, ::testing::Values(13, 37, 71));
+
+TEST(Simulator, LoadPatternsZeroFillsTail) {
   Netlist nl;
   const NetId a = nl.addInput("a");
   nl.addOutput("o", a);
@@ -51,8 +102,10 @@ TEST(Simulator, LoadPatternsReplicatesTail) {
   EXPECT_TRUE(sim.bit(a, 0));
   EXPECT_FALSE(sim.bit(a, 1));
   EXPECT_TRUE(sim.bit(a, 2));
-  // Tail replicates the last pattern.
-  for (std::size_t k = 3; k < 64; ++k) EXPECT_TRUE(sim.bit(a, k));
+  // Unused tail slots are the all-zero assignment, never a replicated
+  // pattern (replication used to bias whole-word statistics toward the
+  // last sample).
+  for (std::size_t k = 3; k < 64; ++k) EXPECT_FALSE(sim.bit(a, k));
 }
 
 TEST(Simulator, DeterministicUnderSameSeed) {
