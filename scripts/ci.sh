@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI gauntlet: Release build + full test suite, sanitizer build + hostile
-# -input suite, and a kill-and-resume smoke test that crash-injects the CLI
+# -input suite, a kill-and-resume smoke test that crash-injects the CLI
 # mid-run (simulated kill -9) and proves the journal resumes to a verified
-# result. Run from anywhere; builds land in build-ci/ and build-ci-asan/.
+# result, and an isolation fault-injection matrix that crashes/OOMs/hangs/
+# garbles one worker subprocess per run and proves the supervisor contains
+# it. Run from anywhere; builds land in build-ci/ and build-ci-asan/.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -92,5 +94,66 @@ if ! diff <(normalize "$SMOKE/ref.json") <(normalize "$SMOKE/resumed.json"); the
   echo "resumed report diverged from the uninterrupted run"
   exit 1
 fi
+
+echo "=== Isolation fault-injection matrix ==="
+# Reference: a clean isolated run must be bit-identical to the in-process
+# run (the report smoke above) in everything but wall-clock timing.
+"$CLI" --impl "$IMPL" --spec "$SPEC" --jobs 4 --isolate \
+    --report "$SMOKE/iso_ref.json" --out "$SMOKE/iso_ref.blif" \
+    > "$SMOKE/iso_ref.log"
+"$CLI" --impl "$IMPL" --spec "$SPEC" --jobs 4 \
+    --report "$SMOKE/inproc_ref.json" --out "$SMOKE/inproc_ref.blif" \
+    > "$SMOKE/inproc_ref.log"
+cmp "$SMOKE/iso_ref.blif" "$SMOKE/inproc_ref.blif" \
+    || { echo "--isolate netlist diverged from the in-process run"; exit 1; }
+if ! diff <(normalize "$SMOKE/inproc_ref.json") <(normalize "$SMOKE/iso_ref.json"); then
+  echo "--isolate report diverged from the in-process run"
+  exit 1
+fi
+
+# Inject each fault kind into the worker of the last planned output: the
+# run must complete degraded (exit 4), quarantine exactly that output to the
+# cone-clone fallback with the matching exit cause and attempt count, and
+# leave every other output bit-identical to the uninjected run.
+VICTIM="$(python3 -c "
+import json
+print(json.load(open('$SMOKE/iso_ref.json'))['outputs'][-1]['output'])")"
+for KIND in crash oom hang garbage-ipc; do
+  case "$KIND" in
+    hang) WANT_CAUSE="wall-timeout"; WANT_LIMIT="deadline-exceeded" ;;
+    oom)  WANT_CAUSE="oom";          WANT_LIMIT="budget-exhausted" ;;
+    *)    WANT_CAUSE="$KIND";        WANT_LIMIT="internal" ;;
+  esac
+  set +e
+  SYSECO_FAULT_INJECT="isolate.worker.o${VICTIM}=${KIND}" \
+      "$CLI" --impl "$IMPL" --spec "$SPEC" --jobs 4 --isolate \
+      --isolate-wall-ms 2000 --isolate-backoff-ms 1 --isolate-max-attempts 2 \
+      --report "$SMOKE/iso_$KIND.json" > "$SMOKE/iso_$KIND.log" 2>&1
+  rc=$?
+  set -e
+  [ "$rc" -eq 4 ] || {
+    echo "fault $KIND: expected degraded exit 4, got $rc"
+    cat "$SMOKE/iso_$KIND.log"; exit 1; }
+  python3 - "$SMOKE/iso_ref.json" "$SMOKE/iso_$KIND.json" "$VICTIM" \
+      "$KIND" "$WANT_CAUSE" "$WANT_LIMIT" <<'PYEOF'
+import json, sys
+ref, got = json.load(open(sys.argv[1])), json.load(open(sys.argv[2]))
+victim, kind, want_cause, want_limit = int(sys.argv[3]), *sys.argv[4:7]
+inj = [o for o in got["outputs"] if o["output"] == victim][0]
+assert inj["status"] == "fallback", (kind, inj)
+assert inj["exit_cause"] == want_cause, (kind, inj)
+assert inj["limit"] == want_limit, (kind, inj)
+assert inj["attempts"] == 2, (kind, inj)
+assert got["degraded"] is True and got["success"] is True
+def norm(o):
+    return {k: (0 if k == "seconds" else v) for k, v in o.items()}
+refmap = {o["output"]: norm(o) for o in ref["outputs"]}
+for o in got["outputs"]:
+    if o["output"] == victim:
+        continue
+    assert norm(o) == refmap[o["output"]], (kind, o)
+print(f"fault {kind}: contained (fallback, {want_cause}, 2 attempts)")
+PYEOF
+done
 
 echo "=== CI passed ==="

@@ -1,0 +1,332 @@
+#include "eco/isolate.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "io/journal_io.hpp"
+#include "util/journal.hpp"
+
+namespace syseco {
+
+namespace {
+
+// Sanity ceilings for unbounded-looking counters arriving over IPC. Far
+// above anything a real worker produces; their only job is to keep a
+// corrupted frame from smuggling absurd values into run accounting.
+constexpr std::int64_t kMaxSmallCount = 1000000;
+
+/// Field readers, mirroring journal_io's record extraction: false means
+/// "absent or wrong type/range" and the caller rejects the whole message.
+bool getU64(const JsonValue& obj, const std::string& key, std::uint64_t* out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::Number || !v->isInteger ||
+      v->integer < 0)
+    return false;
+  *out = static_cast<std::uint64_t>(v->integer);
+  return true;
+}
+
+bool getU32(const JsonValue& obj, const std::string& key, std::uint32_t* out) {
+  std::uint64_t wide = 0;
+  if (!getU64(obj, key, &wide) || wide > 0xFFFFFFFFull) return false;
+  *out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool getI64(const JsonValue& obj, const std::string& key, std::int64_t* out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::Number || !v->isInteger) return false;
+  *out = v->integer;
+  return true;
+}
+
+bool getDouble(const JsonValue& obj, const std::string& key, double* out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::Number ||
+      !std::isfinite(v->number))
+    return false;
+  *out = v->number;
+  return true;
+}
+
+bool getString(const JsonValue& obj, const std::string& key,
+               std::string* out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::String) return false;
+  *out = v->str;
+  return true;
+}
+
+bool getBool(const JsonValue& obj, const std::string& key, bool* out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::Kind::Bool) return false;
+  *out = v->boolean;
+  return true;
+}
+
+/// Array element as an exact u32 (kNullId allowed when `allowNull`).
+bool elemU32(const JsonValue& e, std::uint32_t* out) {
+  if (e.kind != JsonValue::Kind::Number || !e.isInteger || e.integer < 0 ||
+      e.integer > 0xFFFFFFFFll)
+    return false;
+  *out = static_cast<std::uint32_t>(e.integer);
+  return true;
+}
+
+std::optional<OutputRectStatus> rectStatusFromName(std::string_view name) {
+  for (OutputRectStatus s :
+       {OutputRectStatus::kExact, OutputRectStatus::kDegraded,
+        OutputRectStatus::kFallback}) {
+    if (name == outputRectStatusName(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<StatusCode> statusCodeFromName(std::string_view name) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kBudgetExhausted,
+        StatusCode::kDeadlineExceeded, StatusCode::kInvalidInput,
+        StatusCode::kInternal}) {
+    if (name == statusCodeName(c)) return c;
+  }
+  return std::nullopt;
+}
+
+void serializeReportInto(std::ostringstream& os, const OutputReport& r) {
+  os << "{\"output\":" << r.output << ",\"name\":\"" << jsonEscape(r.name)
+     << "\",\"status\":\"" << outputRectStatusName(r.status)
+     << "\",\"limit\":\"" << statusCodeName(r.limit)
+     << "\",\"conflicts_used\":" << r.conflictsUsed
+     << ",\"bdd_nodes_used\":" << r.bddNodesUsed << ",\"seconds\":"
+     << r.seconds << ",\"degrade_steps\":" << r.degradeSteps
+     << ",\"attempts\":" << r.workerFailedAttempts << ",\"exit_cause\":\""
+     << workerExitCauseName(r.workerExitCause) << "\"}";
+}
+
+bool parseReport(const JsonValue& v, const Netlist& base, OutputReport* out) {
+  if (v.kind != JsonValue::Kind::Object) return false;
+  std::string status, limit, exitCause;
+  std::int64_t degradeSteps = 0, attempts = 0;
+  if (!(getU32(v, "output", &out->output) && getString(v, "name", &out->name) &&
+        getString(v, "status", &status) && getString(v, "limit", &limit) &&
+        getI64(v, "conflicts_used", &out->conflictsUsed) &&
+        getI64(v, "bdd_nodes_used", &out->bddNodesUsed) &&
+        getDouble(v, "seconds", &out->seconds) &&
+        getI64(v, "degrade_steps", &degradeSteps) &&
+        getI64(v, "attempts", &attempts) &&
+        getString(v, "exit_cause", &exitCause)))
+    return false;
+  const auto st = rectStatusFromName(status);
+  const auto lim = statusCodeFromName(limit);
+  const auto cause = workerExitCauseFromName(exitCause);
+  if (!st || !lim || !cause) return false;
+  if (out->output >= base.numOutputs()) return false;
+  if (out->name != base.outputName(out->output)) return false;
+  if (out->conflictsUsed < 0 || out->bddNodesUsed < 0) return false;
+  if (out->seconds < 0.0) return false;
+  if (degradeSteps < 0 || degradeSteps > kMaxSmallCount) return false;
+  if (attempts < 0 || attempts > kMaxSmallCount) return false;
+  out->status = *st;
+  out->limit = *lim;
+  out->degradeSteps = static_cast<int>(degradeSteps);
+  out->workerFailedAttempts = static_cast<int>(attempts);
+  out->workerExitCause = *cause;
+  return true;
+}
+
+Status bad(const std::string& what) {
+  return Status::invalidInput("worker patch: " + what);
+}
+
+}  // namespace
+
+std::string encodeTaskRequest(const IsolateTaskRequest& req) {
+  std::ostringstream os;
+  os << "{\"output\":" << req.output << ",\"attempt\":" << req.attempt << "}";
+  return os.str();
+}
+
+Result<IsolateTaskRequest> decodeTaskRequest(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  IsolateTaskRequest req;
+  if (!getU32(v, "output", &req.output) ||
+      !getI64(v, "attempt", &req.attempt) || req.attempt < 1 ||
+      req.attempt > kMaxSmallCount)
+    return Status::invalidInput("task request: malformed fields");
+  return req;
+}
+
+std::string encodeWorkerPatch(const WorkerPatch& patch) {
+  std::ostringstream os;
+  // max_digits10: phase seconds must survive the round trip bit-exactly so
+  // isolated-run diagnostics match the in-process speculative mode.
+  os << std::setprecision(17);
+  os << "{\"produced\":" << (patch.produced ? "true" : "false")
+     << ",\"base_gates\":" << patch.baseGates
+     << ",\"base_nets\":" << patch.baseNets << ",\"gates\":[";
+  for (std::size_t i = 0; i < patch.gates.size(); ++i) {
+    const WorkerPatch::NewGate& g = patch.gates[i];
+    os << (i ? "," : "") << "[" << static_cast<unsigned>(g.type) << ","
+       << g.out;
+    for (NetId f : g.fanins) os << "," << f;
+    os << "]";
+  }
+  os << "],\"rewires\":[";
+  for (std::size_t i = 0; i < patch.rewires.size(); ++i) {
+    const PatchTracker::RewireRecord& r = patch.rewires[i];
+    os << (i ? "," : "") << "[" << r.sink.gate << "," << r.sink.port << ","
+       << r.oldNet << "," << r.newNet << "]";
+  }
+  os << "],\"counters\":[" << patch.frag.outputsRectified << ","
+     << patch.frag.outputsViaRewire << "," << patch.frag.outputsViaFallback
+     << "," << patch.frag.candidatesValidated << ","
+     << patch.frag.candidatesRefuted << ","
+     << patch.frag.candidatesScreenRejected << ","
+     << patch.frag.refinementRounds << "],\"seconds\":["
+     << patch.frag.secondsSampling << "," << patch.frag.secondsSymbolic << ","
+     << patch.frag.secondsScreening << "," << patch.frag.secondsValidation
+     << "," << patch.frag.secondsFallback << "]";
+  if (patch.produced && !patch.frag.outputs.empty()) {
+    os << ",\"report\":";
+    serializeReportInto(os, patch.frag.outputs.back());
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<WorkerPatch> decodeWorkerPatch(std::string_view payload,
+                                      const Netlist& base) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  if (v.kind != JsonValue::Kind::Object) return bad("not an object");
+
+  WorkerPatch patch;
+  if (!getBool(v, "produced", &patch.produced) ||
+      !getU64(v, "base_gates", &patch.baseGates) ||
+      !getU64(v, "base_nets", &patch.baseNets))
+    return bad("malformed envelope");
+  if (patch.baseGates != base.numGatesTotal() ||
+      patch.baseNets != base.numNetsTotal())
+    return bad("base snapshot counts disagree with the supervisor's");
+
+  const JsonValue* gates = v.find("gates");
+  if (!gates || gates->kind != JsonValue::Kind::Array)
+    return bad("missing gates array");
+  if (gates->items.size() > static_cast<std::size_t>(kMaxSmallCount))
+    return bad("absurd gate count");
+  patch.gates.reserve(gates->items.size());
+  for (std::size_t i = 0; i < gates->items.size(); ++i) {
+    const JsonValue& item = gates->items[i];
+    if (item.kind != JsonValue::Kind::Array || item.items.size() < 2)
+      return bad("malformed gate entry");
+    std::uint32_t typeRaw = 0, out = 0;
+    if (!elemU32(item.items[0], &typeRaw) || !elemU32(item.items[1], &out))
+      return bad("malformed gate entry");
+    if (typeRaw > static_cast<std::uint32_t>(GateType::Mux))
+      return bad("unknown gate type");
+    WorkerPatch::NewGate g;
+    g.type = static_cast<GateType>(typeRaw);
+    // addGate creates exactly one net per gate, so appended gate i must
+    // drive net baseNets+i - the invariant the commit-time remap relies on.
+    if (out != patch.baseNets + i) return bad("gate output id out of order");
+    g.out = out;
+    g.fanins.reserve(item.items.size() - 2);
+    for (std::size_t f = 2; f < item.items.size(); ++f) {
+      std::uint32_t fanin = 0;
+      if (!elemU32(item.items[f], &fanin)) return bad("malformed gate fanin");
+      // Strictly older nets only: keeps the replayed patch acyclic and
+      // every remapped fanin id in range.
+      if (fanin >= out) return bad("gate fanin from the future");
+      g.fanins.push_back(fanin);
+    }
+    const std::uint8_t arity = gateArity(g.type);
+    const bool arityOk = arity == 0xFF ? !g.fanins.empty()
+                                       : g.fanins.size() == arity;
+    if (!arityOk) return bad("gate fanin arity mismatch");
+    patch.gates.push_back(std::move(g));
+  }
+  const std::uint64_t totalGates = patch.baseGates + patch.gates.size();
+  const std::uint64_t totalNets = patch.baseNets + patch.gates.size();
+
+  const JsonValue* rewires = v.find("rewires");
+  if (!rewires || rewires->kind != JsonValue::Kind::Array)
+    return bad("missing rewires array");
+  if (rewires->items.size() > static_cast<std::size_t>(kMaxSmallCount))
+    return bad("absurd rewire count");
+  patch.rewires.reserve(rewires->items.size());
+  for (const JsonValue& item : rewires->items) {
+    if (item.kind != JsonValue::Kind::Array || item.items.size() != 4)
+      return bad("malformed rewire entry");
+    std::uint32_t f[4];
+    for (int i = 0; i < 4; ++i)
+      if (!elemU32(item.items[static_cast<std::size_t>(i)], &f[i]))
+        return bad("malformed rewire entry");
+    PatchTracker::RewireRecord r{Sink{f[0], f[1]}, f[2], f[3]};
+    if (r.oldNet >= totalNets || r.newNet >= totalNets)
+      return bad("rewire net id out of range");
+    if (r.sink.isOutput()) {
+      if (r.sink.port >= base.numOutputs())
+        return bad("rewire output index out of range");
+    } else {
+      if (r.sink.gate >= totalGates) return bad("rewire gate id out of range");
+      const std::size_t faninCount =
+          r.sink.gate < patch.baseGates
+              ? base.gate(r.sink.gate).fanins.size()
+              : patch.gates[r.sink.gate - patch.baseGates].fanins.size();
+      if (r.sink.port >= faninCount) return bad("rewire port out of range");
+    }
+    patch.rewires.push_back(r);
+  }
+
+  const JsonValue* counters = v.find("counters");
+  if (!counters || counters->kind != JsonValue::Kind::Array ||
+      counters->items.size() != 7)
+    return bad("malformed counters");
+  std::uint64_t c[7];
+  for (int i = 0; i < 7; ++i) {
+    const JsonValue& e = counters->items[static_cast<std::size_t>(i)];
+    if (e.kind != JsonValue::Kind::Number || !e.isInteger || e.integer < 0)
+      return bad("malformed counters");
+    c[i] = static_cast<std::uint64_t>(e.integer);
+  }
+  patch.frag.outputsRectified = c[0];
+  patch.frag.outputsViaRewire = c[1];
+  patch.frag.outputsViaFallback = c[2];
+  patch.frag.candidatesValidated = c[3];
+  patch.frag.candidatesRefuted = c[4];
+  patch.frag.candidatesScreenRejected = c[5];
+  patch.frag.refinementRounds = c[6];
+
+  const JsonValue* seconds = v.find("seconds");
+  if (!seconds || seconds->kind != JsonValue::Kind::Array ||
+      seconds->items.size() != 5)
+    return bad("malformed seconds");
+  double s[5];
+  for (int i = 0; i < 5; ++i) {
+    const JsonValue& e = seconds->items[static_cast<std::size_t>(i)];
+    if (e.kind != JsonValue::Kind::Number || !std::isfinite(e.number) ||
+        e.number < 0.0)
+      return bad("malformed seconds");
+    s[i] = e.number;
+  }
+  patch.frag.secondsSampling = s[0];
+  patch.frag.secondsSymbolic = s[1];
+  patch.frag.secondsScreening = s[2];
+  patch.frag.secondsValidation = s[3];
+  patch.frag.secondsFallback = s[4];
+
+  if (patch.produced) {
+    const JsonValue* report = v.find("report");
+    OutputReport r;
+    if (!report || !parseReport(*report, base, &r))
+      return bad("malformed report");
+    patch.frag.outputs.push_back(std::move(r));
+  }
+  return patch;
+}
+
+}  // namespace syseco

@@ -1,0 +1,77 @@
+#pragma once
+// Message payloads exchanged between the --isolate supervisor (syseco.cpp)
+// and its forked worker subprocesses (util/subprocess.hpp), carried inside
+// crc32-framed IPC messages (util/ipc.hpp).
+//
+// A worker is a pure function of (base netlist, spec, options, output): it
+// rectifies one output against the shared base snapshot and ships back a
+// WorkerPatch - the gates it appended past the snapshot, its rewire trail
+// and its diagnostics fragment. The supervisor replays that patch through
+// the *same* plan-order commit path the in-process speculative mode uses,
+// which is what makes successful isolated runs bit-identical to --jobs runs.
+//
+// Payloads are JSON (the journal_io idiom) so the fuzz-hardened parser
+// guards the wire format, and decodeWorkerPatch re-validates every id
+// against the supervisor's own copy of the base snapshot: a worker is an
+// untrusted job, and a corrupted response must classify as a garbage-ipc
+// failure, never corrupt (or abort) the supervisor.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eco/patch.hpp"
+#include "eco/syseco.hpp"
+#include "netlist/netlist.hpp"
+#include "util/status.hpp"
+
+namespace syseco {
+
+/// Supervisor -> worker: which output to rectify. The attempt ordinal is
+/// carried for logging/fault-site symmetry; it does not shape the search
+/// (every attempt is the same pure function, which is what makes retrying
+/// transient failures sound).
+struct IsolateTaskRequest {
+  std::uint32_t output = 0;
+  std::int64_t attempt = 1;
+};
+
+/// Worker -> supervisor: one speculative per-output result, id-relative to
+/// the shared base snapshot. Also the in-process hand-off shape: the
+/// speculative thread path extracts the same struct from its worker engine,
+/// so both modes commit through one code path.
+struct WorkerPatch {
+  struct NewGate {
+    GateType type = GateType::Const0;
+    std::vector<NetId> fanins;
+    NetId out = kNullId;
+  };
+
+  bool produced = false;  ///< false: the output has no spec twin (no report)
+  /// Gate/net counts of the base snapshot the ids are relative to; the
+  /// decoder rejects a patch whose counts disagree with the supervisor's.
+  std::uint64_t baseGates = 0;
+  std::uint64_t baseNets = 0;
+  std::vector<NewGate> gates;  ///< gates appended past the base, in id order
+  std::vector<PatchTracker::RewireRecord> rewires;
+  /// The worker's diagnostics fragment: search counters, phase seconds and
+  /// (when produced) exactly one OutputReport.
+  SysecoDiagnostics frag;
+};
+
+std::string encodeTaskRequest(const IsolateTaskRequest& req);
+Result<IsolateTaskRequest> decodeTaskRequest(std::string_view payload);
+
+std::string encodeWorkerPatch(const WorkerPatch& patch);
+
+/// Hardened decode with full semantic validation against `base` (the
+/// supervisor's copy of the shared snapshot): snapshot counts must match,
+/// appended gate i must drive net baseNets+i from strictly older nets with
+/// an arity-correct fanin list, rewires must target existing pins and nets,
+/// and the report must describe a real output of `base`. Any violation is
+/// kInvalidInput - the supervisor classifies it as garbage-ipc.
+Result<WorkerPatch> decodeWorkerPatch(std::string_view payload,
+                                      const Netlist& base);
+
+}  // namespace syseco

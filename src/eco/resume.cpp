@@ -41,6 +41,8 @@ JournalOutputReport toJournalReport(const OutputReport& r) {
   j.bddNodesUsed = r.bddNodesUsed;
   j.seconds = r.seconds;
   j.degradeSteps = r.degradeSteps;
+  j.attempts = r.workerFailedAttempts;
+  j.exitCause = workerExitCauseName(r.workerExitCause);
   return j;
 }
 
@@ -50,10 +52,12 @@ std::optional<OutputReport> fromJournalReport(const JournalOutputReport& j,
                                               const Netlist& impl) {
   const auto status = rectStatusFromName(j.status);
   const auto limit = statusCodeFromName(j.limit);
-  if (!status || !limit) return std::nullopt;
+  const auto exitCause = workerExitCauseFromName(j.exitCause);
+  if (!status || !limit || !exitCause) return std::nullopt;
   if (j.output >= impl.numOutputs()) return std::nullopt;
   if (j.name != impl.outputName(j.output)) return std::nullopt;
   if (j.degradeSteps < 0 || j.degradeSteps > 1000000) return std::nullopt;
+  if (j.attempts < 0 || j.attempts > 1000000) return std::nullopt;
   OutputReport r;
   r.output = j.output;
   r.name = j.name;
@@ -63,6 +67,8 @@ std::optional<OutputReport> fromJournalReport(const JournalOutputReport& j,
   r.bddNodesUsed = j.bddNodesUsed;
   r.seconds = j.seconds;
   r.degradeSteps = static_cast<int>(j.degradeSteps);
+  r.workerFailedAttempts = static_cast<int>(j.attempts);
+  r.workerExitCause = *exitCause;
   return r;
 }
 

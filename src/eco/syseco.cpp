@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <csignal>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -11,14 +12,17 @@
 
 #include "bdd/bdd.hpp"
 #include "cnf/encode.hpp"
+#include "eco/isolate.hpp"
 #include "eco/matching.hpp"
 #include "eco/sampling.hpp"
 #include "netlist/analysis.hpp"
 #include "util/budget.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
+#include "util/ipc.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
+#include "util/subprocess.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -221,7 +225,9 @@ class Engine {
     }
 
     const bool interrupted =
-        speculative ? runSpeculative(failing, plan) : runSequential(failing);
+        speculative ? (opt_.isolate ? runIsolated(failing, plan)
+                                    : runSpeculative(failing, plan))
+                    : runSequential(failing);
     diag_.interrupted = interrupted;
 
     if (!interrupted) {
@@ -312,11 +318,7 @@ class Engine {
     commitBaseGates_ = base.numGatesTotal();
     commitBaseNets_ = base.numNetsTotal();
 
-    SysecoOptions workerOpt = opt_;
-    workerOpt.planHook = nullptr;
-    workerOpt.checkpointHook = nullptr;
-    workerOpt.resumePlan = nullptr;
-    workerOpt.jobs = 1;
+    const SysecoOptions workerOpt = makeWorkerOptions();
 
     // Workers protect the *full* planned output set, not just the still-
     // pending remainder: an uninterrupted run's workers see every planned
@@ -357,9 +359,44 @@ class Engine {
     bool interrupted = false;
     for (std::size_t k = 0; k < failing.size(); ++k) {
       launchUpTo(k + window);
-      slots[k].fut.get();  // rethrows worker failures
-      const bool reported =
-          slots[k].produced && commitWorker(failing[k], *slots[k].engine);
+      // A worker failure must not unwind the whole run: classify it into
+      // the shared WorkerExitCause taxonomy and redo the output on the
+      // canonical netlist (the sequential cascade's view) instead.
+      WorkerExitCause cause = WorkerExitCause::kNone;
+      std::string reason;
+      try {
+        slots[k].fut.get();
+      } catch (const std::bad_alloc&) {
+        cause = WorkerExitCause::kOom;
+        reason = "allocation failure escaped the worker";
+      } catch (const std::exception& e) {
+        cause = WorkerExitCause::kCrash;
+        reason = e.what();
+      } catch (...) {
+        cause = WorkerExitCause::kCrash;
+        reason = "non-standard exception escaped the worker";
+      }
+      bool reported = false;
+      if (cause == WorkerExitCause::kNone) {
+        reported = slots[k].produced &&
+                   commitWorker(failing[k],
+                                extractWorkerPatch(*slots[k].engine));
+      } else {
+        std::fprintf(stderr,
+                     "[syseco] in-process worker out=%u failed (%s: %s); "
+                     "redoing on the canonical netlist\n",
+                     failing[k], workerExitCauseName(cause), reason.c_str());
+        slots[k].engine.reset();
+        ResourceGuard redoGuard;
+        reported = rectifyOutput(failing[k], redoGuard);
+        if (reported) {
+          OutputReport& rep = diag_.outputs.back();
+          rep.workerFailedAttempts = 1;
+          rep.workerExitCause = cause;
+          extraConflicts_ += rep.conflictsUsed;
+          extraBddNodes_ += rep.bddNodesUsed;
+        }
+      }
       slots[k].engine.reset();  // free the worker's netlist copy promptly
       if (reported && opt_.checkpointHook) {
         const RunCheckpoint cp{
@@ -378,14 +415,28 @@ class Engine {
       }
     }
     // An interrupted run leaves speculation in flight; it must finish
-    // before the slots (and `failing`) go out of scope.
+    // before the slots (and `failing`) go out of scope. Abandoned results
+    // are discarded, but a failure is still classified and logged - a
+    // silently swallowed crash here would hide a real defect.
     for (std::size_t k = 0; k < launched; ++k) {
-      if (slots[k].fut.valid()) {
-        try {
-          slots[k].fut.get();
-        } catch (...) {
-          // Abandoned speculation; its failure is irrelevant.
-        }
+      if (!slots[k].fut.valid()) continue;
+      try {
+        slots[k].fut.get();
+      } catch (const std::bad_alloc&) {
+        std::fprintf(stderr,
+                     "[syseco] abandoned speculative worker out=%u: %s\n",
+                     failing[k], workerExitCauseName(WorkerExitCause::kOom));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "[syseco] abandoned speculative worker out=%u: %s (%s)\n",
+                     failing[k], workerExitCauseName(WorkerExitCause::kCrash),
+                     e.what());
+      } catch (...) {
+        std::fprintf(
+            stderr,
+            "[syseco] abandoned speculative worker out=%u: %s "
+            "(non-standard exception)\n",
+            failing[k], workerExitCauseName(WorkerExitCause::kCrash));
       }
     }
     return interrupted;
@@ -397,12 +448,15 @@ class Engine {
   /// earlier commits is discarded and redone against the canonical state.
   /// All commit-time solving uses a per-output commit RNG and an unlimited
   /// local guard, so the decision depends only on (seed, output, canonical
-  /// netlist) - never on scheduling. Returns true when a report was pushed.
-  bool commitWorker(std::uint32_t o, Engine& worker) {
+  /// netlist) - never on scheduling. The WorkerPatch hand-off shape is
+  /// shared with the subprocess isolation mode (eco/isolate.hpp), so both
+  /// modes commit through this one path. Returns true when a report was
+  /// pushed.
+  bool commitWorker(std::uint32_t o, const WorkerPatch& patch) {
     const std::uint32_t op = specOutput(o);
     if (op == kNullId) return false;
     Netlist& w = working();
-    const SysecoDiagnostics& frag = worker.diag_;
+    const SysecoDiagnostics& frag = patch.frag;
     // Commits before this one may have changed the canonical netlist; if
     // none did, the worker's search *is* the sequential search and its
     // result is adopted verbatim.
@@ -445,7 +499,7 @@ class Engine {
       // Pure rewires onto pre-existing nets (the common case, and the
       // paper's central claim) transplant exactly and stay parallel.
       std::vector<std::pair<Sink, NetId>> finalBySink;
-      for (const PatchTracker::RewireRecord& r : worker.tracker().rewires()) {
+      for (const PatchTracker::RewireRecord& r : patch.rewires) {
         auto it = std::find_if(
             finalBySink.begin(), finalBySink.end(),
             [&](const auto& p) { return p.first == r.sink; });
@@ -475,7 +529,6 @@ class Engine {
     // net ids above the shared base snapshot are pure offsets (addGate is
     // the only creator of gates and nets), so the remap is arithmetic; the
     // SYSECO_CHECK below pins that invariant.
-    const Netlist& wn = worker.working();
     const std::size_t baseGates = commitBaseGates_;
     const std::size_t baseNets = commitBaseNets_;
     const std::size_t canonGates = w.numGatesTotal();
@@ -496,9 +549,7 @@ class Engine {
       preState.emplace(tracker().state());
     }
 
-    for (GateId g = static_cast<GateId>(baseGates); g < wn.numGatesTotal();
-         ++g) {
-      const auto& gate = wn.gate(g);
+    for (const WorkerPatch::NewGate& gate : patch.gates) {
       std::vector<NetId> fanins;
       fanins.reserve(gate.fanins.size());
       for (NetId f : gate.fanins) fanins.push_back(remapNet(f));
@@ -506,8 +557,8 @@ class Engine {
       SYSECO_CHECK(out == remapNet(gate.out));
     }
     std::vector<Sink> replayedPins;
-    replayedPins.reserve(worker.tracker().rewires().size());
-    for (const PatchTracker::RewireRecord& r : worker.tracker().rewires()) {
+    replayedPins.reserve(patch.rewires.size());
+    for (const PatchTracker::RewireRecord& r : patch.rewires) {
       const Sink sink = remapSink(r.sink);
       tracker().rewire(sink, remapNet(r.newNet));
       replayedPins.push_back(sink);
@@ -589,6 +640,416 @@ class Engine {
     diag_.secondsScreening += f.secondsScreening;
     diag_.secondsValidation += f.secondsValidation;
     diag_.secondsFallback += f.secondsFallback;
+  }
+
+  /// Snapshots a worker engine's result into the commit hand-off shape
+  /// shared with the subprocess isolation path (eco/isolate.hpp).
+  WorkerPatch extractWorkerPatch(const Engine& worker) const {
+    WorkerPatch p;
+    p.produced = true;
+    p.baseGates = commitBaseGates_;
+    p.baseNets = commitBaseNets_;
+    const Netlist& wn = worker.result_.rectified;
+    for (GateId g = static_cast<GateId>(commitBaseGates_);
+         g < wn.numGatesTotal(); ++g) {
+      const auto& gate = wn.gate(g);
+      p.gates.push_back(WorkerPatch::NewGate{gate.type, gate.fanins, gate.out});
+    }
+    p.rewires = worker.tracker_->rewires();
+    p.frag = worker.diag_;
+    return p;
+  }
+
+  // --- Fault-contained subprocess isolation (--isolate) --------------------
+
+  /// Options a per-output worker runs with, in either execution mode: no
+  /// hooks, no nested parallelism, no nested isolation.
+  SysecoOptions makeWorkerOptions() const {
+    SysecoOptions workerOpt = opt_;
+    workerOpt.planHook = nullptr;
+    workerOpt.checkpointHook = nullptr;
+    workerOpt.resumePlan = nullptr;
+    workerOpt.jobs = 1;
+    workerOpt.isolate = false;
+    return workerOpt;
+  }
+
+  /// Deterministic capped exponential backoff with per-(seed, output,
+  /// attempt) jitter: retries desynchronize across outputs without
+  /// consulting a clock or the search RNG, so worker results stay pure
+  /// functions of their inputs.
+  double backoffSeconds(std::uint32_t o, int failedAttempts) const {
+    const int shift = std::min(failedAttempts - 1, 10);
+    double ms = opt_.isolateBackoffMs * static_cast<double>(1u << shift);
+    ms = std::min(ms, 5000.0);
+    std::uint64_t h =
+        opt_.seed ^
+        (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(o) + 1)) ^
+        (0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(failedAttempts));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    ms += (static_cast<double>(h % 1024) / 1024.0) * 0.5 * ms;
+    return ms / 1000.0;
+  }
+
+  /// The resource-limit code a quarantined output reports: it makes
+  /// resourceDegraded() true (the CLI's degraded exit code) and names the
+  /// closest-matching resource family for the failure cause.
+  static StatusCode quarantineLimit(WorkerExitCause cause) {
+    switch (cause) {
+      case WorkerExitCause::kCpuTimeout:
+      case WorkerExitCause::kWallTimeout:
+        return StatusCode::kDeadlineExceeded;
+      case WorkerExitCause::kOom:
+        return StatusCode::kBudgetExhausted;
+      default:
+        return StatusCode::kInternal;
+    }
+  }
+
+  /// Quarantine adoption: after isolateMaxAttempts contained failures the
+  /// output goes straight to the guaranteed cone-clone fallback against the
+  /// canonical netlist (Proposition 1) - deterministically, with the same
+  /// per-output re-derivation as rectifyOutput - and reports kFallback with
+  /// a non-ok limit so the run surfaces as degraded.
+  bool commitQuarantined(std::uint32_t o, int attempts, WorkerExitCause cause) {
+    const std::uint32_t op = specOutput(o);
+    if (op == kNullId) return false;
+    rng_.reseed(opt_.seed ^ (0x9e3779b97f4a7c15ULL *
+                             (static_cast<std::uint64_t>(o) + 1)));
+    cloner_.reset();
+    Timer timer;
+    fallback(o, op);
+    ++diag_.outputsRectified;
+    failingSet_.erase(o);
+    OutputReport report;
+    report.output = o;
+    report.name = working().outputName(o);
+    report.status = OutputRectStatus::kFallback;
+    report.limit = quarantineLimit(cause);
+    report.seconds = timer.seconds();
+    report.workerFailedAttempts = attempts;
+    report.workerExitCause = cause;
+    pushCommittedReport(std::move(report));
+    return true;
+  }
+
+  /// Runs inside the forked worker: decode the request, honor worker-side
+  /// fault injection, rectify the output against the (COW-inherited) base
+  /// snapshot and ship the WorkerPatch back. The return value becomes the
+  /// child's exit code via the forkWorker wrapper.
+  int isolatedWorkerBody(int requestFd, int responseFd, const Netlist& base,
+                         const std::vector<std::uint32_t>& protect,
+                         const SysecoOptions& workerOpt) {
+    Result<std::string> raw = subprocess::readAll(requestFd);
+    if (!raw.isOk()) return subprocess::kChildExitBadRequest;
+    Result<ipc::Frame> frame = ipc::decodeFrame(raw.value());
+    if (!frame.isOk() || frame.value().type != ipc::kTypeTaskRequest)
+      return subprocess::kChildExitBadRequest;
+    Result<IsolateTaskRequest> req = decodeTaskRequest(frame.value().payload);
+    if (!req.isOk() || req.value().output >= base.numOutputs())
+      return subprocess::kChildExitBadRequest;
+    const std::uint32_t o = req.value().output;
+
+    // Worker-side fault sites: "isolate.worker" hits every task; the
+    // per-output variant pins the blast radius to one output in tests and
+    // CI. (kCrash fires centrally inside fault::fire - std::_Exit(137).)
+    const std::string persite = "isolate.worker.o" + std::to_string(o);
+    const char* sites[2] = {"isolate.worker", persite.c_str()};
+    for (const char* site : sites) {
+      const auto kind = fault::fire(site);
+      if (!kind) continue;
+      switch (*kind) {
+        case fault::Kind::kOom:
+          // Escapes the whole body; forkWorker maps it to kChildExitOom.
+          throw std::bad_alloc{};
+        case fault::Kind::kHang:
+          // A worker stuck in a loop that shrugs off SIGTERM: the
+          // supervisor's wall deadline must escalate to SIGKILL.
+          std::signal(SIGTERM, SIG_IGN);
+          for (;;) subprocess::pollReadable({}, 1000);
+        case fault::Kind::kGarbageIpc: {
+          std::string garbled =
+              ipc::encodeFrame(ipc::kTypeWorkerResult, "{\"produced\":true}");
+          garbled[garbled.size() / 2] =
+              static_cast<char>(garbled[garbled.size() / 2] ^ 0x40);
+          (void)subprocess::writeAll(responseFd, garbled);
+          return subprocess::kChildExitOk;
+        }
+        default:
+          // The engine-internal kinds (budget/deadline/bdd/alloc) have no
+          // meaning at this site; report a cleanly contained injection.
+          return subprocess::kChildExitFaultInjected;
+      }
+    }
+
+    SysecoDiagnostics frag;
+    Engine eng(base, spec_, workerOpt, frag);
+    eng.setSharedAnalyses(baseAnalysis_, specAnalysis_);
+    const bool produced = eng.rectifyAsWorker(o, protect);
+    WorkerPatch patch;
+    if (produced) {
+      patch = extractWorkerPatch(eng);
+    } else {
+      patch.baseGates = commitBaseGates_;
+      patch.baseNets = commitBaseNets_;
+    }
+    patch.produced = produced;
+    const std::string resp =
+        ipc::encodeFrame(ipc::kTypeWorkerResult, encodeWorkerPatch(patch));
+    if (!subprocess::writeAll(responseFd, resp).isOk())
+      return subprocess::kChildExitUncaught;
+    return subprocess::kChildExitOk;
+  }
+
+  /// The isolation supervisor: per-output tasks run in forked, rlimit-
+  /// sandboxed worker subprocesses. Outcomes are classified into the
+  /// WorkerExitCause taxonomy; transient failures retry with deterministic
+  /// capped backoff; an output that exhausts isolateMaxAttempts is
+  /// quarantined to the cone-clone fallback. Successful results commit
+  /// strictly in plan order through the exact code path the in-process
+  /// speculative mode uses, so a clean isolated run is bit-identical to a
+  /// --jobs run. Single-threaded on the parent side by design: the children
+  /// provide the parallelism, and a thread-free parent keeps fork safe.
+  /// Returns true when a checkpoint hook interrupted the run.
+  bool runIsolated(const std::vector<std::uint32_t>& failing,
+                   const ResumePlan* plan) {
+    Netlist& w = working();
+    const Netlist base = plan ? plan->base : w;
+    commitBaseGates_ = base.numGatesTotal();
+    commitBaseNets_ = base.numNetsTotal();
+    const SysecoOptions workerOpt = makeWorkerOptions();
+    const std::vector<std::uint32_t>& protect = plan ? plan->order : failing;
+
+    enum class SlotState : std::uint8_t { kPending, kRunning, kDone };
+    struct IsoSlot {
+      SlotState st = SlotState::kPending;
+      int attemptsFailed = 0;
+      WorkerExitCause lastCause = WorkerExitCause::kNone;
+      bool quarantined = false;
+      subprocess::Child child;
+      std::string buf;           ///< response bytes accumulated so far
+      double startedAt = 0.0;    ///< supervisor clock at launch
+      double notBefore = 0.0;    ///< backoff: earliest relaunch time
+      std::optional<WorkerPatch> patch;
+    };
+    std::vector<IsoSlot> slots(failing.size());
+    Timer clock;
+    const std::size_t window = std::max<std::size_t>(2 * opt_.jobs, 4);
+    std::size_t nextCommit = 0;
+
+    auto drainToEof = [](IsoSlot& s) {
+      // The pipe can still hold the tail of a response after the child is
+      // reaped; drain to EOF before judging the bytes.
+      while (true) {
+        const std::size_t before = s.buf.size();
+        Result<bool> more =
+            subprocess::drainAvailable(s.child.responseFd, &s.buf);
+        if (!more.isOk() || !more.value() || s.buf.size() == before) break;
+      }
+    };
+
+    auto failAttempt = [&](std::size_t k, WorkerExitCause cause,
+                           const std::string& reason) {
+      IsoSlot& s = slots[k];
+      ++s.attemptsFailed;
+      s.lastCause = cause;
+      s.buf.clear();
+      std::fprintf(stderr,
+                   "[syseco] isolated worker out=%u attempt %d/%d failed: "
+                   "%s%s%s%s\n",
+                   failing[k], s.attemptsFailed, opt_.isolateMaxAttempts,
+                   workerExitCauseName(cause), reason.empty() ? "" : " (",
+                   reason.c_str(), reason.empty() ? "" : ")");
+      if (s.attemptsFailed >= opt_.isolateMaxAttempts) {
+        s.quarantined = true;
+        s.st = SlotState::kDone;
+        std::fprintf(stderr,
+                     "[syseco] out=%u quarantined after %d attempts; "
+                     "degrading to the cone-clone fallback\n",
+                     failing[k], s.attemptsFailed);
+      } else {
+        s.st = SlotState::kPending;
+        s.notBefore =
+            clock.seconds() + backoffSeconds(failing[k], s.attemptsFailed);
+      }
+    };
+
+    auto settleReaped = [&](std::size_t k,
+                            const subprocess::WaitOutcome& wo) {
+      IsoSlot& s = slots[k];
+      drainToEof(s);
+      subprocess::closeChildFds(s.child);
+      s.child = subprocess::Child{};
+      if (wo.kind == subprocess::WaitKind::kSignaled) {
+        failAttempt(k,
+                    wo.signal == SIGXCPU ? WorkerExitCause::kCpuTimeout
+                                         : WorkerExitCause::kCrash,
+                    "signal " + std::to_string(wo.signal));
+        return;
+      }
+      if (wo.exitCode == subprocess::kChildExitOk) {
+        Result<ipc::Frame> frame = ipc::decodeFrame(s.buf);
+        if (frame.isOk() && frame.value().type == ipc::kTypeWorkerResult) {
+          Result<WorkerPatch> decoded =
+              decodeWorkerPatch(frame.value().payload, base);
+          if (decoded.isOk()) {
+            s.patch.emplace(decoded.take());
+            s.buf.clear();
+            s.st = SlotState::kDone;
+            return;
+          }
+          failAttempt(k, WorkerExitCause::kGarbageIpc,
+                      decoded.status().message());
+          return;
+        }
+        failAttempt(k, WorkerExitCause::kGarbageIpc,
+                    frame.isOk() ? "unexpected frame type"
+                                 : frame.status().message());
+        return;
+      }
+      switch (wo.exitCode) {
+        case subprocess::kChildExitOom:
+          failAttempt(k, WorkerExitCause::kOom, "");
+          return;
+        case subprocess::kChildExitFaultInjected:
+          failAttempt(k, WorkerExitCause::kFaultInjected, "");
+          return;
+        case subprocess::kChildExitBadRequest:
+          failAttempt(k, WorkerExitCause::kGarbageIpc,
+                      "worker rejected the task request");
+          return;
+        default:
+          failAttempt(k, WorkerExitCause::kCrash,
+                      "exit code " + std::to_string(wo.exitCode));
+          return;
+      }
+    };
+
+    auto launchSlot = [&](std::size_t k) {
+      IsoSlot& s = slots[k];
+      const std::uint32_t o = failing[k];
+      subprocess::Limits limits;
+      limits.memoryBytes = opt_.isolateMemoryBytes;
+      limits.cpuSeconds = opt_.isolateCpuSeconds;
+      Result<subprocess::Child> forked = subprocess::forkWorker(
+          limits, [&](int requestFd, int responseFd) {
+            return isolatedWorkerBody(requestFd, responseFd, base, protect,
+                                      workerOpt);
+          });
+      if (!forked.isOk()) {
+        failAttempt(k, WorkerExitCause::kCrash, forked.status().message());
+        return;
+      }
+      s.child = forked.value();
+      s.buf.clear();
+      s.startedAt = clock.seconds();
+      s.st = SlotState::kRunning;
+      const IsolateTaskRequest req{o, s.attemptsFailed + 1};
+      const std::string bytes =
+          ipc::encodeFrame(ipc::kTypeTaskRequest, encodeTaskRequest(req));
+      // A write failure means the child already died; the reap probe in the
+      // service phase classifies it.
+      (void)subprocess::writeAll(s.child.requestFd, bytes);
+      subprocess::closeRequestFd(s.child);  // EOF: the request is complete
+    };
+
+    auto killAll = [&] {
+      for (IsoSlot& s : slots) {
+        if (s.st == SlotState::kRunning && s.child.valid()) {
+          subprocess::terminateChild(s.child.pid, 0.2);
+          subprocess::closeChildFds(s.child);
+          s.child = subprocess::Child{};
+        }
+      }
+    };
+
+    bool interrupted = false;
+    while (nextCommit < slots.size() && !interrupted) {
+      // Launch phase: fill free worker seats with due pending slots from
+      // the commit window.
+      const double now = clock.seconds();
+      std::size_t running = 0;
+      for (const IsoSlot& s : slots)
+        if (s.st == SlotState::kRunning) ++running;
+      const std::size_t horizon = std::min(slots.size(), nextCommit + window);
+      for (std::size_t k = nextCommit; k < horizon && running < opt_.jobs;
+           ++k) {
+        if (slots[k].st != SlotState::kPending || slots[k].notBefore > now)
+          continue;
+        launchSlot(k);
+        if (slots[k].st == SlotState::kRunning) ++running;
+      }
+
+      // Wait for a worker event (or a backoff / wall-deadline tick).
+      std::vector<int> fds;
+      for (const IsoSlot& s : slots)
+        if (s.st == SlotState::kRunning && s.child.responseFd >= 0)
+          fds.push_back(s.child.responseFd);
+      subprocess::pollReadable(fds, 20);
+
+      // Service phase: drain pipes, reap exits, enforce wall deadlines.
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        IsoSlot& s = slots[k];
+        if (s.st != SlotState::kRunning || !s.child.valid()) continue;
+        (void)subprocess::drainAvailable(s.child.responseFd, &s.buf);
+        if (const auto wo = subprocess::tryReap(s.child.pid)) {
+          settleReaped(k, *wo);
+          continue;
+        }
+        if (opt_.isolateWallSeconds > 0.0 &&
+            clock.seconds() - s.startedAt > opt_.isolateWallSeconds) {
+          const subprocess::WaitOutcome wo =
+              subprocess::terminateChild(s.child.pid, 0.5);
+          subprocess::closeChildFds(s.child);
+          s.child = subprocess::Child{};
+          failAttempt(k, WorkerExitCause::kWallTimeout,
+                      wo.killEscalated ? "SIGTERM ignored; SIGKILL delivered"
+                                       : "");
+        }
+      }
+
+      // Commit phase: adopt finished slots strictly in plan order through
+      // the same path the in-process speculative mode uses.
+      while (nextCommit < slots.size() &&
+             slots[nextCommit].st == SlotState::kDone) {
+        IsoSlot& s = slots[nextCommit];
+        const std::uint32_t o = failing[nextCommit];
+        bool reported = false;
+        if (s.quarantined) {
+          reported = commitQuarantined(o, s.attemptsFailed, s.lastCause);
+        } else if (s.patch && s.patch->produced) {
+          reported = commitWorker(o, *s.patch);
+          if (reported && s.attemptsFailed > 0) {
+            // The commit path reproduces the clean report; the supervisor
+            // grafts on what the retries cost.
+            diag_.outputs.back().workerFailedAttempts = s.attemptsFailed;
+            diag_.outputs.back().workerExitCause = s.lastCause;
+          }
+        }
+        s.patch.reset();
+        ++nextCommit;
+        if (reported && opt_.checkpointHook) {
+          const RunCheckpoint cp{
+              diag_.outputs.back(),
+              diag_.outputs,
+              w,
+              tracker(),
+              diag_.outputs.size(),
+              plannedOutputs_,
+              restoredConflicts_ + rootGuard_.conflictsUsed() +
+                  extraConflicts_,
+              restoredBddNodes_ + rootGuard_.bddNodesUsed() + extraBddNodes_};
+          if (!opt_.checkpointHook(cp)) {
+            interrupted = true;
+            break;
+          }
+        }
+      }
+    }
+    killAll();
+    return interrupted;
   }
 
   /// Worker entry point: rectifies one output of the base snapshot this
@@ -2247,6 +2708,14 @@ Status validateSysecoOptions(const SysecoOptions& o) {
     return invalid("totalConflictBudget must be non-negative");
   if (o.totalBddNodeBudget < 0)
     return invalid("totalBddNodeBudget must be non-negative");
+  if (o.isolateMaxAttempts <= 0)
+    return invalid("isolateMaxAttempts must be positive");
+  if (o.isolateWallSeconds < 0.0)
+    return invalid("isolateWallSeconds must be non-negative");
+  if (o.isolateCpuSeconds < 0.0)
+    return invalid("isolateCpuSeconds must be non-negative");
+  if (o.isolateBackoffMs < 0.0)
+    return invalid("isolateBackoffMs must be non-negative");
   return Status::ok();
 }
 

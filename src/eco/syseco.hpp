@@ -27,7 +27,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "eco/patch.hpp"
@@ -108,6 +110,25 @@ struct SysecoOptions {
   /// inherently schedule-dependent; they ignore jobs and stay sequential.
   std::size_t jobs = 1;
 
+  // --- Fault-contained subprocess isolation -------------------------------
+  /// Run each per-output rectification task in a forked, rlimit-sandboxed
+  /// worker subprocess supervised by the main process. A worker that
+  /// crashes, leaks, hangs or babbles is classified (WorkerExitCause),
+  /// retried with capped exponential backoff, and after
+  /// `isolateMaxAttempts` failures its output is quarantined: it degrades
+  /// to the guaranteed cone-clone fallback instead of aborting the run.
+  /// Successful isolated runs are bit-identical to in-process `jobs` runs
+  /// (the same plan-ordered speculative commits replay the same worker
+  /// results). Like `jobs`, isolation requires an unlimited run; governed
+  /// runs ignore it and stay sequential. None of the isolate knobs shape
+  /// the search, so they are excluded from the resume fingerprint.
+  bool isolate = false;
+  int isolateMaxAttempts = 3;        ///< worker attempts before quarantine
+  double isolateWallSeconds = 120.0; ///< per-attempt wall deadline (0 = off)
+  double isolateCpuSeconds = 0.0;    ///< worker RLIMIT_CPU (0 = inherit)
+  std::uint64_t isolateMemoryBytes = 0;  ///< worker RLIMIT_AS (0 = inherit)
+  double isolateBackoffMs = 100.0;   ///< base retry backoff (doubled, capped)
+
   // --- Resource governor (whole-run ceilings; 0 = unlimited) --------------
   // The run always terminates with a correct patch: outputs whose share of
   // the budget runs dry degrade to the guaranteed cone-clone fallback
@@ -157,6 +178,44 @@ inline const char* outputRectStatusName(OutputRectStatus s) {
   return "unknown";
 }
 
+/// How a rectification worker (in-process thread or isolated subprocess)
+/// last failed. The shared failure taxonomy of the isolation supervisor
+/// and the in-process parallel path; kNone means no attempt failed.
+enum class WorkerExitCause {
+  kNone,          ///< clean: no worker attempt failed for this output
+  kCrash,         ///< abnormal exit, fatal signal, or escaped exception
+  kOom,           ///< allocation failure took down the whole attempt
+  kCpuTimeout,    ///< RLIMIT_CPU tripped (SIGXCPU)
+  kWallTimeout,   ///< supervisor wall deadline; SIGTERM->SIGKILL delivered
+  kGarbageIpc,    ///< response frame undecodable or semantically invalid
+  kFaultInjected, ///< an injected fault the worker could still report
+};
+
+inline const char* workerExitCauseName(WorkerExitCause c) {
+  switch (c) {
+    case WorkerExitCause::kNone: return "ok";
+    case WorkerExitCause::kCrash: return "crash";
+    case WorkerExitCause::kOom: return "oom";
+    case WorkerExitCause::kCpuTimeout: return "cpu-timeout";
+    case WorkerExitCause::kWallTimeout: return "wall-timeout";
+    case WorkerExitCause::kGarbageIpc: return "garbage-ipc";
+    case WorkerExitCause::kFaultInjected: return "fault-injected";
+  }
+  return "unknown";
+}
+
+/// Inverse of workerExitCauseName; nullopt for names from a newer schema.
+inline std::optional<WorkerExitCause> workerExitCauseFromName(
+    std::string_view name) {
+  for (WorkerExitCause c :
+       {WorkerExitCause::kNone, WorkerExitCause::kCrash, WorkerExitCause::kOom,
+        WorkerExitCause::kCpuTimeout, WorkerExitCause::kWallTimeout,
+        WorkerExitCause::kGarbageIpc, WorkerExitCause::kFaultInjected}) {
+    if (name == workerExitCauseName(c)) return c;
+  }
+  return std::nullopt;
+}
+
 /// Per-output account of the governed search.
 struct OutputReport {
   std::uint32_t output = 0;  ///< implementation output index
@@ -169,6 +228,11 @@ struct OutputReport {
   std::int64_t bddNodesUsed = 0;    ///< BDD nodes charged to this output
   double seconds = 0.0;
   int degradeSteps = 0;  ///< candidate-space halvings forced by blowups
+  /// Worker attempts that *failed* for this output (0 on a clean first-try
+  /// success in any mode, so reports stay bit-identical across --jobs and
+  /// --isolate). A quarantined output carries isolateMaxAttempts here.
+  int workerFailedAttempts = 0;
+  WorkerExitCause workerExitCause = WorkerExitCause::kNone;  ///< last failure
 };
 
 /// Extra run telemetry (ablation benches report these).

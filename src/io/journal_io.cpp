@@ -321,13 +321,23 @@ bool getString(const JsonValue& obj, const std::string& key,
 
 bool parseReport(const JsonValue& v, JournalOutputReport* out) {
   if (v.kind != JsonValue::Kind::Object) return false;
-  return getU32(v, "output", &out->output) && getString(v, "name", &out->name) &&
-         getString(v, "status", &out->status) &&
-         getString(v, "limit", &out->limit) &&
-         getI64(v, "conflicts_used", &out->conflictsUsed) &&
-         getI64(v, "bdd_nodes_used", &out->bddNodesUsed) &&
-         getDouble(v, "seconds", &out->seconds) &&
-         getI64(v, "degrade_steps", &out->degradeSteps);
+  if (!(getU32(v, "output", &out->output) &&
+        getString(v, "name", &out->name) &&
+        getString(v, "status", &out->status) &&
+        getString(v, "limit", &out->limit) &&
+        getI64(v, "conflicts_used", &out->conflictsUsed) &&
+        getI64(v, "bdd_nodes_used", &out->bddNodesUsed) &&
+        getDouble(v, "seconds", &out->seconds) &&
+        getI64(v, "degrade_steps", &out->degradeSteps)))
+    return false;
+  // Isolation fields arrived after schema v1 shipped; absent keys default
+  // (pre-isolation journals stay adoptable), present-but-malformed ones
+  // still drop the record.
+  if (v.find("attempts") && !getI64(v, "attempts", &out->attempts))
+    return false;
+  if (v.find("exit_cause") && !getString(v, "exit_cause", &out->exitCause))
+    return false;
+  return true;
 }
 
 bool parseRunStart(const JsonValue& v, JournalRunStart* out) {
@@ -418,7 +428,9 @@ void serializeReportInto(std::ostringstream& os,
      << "\",\"status\":\"" << jsonEscape(r.status) << "\",\"limit\":\""
      << jsonEscape(r.limit) << "\",\"conflicts_used\":" << r.conflictsUsed
      << ",\"bdd_nodes_used\":" << r.bddNodesUsed << ",\"seconds\":"
-     << r.seconds << ",\"degrade_steps\":" << r.degradeSteps << "}";
+     << r.seconds << ",\"degrade_steps\":" << r.degradeSteps
+     << ",\"attempts\":" << r.attempts << ",\"exit_cause\":\""
+     << jsonEscape(r.exitCause) << "\"}";
 }
 
 }  // namespace

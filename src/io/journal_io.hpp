@@ -61,6 +61,11 @@ struct JournalOutputReport {
   std::int64_t bddNodesUsed = 0;
   double seconds = 0.0;
   std::int64_t degradeSteps = 0;
+  /// Isolation-supervisor account: failed worker attempts and the last
+  /// failure's cause (workerExitCauseName value). Absent keys parse as the
+  /// defaults so pre-isolation journals stay resumable.
+  std::int64_t attempts = 0;
+  std::string exitCause = "ok";
 };
 
 struct JournalRunStart {

@@ -22,6 +22,19 @@
 //   --jobs N            worker threads for per-output rectification
 //                       (default 1; results are bit-identical for every N.
 //                       Runs with a deadline or budget stay sequential)
+//   --isolate           run per-output workers in forked, rlimit-sandboxed
+//                       subprocesses (syseco only); a worker crash, OOM,
+//                       timeout or garbled reply is retried with backoff and
+//                       finally quarantined to the cone-clone fallback
+//                       instead of taking the run down. Clean isolated runs
+//                       are bit-identical to in-process --jobs runs.
+//   --isolate-max-attempts N  contained failures before quarantine (def. 3)
+//   --isolate-mem-mb N        per-worker RLIMIT_AS ceiling (0 = inherit)
+//   --isolate-cpu-s S         per-worker RLIMIT_CPU ceiling (0 = inherit)
+//   --isolate-wall-ms MS      per-attempt wall deadline (default 120000;
+//                             0 disables; SIGTERM, then SIGKILL)
+//   --isolate-backoff-ms MS   base retry backoff, doubled per attempt and
+//                             capped at 5000ms, with deterministic jitter
 //   --seed S            RNG seed                          (default 1)
 //   --journal DIR       crash-safe run journal: one checksummed record per
 //                       completed per-output rectification (syseco only)
@@ -154,10 +167,35 @@ void writeReport(std::ostream& os, const std::string& engine,
        << statusCodeName(r.limit) << "\", \"conflicts_used\": "
        << r.conflictsUsed << ", \"bdd_nodes_used\": " << r.bddNodesUsed
        << ", \"seconds\": " << r.seconds
-       << ", \"degrade_steps\": " << r.degradeSteps << "}";
+       << ", \"degrade_steps\": " << r.degradeSteps
+       << ", \"attempts\": " << r.workerFailedAttempts
+       << ", \"exit_cause\": \"" << workerExitCauseName(r.workerExitCause)
+       << "\"}";
   }
   os << (diag.outputs.empty() ? "]\n" : "\n  ]\n");
   os << "}\n";
+}
+
+/// Atomic failure report: a run that dies before producing diagnostics
+/// still leaves machine-readable evidence of what went wrong. Best-effort -
+/// a report-write failure must not mask the original error.
+void writeFailureReport(const std::string& reportPath,
+                        const std::string& engine, const std::string& error,
+                        int exitCode) {
+  if (reportPath.empty()) return;
+  std::ostringstream rf;
+  rf << "{\n";
+  rf << "  \"engine\": \"" << jsonEscape(engine) << "\",\n";
+  rf << "  \"success\": false,\n";
+  rf << "  \"degraded\": false,\n";
+  rf << "  \"exit_code\": " << exitCode << ",\n";
+  rf << "  \"error\": \"" << jsonEscape(error) << "\",\n";
+  rf << "  \"outputs\": []\n";
+  rf << "}\n";
+  const Status s = writeFileAtomic(reportPath, rf.str());
+  if (!s.isOk())
+    std::fprintf(stderr, "warning: cannot write report file %s: %s\n",
+                 reportPath.c_str(), s.toString().c_str());
 }
 
 [[noreturn]] void usage(const char* argv0) {
@@ -169,7 +207,11 @@ void writeReport(std::ostream& os, const std::string& engine,
                "          [--deadline-ms MS] [--total-conflict-budget N] "
                "[--bdd-node-budget N]\n"
                "          [--level-driven] [--uniform-sampling] [--no-sweep]"
-               "\n          [--jobs N] [--journal DIR] [--resume DIR] "
+               "\n          [--jobs N] [--isolate] [--isolate-max-attempts N]"
+               " [--isolate-mem-mb N]\n"
+               "          [--isolate-cpu-s S] [--isolate-wall-ms MS] "
+               "[--isolate-backoff-ms MS]\n"
+               "          [--journal DIR] [--resume DIR] "
                "[--seed S] [--verbose]\n",
                argv0);
   std::exit(kExitUsage);
@@ -208,6 +250,17 @@ int main(int argc, char** argv) {
       else if (arg == "--no-sweep") opt.enableSweeping = false;
       else if (arg == "--jobs") opt.jobs =
           static_cast<std::size_t>(std::stoul(value()));
+      else if (arg == "--isolate") opt.isolate = true;
+      else if (arg == "--isolate-max-attempts")
+        opt.isolateMaxAttempts = std::stoi(value());
+      else if (arg == "--isolate-mem-mb")
+        opt.isolateMemoryBytes = std::stoull(value()) * 1024 * 1024;
+      else if (arg == "--isolate-cpu-s")
+        opt.isolateCpuSeconds = std::stod(value());
+      else if (arg == "--isolate-wall-ms")
+        opt.isolateWallSeconds = std::stod(value()) / 1000.0;
+      else if (arg == "--isolate-backoff-ms")
+        opt.isolateBackoffMs = std::stod(value());
       else if (arg == "--seed") opt.seed = std::stoull(value());
       else if (arg == "--journal") journalDir = value();
       else if (arg == "--resume") resumeDir = value();
@@ -217,8 +270,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
         usage(argv[0]);
       }
-    } catch (const std::exception&) {
-      std::fprintf(stderr, "bad value for option '%s'\n", arg.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad value for option '%s': %s\n", arg.c_str(),
+                   e.what());
+      // reportPath holds whatever was parsed so far; if --report already
+      // appeared, record the failure there too so automation sees it.
+      writeFailureReport(reportPath, engine,
+                         "bad value for option '" + arg + "': " + e.what(),
+                         kExitInvalidInput);
       return kExitInvalidInput;
     }
   }
@@ -334,9 +393,11 @@ int main(int argc, char** argv) {
           resumed ? restoredWorking : impl, spec, opt, &diag);
       if (!run.isOk()) {
         std::fprintf(stderr, "error: %s\n", run.status().toString().c_str());
-        return run.status().code() == StatusCode::kInvalidInput
-                   ? kExitInvalidInput
-                   : kExitUsage;
+        const int rc = run.status().code() == StatusCode::kInvalidInput
+                           ? kExitInvalidInput
+                           : kExitUsage;
+        writeFailureReport(reportPath, engine, run.status().toString(), rc);
+        return rc;
       }
       result = run.take();
       if (diag.interrupted) {
@@ -420,10 +481,14 @@ int main(int argc, char** argv) {
     return exitCode;
   } catch (const StatusError& e) {
     std::fprintf(stderr, "error: %s\n", e.status().toString().c_str());
-    return e.status().code() == StatusCode::kInvalidInput ? kExitInvalidInput
-                                                          : kExitUsage;
+    const int rc = e.status().code() == StatusCode::kInvalidInput
+                       ? kExitInvalidInput
+                       : kExitUsage;
+    writeFailureReport(reportPath, engine, e.status().toString(), rc);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    writeFailureReport(reportPath, engine, e.what(), kExitUsage);
     return kExitUsage;
   }
 }

@@ -12,6 +12,9 @@ std::optional<Kind> kindFromName(std::string_view name) {
   if (name == "bdd") return Kind::kBddBlowup;
   if (name == "alloc") return Kind::kAllocFailure;
   if (name == "crash") return Kind::kCrash;
+  if (name == "oom") return Kind::kOom;
+  if (name == "hang") return Kind::kHang;
+  if (name == "garbage-ipc") return Kind::kGarbageIpc;
   return std::nullopt;
 }
 

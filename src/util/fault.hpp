@@ -12,7 +12,7 @@
 //
 //   SYSECO_FAULT_INJECT="<site>=<kind>[@<skip>][,...]"
 //
-//   kind: budget | deadline | bdd | alloc | crash
+//   kind: budget | deadline | bdd | alloc | crash | oom | hang | garbage-ipc
 //   skip: number of hits at the site to let through before firing
 //         (default 0: fire from the first hit onward)
 //
@@ -45,6 +45,12 @@ enum class Kind {
   kBddBlowup,         ///< behave as if the BDD manager hit its node limit
   kAllocFailure,      ///< behave as if an allocation failed
   kCrash,             ///< hard-exit the process (simulated kill -9)
+  // Isolation-supervisor containment kinds, honored at the worker-child
+  // sites (grep for fault::fire("isolate.")): the worker genuinely
+  // misbehaves and the supervisor must observe and contain it end to end.
+  kOom,         ///< worker: allocation failure escapes the whole task
+  kHang,        ///< worker: ignore SIGTERM and spin until SIGKILLed
+  kGarbageIpc,  ///< worker: respond with a corrupted IPC frame
 };
 
 /// Exit code of a kCrash firing: 128 + SIGKILL, what a shell reports for a

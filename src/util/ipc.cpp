@@ -1,0 +1,69 @@
+#include "util/ipc.hpp"
+
+#include "util/crc32.hpp"
+
+namespace syseco::ipc {
+
+namespace {
+
+void putU32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t getU32(std::string_view bytes, std::size_t off) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[off])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(
+              bytes[off + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(
+              bytes[off + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(
+              bytes[off + 3]))
+          << 24);
+}
+
+Status bad(const std::string& what) {
+  return Status::invalidInput("ipc frame: " + what);
+}
+
+}  // namespace
+
+std::string encodeFrame(std::uint32_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  putU32(&out, type);
+  putU32(&out, static_cast<std::uint32_t>(payload.size()));
+  putU32(&out, crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+Result<Frame> decodeFrame(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) return bad("truncated header");
+  if (bytes.compare(0, sizeof(kMagic),
+                    std::string_view(kMagic, sizeof(kMagic))) != 0)
+    return bad("bad magic");
+  const std::uint32_t type = getU32(bytes, 4);
+  if (type != kTypeTaskRequest && type != kTypeWorkerResult)
+    return bad("unknown message type " + std::to_string(type));
+  const std::uint32_t length = getU32(bytes, 8);
+  if (length > kMaxPayloadBytes)
+    return bad("oversized payload (" + std::to_string(length) + " bytes)");
+  if (bytes.size() < kHeaderBytes + length) return bad("truncated payload");
+  if (bytes.size() > kHeaderBytes + length)
+    return bad("trailing bytes after payload");
+  const std::string_view payload = bytes.substr(kHeaderBytes, length);
+  const std::uint32_t crc = getU32(bytes, 12);
+  if (crc != crc32(payload)) return bad("payload checksum mismatch");
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(payload);
+  return frame;
+}
+
+}  // namespace syseco::ipc

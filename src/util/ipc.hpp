@@ -1,0 +1,51 @@
+#pragma once
+// Length-prefixed, crc32-framed IPC messages between the isolation
+// supervisor and its forked workers (util/subprocess.hpp).
+//
+// Wire format (little-endian u32 fields, 16-byte header):
+//
+//   magic "SEF1" | type | payload length | crc32(payload) | payload bytes
+//
+// One pipe carries exactly one frame per direction: the supervisor writes a
+// task request and closes; the worker writes a result and exits. A frame is
+// therefore decoded from the *complete* byte stream, and the decoder is
+// hardened the same way the run-journal parser is: truncated, bit-flipped,
+// oversized or trailing-garbage input yields a Status, never UB - a worker
+// is an untrusted job, and a crashed worker's half-written frame must read
+// as a classified garbage-ipc failure, not as supervisor corruption.
+//
+// Payloads are JSON documents (reusing the journal_io serialization idiom)
+// so the same fuzz-hardened parser guards the semantic layer too.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace syseco::ipc {
+
+inline constexpr char kMagic[4] = {'S', 'E', 'F', '1'};
+inline constexpr std::size_t kHeaderBytes = 16;
+/// Frames carry netlist snapshots of patch fragments; cap well above any
+/// realistic size so a corrupt length field cannot drive allocation.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 26;  // 64 MiB
+
+/// Message types. Values are part of the wire format.
+inline constexpr std::uint32_t kTypeTaskRequest = 1;
+inline constexpr std::uint32_t kTypeWorkerResult = 2;
+
+struct Frame {
+  std::uint32_t type = 0;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload).
+std::string encodeFrame(std::uint32_t type, std::string_view payload);
+
+/// Decodes exactly one frame from the complete stream `bytes`. Rejects
+/// short headers, bad magic, unknown types, oversized or truncated
+/// payloads, trailing bytes and checksum mismatches with kInvalidInput.
+Result<Frame> decodeFrame(std::string_view bytes);
+
+}  // namespace syseco::ipc

@@ -1,0 +1,270 @@
+#include "util/subprocess.hpp"
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <new>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace syseco::subprocess {
+
+namespace {
+
+/// A worker that dies mid-conversation must surface as a classified worker
+/// failure in the supervisor, not as a SIGPIPE killing the supervisor.
+void ignoreSigpipeOnce() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+void applyLimitsInChild(const Limits& limits) {
+  if (limits.memoryBytes > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = static_cast<rlim_t>(limits.memoryBytes);
+    rl.rlim_max = static_cast<rlim_t>(limits.memoryBytes);
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+  if (limits.cpuSeconds > 0.0) {
+    struct rlimit rl;
+    const double ceiled = std::ceil(limits.cpuSeconds);
+    rl.rlim_cur = static_cast<rlim_t>(ceiled < 1.0 ? 1.0 : ceiled);
+    rl.rlim_max = rl.rlim_cur;
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+}
+
+void closeFd(int& fd) {
+  if (fd >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd);
+    } while (rc == -1 && errno == EINTR);
+    fd = -1;
+  }
+}
+
+void sleepMs(int ms) {
+  struct pollfd none;
+  none.fd = -1;
+  none.events = 0;
+  none.revents = 0;
+  ::poll(&none, 0, ms);  // fd-less poll: a signal-tolerant sleep
+}
+
+WaitOutcome fromWaitStatus(int status) {
+  WaitOutcome out;
+  if (WIFEXITED(status)) {
+    out.kind = WaitKind::kExited;
+    out.exitCode = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.kind = WaitKind::kSignaled;
+    out.signal = WTERMSIG(status);
+  } else {
+    out.kind = WaitKind::kSignaled;
+    out.signal = 0;
+  }
+  return out;
+}
+
+/// Blocking EINTR-safe reap.
+WaitOutcome reapBlocking(pid_t pid) {
+  int status = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(pid, &status, 0);
+  } while (got == -1 && errno == EINTR);
+  if (got != pid) {
+    WaitOutcome out;  // already reaped or never existed; report a clean exit
+    out.kind = WaitKind::kExited;
+    out.exitCode = kChildExitUncaught;
+    return out;
+  }
+  return fromWaitStatus(status);
+}
+
+}  // namespace
+
+Result<Child> forkWorker(const Limits& limits,
+                         const std::function<int(int, int)>& body) {
+  ignoreSigpipeOnce();
+
+  int request[2] = {-1, -1};   // supervisor writes [1], worker reads [0]
+  int response[2] = {-1, -1};  // worker writes [1], supervisor reads [0]
+  if (::pipe(request) != 0)
+    return Status::internal("pipe() failed: errno " + std::to_string(errno));
+  if (::pipe(response) != 0) {
+    closeFd(request[0]);
+    closeFd(request[1]);
+    return Status::internal("pipe() failed: errno " + std::to_string(errno));
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    closeFd(request[0]);
+    closeFd(request[1]);
+    closeFd(response[0]);
+    closeFd(response[1]);
+    return Status::internal("fork() failed: errno " + std::to_string(errno));
+  }
+
+  if (pid == 0) {
+    // Child. Detach from the supervisor's process group first: a signal
+    // aimed at the run as a whole (shell job control, `timeout`, kill -TERM
+    // -PGID) must interrupt the supervisor at a clean checkpoint, not
+    // splatter workers mid-task into crash-classified retries. The
+    // supervisor is the only legitimate sender of worker kill signals.
+    ::setpgid(0, 0);
+    // Only then restore default dispositions: a group signal that lands
+    // before the detach is swallowed by the inherited CLI handler instead
+    // of killing the worker. The default disposition is needed so the
+    // supervisor's own SIGTERM escalation is not defeated.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+#ifdef __linux__
+    // ...which means a group KILL no longer reaps workers either, so make
+    // the kernel do it: die with the supervisor instead of leaking orphans.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() == 1) std::_Exit(kChildExitUncaught);  // lost the race
+#endif
+    applyLimitsInChild(limits);
+    closeFd(request[1]);
+    closeFd(response[0]);
+    int rc = kChildExitUncaught;
+    try {
+      rc = body(request[0], response[1]);
+    } catch (const std::bad_alloc&) {
+      rc = kChildExitOom;
+    } catch (...) {
+      rc = kChildExitUncaught;
+    }
+    std::_Exit(rc);
+  }
+
+  // Parent.
+  closeFd(request[0]);
+  closeFd(response[1]);
+  const int flags = ::fcntl(response[0], F_GETFL, 0);
+  if (flags >= 0) ::fcntl(response[0], F_SETFL, flags | O_NONBLOCK);
+  Child child;
+  child.pid = pid;
+  child.requestFd = request[1];
+  child.responseFd = response[0];
+  return child;
+}
+
+void closeChildFds(Child& child) {
+  closeFd(child.requestFd);
+  closeFd(child.responseFd);
+}
+
+void closeRequestFd(Child& child) { closeFd(child.requestFd); }
+
+Status writeAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == -1 && errno == EINTR) continue;
+    return Status::internal("write() failed: errno " + std::to_string(errno));
+  }
+  return Status::ok();
+}
+
+Result<std::string> readAll(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return out;
+    if (errno == EINTR) continue;
+    return Status::internal("read() failed: errno " + std::to_string(errno));
+  }
+}
+
+Result<bool> drainAvailable(int fd, std::string* buf) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf->append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return Status::internal("read() failed: errno " + std::to_string(errno));
+  }
+}
+
+void pollReadable(const std::vector<int>& fds, int timeoutMs) {
+  if (fds.empty()) {
+    sleepMs(timeoutMs);
+    return;
+  }
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (int fd : fds) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    pfds.push_back(p);
+  }
+  ::poll(pfds.data(), pfds.size(), timeoutMs);  // EINTR: caller loops anyway
+}
+
+std::optional<WaitOutcome> tryReap(pid_t pid) {
+  int status = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(pid, &status, WNOHANG);
+  } while (got == -1 && errno == EINTR);
+  if (got == 0) return std::nullopt;
+  if (got != pid) {
+    WaitOutcome out;
+    out.kind = WaitKind::kExited;
+    out.exitCode = kChildExitUncaught;
+    return out;
+  }
+  return fromWaitStatus(status);
+}
+
+WaitOutcome terminateChild(pid_t pid, double graceSeconds) {
+  WaitOutcome out;
+  out.kind = WaitKind::kTimedOut;
+  ::kill(pid, SIGTERM);
+  const int graceMs =
+      graceSeconds > 0.0 ? static_cast<int>(graceSeconds * 1000.0) : 0;
+  int waited = 0;
+  while (waited <= graceMs) {
+    if (tryReap(pid)) return out;
+    sleepMs(20);
+    waited += 20;
+  }
+  out.killEscalated = true;
+  ::kill(pid, SIGKILL);
+  reapBlocking(pid);
+  return out;
+}
+
+}  // namespace syseco::subprocess

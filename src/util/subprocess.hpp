@@ -1,0 +1,114 @@
+#pragma once
+// Fault-contained worker subprocesses for the isolation supervisor.
+//
+// A worker is forked (no exec: it inherits the parent's loaded netlists and
+// analyses copy-on-write), sandboxed with setrlimit (RLIMIT_AS address-space
+// and RLIMIT_CPU cpu-time ceilings), and talks to the supervisor over two
+// pipes carrying crc32-framed IPC messages (util/ipc.hpp). The supervisor
+// side offers EINTR-safe primitives: poll across children, nonblocking pipe
+// drains, a WNOHANG reap probe, and SIGTERM -> grace -> SIGKILL escalation
+// for children past their wall deadline.
+//
+// The child never returns from forkWorker: it runs the supplied body and
+// _Exits with its return value. _Exit skips destructors, atexit handlers
+// and stdio flushes on purpose - a forked child sharing the parent's stdio
+// buffers must not flush them a second time, and a worker's teardown must
+// not be able to corrupt shared state the parent still owns.
+//
+// Note: RLIMIT_AS composes poorly with sanitizer builds (ASan/TSan reserve
+// terabytes of shadow address space), so tests exercise the oom path via
+// fault injection rather than tiny memory ceilings.
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace syseco::subprocess {
+
+// Exit codes reserved by the forkWorker child wrapper. Chosen outside the
+// ranges other parts of the system use (CLI exit codes 0..4/130, the fault
+// injector's simulated kill -9 at 137) so the supervisor's classification
+// cannot be ambiguous.
+inline constexpr int kChildExitOk = 0;
+inline constexpr int kChildExitOom = 61;          ///< std::bad_alloc escaped
+inline constexpr int kChildExitBadRequest = 62;   ///< request frame garbage
+inline constexpr int kChildExitFaultInjected = 63;  ///< injected, reportable
+inline constexpr int kChildExitUncaught = 64;     ///< non-alloc exception
+
+/// Sandbox ceilings applied in the child before the body runs; 0 inherits
+/// the parent's limit.
+struct Limits {
+  std::uint64_t memoryBytes = 0;  ///< RLIMIT_AS (soft == hard)
+  double cpuSeconds = 0.0;        ///< RLIMIT_CPU, rounded up to whole seconds
+};
+
+/// Parent-side handle of a forked worker.
+struct Child {
+  pid_t pid = -1;
+  int requestFd = -1;   ///< write side: supervisor -> worker request
+  int responseFd = -1;  ///< read side (O_NONBLOCK): worker -> supervisor
+  bool valid() const { return pid > 0; }
+};
+
+/// Forks a worker and returns the parent-side handle. In the child: signal
+/// dispositions the CLI installed (SIGINT/SIGTERM) are reset to default so
+/// the supervisor's escalation actually terminates it, `limits` is applied,
+/// and `body(requestReadFd, responseWriteFd)` runs under a catch-all that
+/// maps std::bad_alloc to kChildExitOom and anything else to
+/// kChildExitUncaught; the child then _Exits with the resulting code.
+Result<Child> forkWorker(const Limits& limits,
+                         const std::function<int(int, int)>& body);
+
+/// Releases the parent-side pipe fds (idempotent). Does not reap.
+void closeChildFds(Child& child);
+
+/// Closes only the request (write) fd - the EOF that tells the worker its
+/// request is complete - leaving the response fd open for draining.
+void closeRequestFd(Child& child);
+
+/// EINTR-safe full write; kInternal on any unrecoverable error (including
+/// EPIPE after the child died - SIGPIPE is ignored process-wide on first
+/// forkWorker call).
+Status writeAll(int fd, std::string_view data);
+
+/// EINTR-safe blocking read to EOF (worker side reads its request here).
+Result<std::string> readAll(int fd);
+
+/// Appends whatever is currently readable on a nonblocking fd to *buf.
+/// Returns true while the pipe is still open, false on EOF; kInternal on a
+/// real read error.
+Result<bool> drainAvailable(int fd, std::string* buf);
+
+/// Blocks until any fd in `fds` is readable or `timeoutMs` elapses
+/// (EINTR-safe). Empty `fds` degenerates to a sleep.
+void pollReadable(const std::vector<int>& fds, int timeoutMs);
+
+enum class WaitKind {
+  kExited,    ///< normal exit; exitCode is valid
+  kSignaled,  ///< terminated by a signal; signal is valid
+  kTimedOut,  ///< supervisor deadline: SIGTERM (then SIGKILL) was delivered
+};
+
+struct WaitOutcome {
+  WaitKind kind = WaitKind::kExited;
+  int exitCode = 0;
+  int signal = 0;
+  bool killEscalated = false;  ///< SIGTERM grace expired; SIGKILL was needed
+};
+
+/// Nonblocking reap probe: nullopt while the child is still running.
+std::optional<WaitOutcome> tryReap(pid_t pid);
+
+/// Terminates and reaps a child: SIGTERM, up to `graceSeconds` of polling,
+/// then SIGKILL. Returns kTimedOut (with killEscalated set accordingly).
+/// Used both for wall-deadline enforcement and supervisor shutdown.
+WaitOutcome terminateChild(pid_t pid, double graceSeconds);
+
+}  // namespace syseco::subprocess

@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "cnf/encode.hpp"
+#include "eco/isolate.hpp"
 #include "eco/patch.hpp"
 #include "eco/resume.hpp"
 #include "eco/syseco.hpp"
@@ -23,6 +24,7 @@
 #include "io/verilog_io.hpp"
 #include "sim/simulator.hpp"
 #include "util/fault.hpp"
+#include "util/ipc.hpp"
 #include "util/journal.hpp"
 #include "util/rng.hpp"
 
@@ -238,6 +240,118 @@ TEST(ParserFuzz, MutatedValidFilesNeverCrash) {
       mutated[pos] = static_cast<char>(rng.below(256));
     }
     parseEverywhere(mutated);
+  }
+}
+
+// --- IPC frame decoder robustness -------------------------------------------
+
+/// The contract under test: whatever bytes a (possibly crashed, killed or
+/// hostile) worker left in the pipe, decoding yields a Frame or a Status -
+/// never UB, an abort, or an attacker-sized allocation. An accepted frame's
+/// payload must additionally survive the semantic decoders the supervisor
+/// runs next, again without UB.
+void decodeIpcEverywhere(const std::string& bytes, const Netlist& base) {
+  const Result<ipc::Frame> frame = ipc::decodeFrame(bytes);
+  if (!frame.isOk()) return;
+  (void)decodeTaskRequest(frame.value().payload);
+  (void)decodeWorkerPatch(frame.value().payload, base);
+}
+
+TEST(IpcFuzz, TruncatedFramesNeverCrash) {
+  Rng rng(31);
+  SpecCircuit sc = buildSpec(SpecParams{2, 5, 3, 2, 4, 3, 2, 2}, rng);
+  const Netlist& base = sc.netlist;
+  WorkerPatch patch;
+  patch.produced = false;
+  patch.baseGates = base.numGatesTotal();
+  patch.baseNets = base.numNetsTotal();
+  const std::string frames[] = {
+      ipc::encodeFrame(ipc::kTypeTaskRequest,
+                       encodeTaskRequest(IsolateTaskRequest{2, 1})),
+      ipc::encodeFrame(ipc::kTypeWorkerResult, encodeWorkerPatch(patch)),
+  };
+  for (const std::string& ref : frames) {
+    for (std::size_t cut = 0; cut <= ref.size(); ++cut)
+      decodeIpcEverywhere(ref.substr(0, cut), base);
+  }
+}
+
+TEST(IpcFuzz, BitFlippedFramesNeverCrashOrSneakPastTheChecksum) {
+  Rng rng(32);
+  SpecCircuit sc = buildSpec(SpecParams{2, 5, 3, 2, 4, 3, 2, 2}, rng);
+  const Netlist& base = sc.netlist;
+  WorkerPatch patch;
+  patch.produced = false;
+  patch.baseGates = base.numGatesTotal();
+  patch.baseNets = base.numNetsTotal();
+  const std::string ref =
+      ipc::encodeFrame(ipc::kTypeWorkerResult, encodeWorkerPatch(patch));
+  for (std::size_t byte = 0; byte < ref.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = ref;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      decodeIpcEverywhere(mutated, base);
+      // A flip anywhere in the payload must be caught by the crc; flips
+      // confined to the header can only be accepted if they leave the
+      // payload untouched.
+      const Result<ipc::Frame> frame = ipc::decodeFrame(mutated);
+      if (frame.isOk() && byte >= ipc::kHeaderBytes) {
+        ADD_FAILURE() << "payload flip at byte " << byte << " bit " << bit
+                      << " passed the checksum";
+      }
+    }
+  }
+}
+
+TEST(IpcFuzz, OversizedAndRandomGarbageNeverCrash) {
+  Rng rng(33);
+  SpecCircuit sc = buildSpec(SpecParams{2, 5, 3, 2, 4, 3, 2, 2}, rng);
+  const Netlist& base = sc.netlist;
+
+  // Length fields sweeping past the sanity cap: reject before allocating.
+  for (std::uint32_t len : {ipc::kMaxPayloadBytes + 1, 0x7fffffffu,
+                            0xffffffffu}) {
+    std::string bytes = ipc::encodeFrame(ipc::kTypeWorkerResult, "p");
+    for (int i = 0; i < 4; ++i)
+      bytes[8 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    EXPECT_FALSE(ipc::decodeFrame(bytes).isOk()) << "length " << len;
+  }
+
+  // Pure random garbage, with and without a valid magic prefix.
+  for (int round = 0; round < 256; ++round) {
+    std::string bytes(rng.below(96), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.below(256));
+    decodeIpcEverywhere(bytes, base);
+    if (bytes.size() >= 4) {
+      bytes[0] = 'S';
+      bytes[1] = 'E';
+      bytes[2] = 'F';
+      bytes[3] = '1';
+      decodeIpcEverywhere(bytes, base);
+    }
+  }
+
+  // Valid frames around hostile JSON payloads: the semantic decoders must
+  // classify, never abort.
+  const char* payloads[] = {
+      "",
+      "{}",
+      "[]",
+      "null",
+      "{\"produced\":true}",
+      "{\"output\":4294967295,\"attempt\":-9}",
+      "{\"produced\":true,\"base_gates\":0,\"base_nets\":0,"
+      "\"gates\":[[99,0]],\"rewires\":[],\"counters\":[0,0,0,0,0,0,0],"
+      "\"seconds\":[0,0,0,0,0]}",
+      "{\"produced\":true,\"base_gates\":18446744073709551615,"
+      "\"base_nets\":0,\"gates\":[],\"rewires\":[],"
+      "\"counters\":[0,0,0,0,0,0,0],\"seconds\":[0,0,0,0,0]}",
+  };
+  for (const char* payload : payloads) {
+    decodeIpcEverywhere(ipc::encodeFrame(ipc::kTypeTaskRequest, payload),
+                        base);
+    decodeIpcEverywhere(ipc::encodeFrame(ipc::kTypeWorkerResult, payload),
+                        base);
   }
 }
 

@@ -461,6 +461,49 @@ TEST_F(ResumeCliTest, SigintJournalsProgressAndExits130) {
             normalizeReport(slurp(dir + "/ref.json")));
 }
 
+TEST_F(ResumeCliTest, SigtermMidIsolatedRunResumesBitIdentically) {
+  const std::string dir = testDir("cli_sigterm_isolate");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+
+  // A case slow enough that SIGTERM lands while worker subprocesses are
+  // still in flight.
+  CaseRecipe r;
+  r.name = "sigterm_isolate";
+  r.spec = SpecParams{4, 8, 4, 3, 6, 4, 3, 3};
+  r.mutations = 3;
+  r.targetRevisedFraction = 0.6;
+  r.optRounds = 3;
+  r.seed = 21;
+  const EcoCase c = makeCase(r);
+  saveBlif(dir + "/impl.blif", c.impl);
+  saveBlif(dir + "/spec.blif", c.spec);
+  const std::string base = "--impl " + dir + "/impl.blif --spec " + dir +
+                           "/spec.blif --isolate --jobs 2";
+
+  // Reference: one uninterrupted isolated run.
+  ASSERT_EQ(runCli("", base + " --report " + dir + "/ref.json",
+                   dir + "/ref.log"),
+            0)
+      << slurp(dir + "/ref.log");
+
+  // SIGTERM mid-run: the supervisor finishes the in-flight commit, journals
+  // a clean interrupted record, kills its workers and exits 130.
+  const int rc = runCli("timeout --preserve-status -s TERM -k 120 0.2",
+                        base + " --journal " + dir + "/j", dir + "/term.log");
+  if (rc == 0) GTEST_SKIP() << "run finished before the signal landed";
+  ASSERT_EQ(rc, 130) << slurp(dir + "/term.log");
+  EXPECT_NE(slurp(dir + "/term.log").find("interrupted"), std::string::npos);
+
+  // Resuming (still isolated) completes to the reference, byte for byte.
+  ASSERT_EQ(runCli("", base + " --resume " + dir + "/j --report " + dir +
+                           "/resumed.json",
+                   dir + "/resume.log"),
+            0)
+      << slurp(dir + "/resume.log");
+  EXPECT_EQ(normalizeReport(slurp(dir + "/resumed.json")),
+            normalizeReport(slurp(dir + "/ref.json")));
+}
+
 #endif  // SYSECO_CLI_BIN
 
 }  // namespace
