@@ -4,7 +4,11 @@
 # mid-run (simulated kill -9) and proves the journal resumes to a verified
 # result, and an isolation fault-injection matrix that crashes/OOMs/hangs/
 # garbles one worker subprocess per run and proves the supervisor contains
-# it. Run from anywhere; builds land in build-ci/ and build-ci-asan/.
+# it, and a verify-oracle stage that certifies the example suite under
+# paranoid audits, injects a miscompiled patch and proves the oracle
+# catches it (repro bundle, quarantine, exit 4) with verdict records
+# bit-identical across jobs/isolate/resume.
+# Run from anywhere; builds land in build-ci/ and build-ci-asan/.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -155,5 +159,96 @@ for o in got["outputs"]:
 print(f"fault {kind}: contained (fallback, {want_cause}, 2 attempts)")
 PYEOF
 done
+
+echo "=== Certification oracle (verify-oracle) ==="
+# Example suite under paranoid auditing: every output pair must certify
+# through the three independent routes with zero audit findings, and the
+# report must carry build provenance.
+"$CLI" --impl "$IMPL" --spec "$SPEC" --audit=paranoid --jobs 4 \
+    --report "$SMOKE/oracle_clean.json" > "$SMOKE/oracle_clean.log"
+python3 - "$SMOKE/oracle_clean.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["oracle"]["enabled"] is True
+assert doc["oracle"]["disagreements"] == 0
+certs = doc["oracle"]["outputs"]
+assert certs, "no certificates recorded"
+for c in certs:
+    assert c["certified"] is True, c
+    assert c["sat"] == "equivalent", c
+    assert c["bdd"] in ("equivalent", "skipped(budget)"), c
+    assert c["sim"] in ("passed-bounded", "equivalent"), c
+audit = doc["audit"]
+assert audit["level"] == "paranoid", audit
+assert audit["boundaries"] > 0 and audit["findings"] == [], audit
+assert doc["build"]["git_hash"], doc.get("build")
+print(f"verify-oracle: {len(certs)} output pair(s) certified "
+      f"across {audit['boundaries']} paranoid audit boundaries")
+PYEOF
+
+# Miscompiled-patch injection: the oracle must catch the wrong patch,
+# quarantine it to the cone-clone fallback (exit 4) and package a repro
+# bundle with the minimized counterexample.
+set +e
+SYSECO_FAULT_INJECT="oracle.wrong-patch=wrong-patch" \
+    "$CLI" --impl "$IMPL" --spec "$SPEC" --audit=paranoid \
+    --repro-dir "$SMOKE/repro" --journal "$SMOKE/j_wrong" \
+    --report "$SMOKE/oracle_wrong.json" > "$SMOKE/oracle_wrong.log" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 4 ] || {
+  echo "wrong-patch: expected quarantined exit 4, got $rc"
+  cat "$SMOKE/oracle_wrong.log"; exit 1; }
+BUNDLE="$(ls -d "$SMOKE"/repro/disagreement-o* 2>/dev/null | head -1)"
+[ -n "$BUNDLE" ] || { echo "wrong-patch: no repro bundle produced"; exit 1; }
+for f in impl_patched.raw spec.raw patch.txt cex.txt meta.json MANIFEST; do
+  [ -s "$BUNDLE/$f" ] || { echo "repro bundle missing $f"; exit 1; }
+done
+python3 - "$SMOKE/oracle_wrong.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["oracle"]["disagreements"] == 1, doc["oracle"]
+assert doc["success"] is True and doc["degraded"] is True
+fallbacks = [o for o in doc["outputs"] if o["status"] == "fallback"]
+assert len(fallbacks) == 1 and fallbacks[0]["limit"] == "internal", fallbacks
+for c in doc["oracle"]["outputs"]:
+    assert c["certified"] is True, c  # post-quarantine re-certification
+print("verify-oracle: wrong patch caught, quarantined, bundle verified")
+PYEOF
+
+# The journaled verdict records must be bit-identical however the run was
+# executed: in-process --jobs, --isolate subprocess workers, and a
+# crash-then---resume chain of the same injected run.
+set +e
+SYSECO_FAULT_INJECT="oracle.wrong-patch=wrong-patch" \
+    "$CLI" --impl "$IMPL" --spec "$SPEC" --jobs 4 --isolate \
+    --journal "$SMOKE/j_wrong_iso" > "$SMOKE/oracle_iso.log" 2>&1
+[ $? -eq 4 ] || { echo "isolate wrong-patch: expected exit 4"; exit 1; }
+SYSECO_FAULT_INJECT="journal.checkpoint=crash" \
+    "$CLI" --impl "$IMPL" --spec "$SPEC" \
+    --journal "$SMOKE/j_wrong_res" > /dev/null 2>&1
+[ $? -eq 137 ] || { echo "crash seed run: expected exit 137"; exit 1; }
+SYSECO_FAULT_INJECT="oracle.wrong-patch=wrong-patch" \
+    "$CLI" --impl "$IMPL" --spec "$SPEC" \
+    --resume "$SMOKE/j_wrong_res" > "$SMOKE/oracle_res.log" 2>&1
+[ $? -eq 4 ] || { echo "resume wrong-patch: expected exit 4"; exit 1; }
+set -e
+extract_verdicts() {
+  python3 - "$1" <<'PYEOF'
+import re, sys
+data = open(sys.argv[1] + "/journal.jsonl", "rb").read()
+recs = re.findall(rb'\{"type":"verdicts".*?"disagreements":\d+\}', data)
+assert recs, "no verdicts record in " + sys.argv[1]
+sys.stdout.write(recs[-1].decode())
+PYEOF
+}
+extract_verdicts "$SMOKE/j_wrong" > "$SMOKE/v_jobs.txt"
+extract_verdicts "$SMOKE/j_wrong_iso" > "$SMOKE/v_iso.txt"
+extract_verdicts "$SMOKE/j_wrong_res" > "$SMOKE/v_res.txt"
+cmp "$SMOKE/v_jobs.txt" "$SMOKE/v_iso.txt" \
+    || { echo "--isolate verdict record diverged"; exit 1; }
+cmp "$SMOKE/v_jobs.txt" "$SMOKE/v_res.txt" \
+    || { echo "--resume verdict record diverged"; exit 1; }
+echo "verify-oracle: verdict records identical across jobs/isolate/resume"
 
 echo "=== CI passed ==="

@@ -289,4 +289,20 @@ JournalOutputRecord makeOutputRecord(const RunCheckpoint& cp) {
   return rec;
 }
 
+JournalVerdicts makeVerdictsRecord(const SysecoDiagnostics& diag) {
+  JournalVerdicts v;
+  v.disagreements = diag.oracleDisagreements.size();
+  for (const OutputCertificate& c : diag.certificates) {
+    JournalVerdictEntry e;
+    e.output = c.output;
+    e.name = c.name;
+    e.sat = routeVerdictName(c.sat.verdict);
+    e.bdd = routeVerdictName(c.bdd.verdict);
+    e.sim = routeVerdictName(c.sim.verdict);
+    e.certified = c.certified;
+    v.entries.push_back(std::move(e));
+  }
+  return v;
+}
+
 }  // namespace syseco

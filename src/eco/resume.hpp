@@ -58,4 +58,10 @@ JournalRunStart makeRunStartRecord(const Netlist& impl, const Netlist& spec,
 
 JournalOutputRecord makeOutputRecord(const RunCheckpoint& cp);
 
+/// The certification oracle's per-output route verdicts, ready for
+/// serializeVerdicts(). Deliberately timing-free: the payload must be
+/// bit-identical across --jobs N, --isolate and --resume runs of the same
+/// inputs.
+JournalVerdicts makeVerdictsRecord(const SysecoDiagnostics& diag);
+
 }  // namespace syseco

@@ -17,6 +17,7 @@
 #include "eco/sampling.hpp"
 #include "netlist/analysis.hpp"
 #include "util/budget.hpp"
+#include "util/build_info.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/ipc.hpp"
@@ -25,6 +26,7 @@
 #include "util/subprocess.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "verify/repro.hpp"
 
 namespace syseco {
 
@@ -164,6 +166,9 @@ class Engine {
       trackerStore_.emplace(result_.rectified);
     tracker_ = &*trackerStore_;
     Netlist& w = working();
+    // A restored snapshot crossed a serialization boundary; audit it before
+    // the search trusts any of its structure.
+    if (plan) auditBoundary("post-resume-restore");
 
     // Structural analyses of the (immutable) specification: computed once
     // and shared read-only by every output and every worker thread.
@@ -236,6 +241,7 @@ class Engine {
       // keeps the (larger but correct) patch.
       if (opt_.enableSweeping && !rootGuard_.exhausted()) sweepPatch();
       diag_.secondsSweep += phase.seconds();
+      if (opt_.audit == AuditLevel::kParanoid) auditBoundary("post-sweep");
     }
 
     diag_.runLimit = rootGuard_.trippedCode();
@@ -246,10 +252,13 @@ class Engine {
 
     if (!interrupted) {
       result_.stats = tracker().finalize();
+      if (opt_.audit == AuditLevel::kParanoid) auditBoundary("pre-verify");
       // Final verification is the soundness gate: it always runs unbounded,
       // whatever the governor says - a degraded run still proves its patch.
       Timer verifyPhase;
-      if (speculative && opt_.jobs > 1) {
+      if (opt_.oracle.enabled) {
+        certifyRun();
+      } else if (speculative && opt_.jobs > 1) {
         ThreadPool pool(opt_.jobs);
         result_.success = verifyAllOutputs(result_.rectified, spec_, pool);
       } else {
@@ -285,6 +294,7 @@ class Engine {
       ResourceGuard outGuard =
           rootGuard_.sliceSeconds(left, perOutputSeconds);
       const bool reported = rectifyOutput(failing[k], outGuard);
+      if (reported) auditBoundary("post-patch-commit");
       if (reported && opt_.checkpointHook) {
         const RunCheckpoint cp{
             diag_.outputs.back(),
@@ -398,6 +408,7 @@ class Engine {
         }
       }
       slots[k].engine.reset();  // free the worker's netlist copy promptly
+      if (reported) auditBoundary("post-patch-commit");
       if (reported && opt_.checkpointHook) {
         const RunCheckpoint cp{
             diag_.outputs.back(),
@@ -671,7 +682,186 @@ class Engine {
     workerOpt.resumePlan = nullptr;
     workerOpt.jobs = 1;
     workerOpt.isolate = false;
+    // Certification and auditing belong to the canonical engine: the commit
+    // path re-proves worker results, and the oracle certifies the final
+    // netlist once - per-worker passes would only skew timings.
+    workerOpt.oracle.enabled = false;
+    workerOpt.audit = AuditLevel::kOff;
+    workerOpt.reproDir.clear();
     return workerOpt;
+  }
+
+  // --- Invariant audits + tri-modal certification (verify/) ---------------
+
+  /// Audits the working netlist at a phase boundary. A clean audit is
+  /// recorded in the diagnostics; a failed one aborts the run with a
+  /// structured kInternal naming every violated invariant - the corruption
+  /// is diagnosed where it first became observable instead of surfacing as
+  /// downstream nonsense.
+  void auditBoundary(const char* phase) {
+    if (opt_.audit == AuditLevel::kOff) return;
+    AuditReport report = auditNetlist(working(), opt_.audit, phase);
+    diag_.secondsAudit += report.seconds;
+    diag_.audits.push_back(report);
+    if (!report.ok) throw StatusError(auditFailure(report));
+  }
+
+  /// Tri-modal final verification: every label-matched output is certified
+  /// through the independent SAT / BDD / simulation routes. A refuted
+  /// output (the engine committed it as correct, the oracle disagrees) is
+  /// diagnosed - minimized counterexample, optional repro bundle - and
+  /// quarantined to a fresh clone of its revised cone (Proposition 1), then
+  /// re-certified. The run only succeeds when every pair ends certified.
+  void certifyRun() {
+    Netlist& w = working();
+    // Deliberate-corruption site (SYSECO_FAULT_INJECT=oracle.wrong-patch=
+    // wrong-patch): silently complement the last committed output, the
+    // honest simulation of a miscompiled patch the search believed in. Runs
+    // after sweep/finalize so nothing downstream can undo it, and picks its
+    // victim from the committed reports, which are identical across --jobs,
+    // --isolate and --resume.
+    if (fault::fire("oracle.wrong-patch") == fault::Kind::kWrongPatch &&
+        !diag_.outputs.empty()) {
+      const std::uint32_t victim = diag_.outputs.back().output;
+      const NetId bad = w.addGate(GateType::Not, {w.outputNet(victim)});
+      w.rewireOutput(victim, bad);
+    }
+
+    OracleOptions oopt = opt_.oracle;
+    // All oracle randomness derives from the run seed so the verdict
+    // records are bit-identical across execution modes.
+    oopt.seed = opt_.seed ^ 0x0bac1e5eedULL;
+    CertificationOracle oracle(w, spec_, oopt);
+    bool allCertified = true;
+    bool anyQuarantine = false;
+    diag_.certificates.clear();
+    for (std::uint32_t o = 0; o < w.numOutputs(); ++o) {
+      const std::uint32_t op = specOutput(o);
+      if (op == kNullId) continue;
+      OutputCertificate cert = oracle.certify(o, op);
+      const bool refuted =
+          cert.sat.verdict == RouteVerdict::kNotEquivalent ||
+          cert.bdd.verdict == RouteVerdict::kNotEquivalent ||
+          cert.sim.verdict == RouteVerdict::kNotEquivalent;
+      if (refuted) {
+        OracleDisagreement d;
+        d.output = o;
+        d.name = w.outputName(o);
+        d.detail = std::string("sat=") + routeVerdictName(cert.sat.verdict) +
+                   " bdd=" + routeVerdictName(cert.bdd.verdict) +
+                   " sim=" + routeVerdictName(cert.sim.verdict);
+        d.cex = cert.cex;
+        if (!opt_.reproDir.empty()) d.bundleDir = writeDisagreementBundle(d, cert);
+        std::fprintf(stderr,
+                     "[syseco] ORACLE DISAGREEMENT out=%u (%s): %s; "
+                     "quarantining to the cone-clone fallback%s%s\n",
+                     o, d.name.c_str(), d.detail.c_str(),
+                     d.bundleDir.empty() ? "" : "; repro bundle: ",
+                     d.bundleDir.c_str());
+        // Never ship a refuted output: replace whatever drives it with a
+        // fresh clone of its revised cone and prove *that*.
+        tracker().rewire(Sink{kNullId, o},
+                         tracker().cloneSpecCone(spec_, spec_.outputNet(op)));
+        markQuarantined(o);
+        anyQuarantine = true;
+        if (opt_.audit == AuditLevel::kParanoid)
+          auditBoundary("post-quarantine");
+        cert = oracle.certify(o, op);
+        diag_.oracleDisagreements.push_back(std::move(d));
+      }
+      if (!cert.certified) allCertified = false;
+      diag_.certificates.push_back(std::move(cert));
+    }
+    if (anyQuarantine) result_.stats = tracker().finalize();
+    result_.success = allCertified;
+  }
+
+  /// Flags output `o`'s report as a quarantined fallback: status kFallback
+  /// with limit kInternal, the pair that drives the degraded exit code. An
+  /// output the engine never reported on (a corruption caught on a healthy
+  /// output) gets a fresh report.
+  void markQuarantined(std::uint32_t o) {
+    for (OutputReport& r : diag_.outputs) {
+      if (r.output != o) continue;
+      r.status = OutputRectStatus::kFallback;
+      r.limit = StatusCode::kInternal;
+      return;
+    }
+    OutputReport report;
+    report.output = o;
+    report.name = working().outputName(o);
+    report.status = OutputRectStatus::kFallback;
+    report.limit = StatusCode::kInternal;
+    diag_.outputs.push_back(std::move(report));
+  }
+
+  /// Packages a disagreement into an atomic repro bundle: the exact
+  /// netlists, the recorded patch, the seed, the minimized counterexample
+  /// and the build that produced it. Returns the published directory, or
+  /// "" when writing failed (the quarantine still proceeds - evidence is
+  /// best-effort, shipping a wrong patch is not).
+  std::string writeDisagreementBundle(const OracleDisagreement& d,
+                                      const OutputCertificate& cert) {
+    auto esc = [](const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+      }
+      return out;
+    };
+    std::string cexTxt;
+    if (d.cex.empty()) {
+      cexTxt = "(counterexample unavailable)\n";
+    } else {
+      const Netlist& w = working();
+      for (std::uint32_t i = 0; i < w.numInputs(); ++i)
+        cexTxt += w.inputName(i) + " " + (d.cex[i] ? "1" : "0") + "\n";
+    }
+    std::string patchTxt;
+    for (const PatchTracker::RewireRecord& r : tracker().rewires()) {
+      patchTxt += (r.sink.isOutput() ? "output " + std::to_string(r.sink.port)
+                                     : "gate " + std::to_string(r.sink.gate) +
+                                           " pin " +
+                                           std::to_string(r.sink.port)) +
+                  ": net " + std::to_string(r.oldNet) + " -> net " +
+                  std::to_string(r.newNet) + "\n";
+    }
+    std::string meta = "{\n";
+    meta += "  \"schema_version\": 1,\n";
+    meta += "  \"output\": " + std::to_string(d.output) + ",\n";
+    meta += "  \"output_name\": \"" + esc(d.name) + "\",\n";
+    meta += "  \"seed\": " + std::to_string(opt_.seed) + ",\n";
+    meta += "  \"verdicts\": {\n";
+    meta += std::string("    \"sat\": \"") +
+            routeVerdictName(cert.sat.verdict) + "\",\n";
+    meta += std::string("    \"bdd\": \"") +
+            routeVerdictName(cert.bdd.verdict) + "\",\n";
+    meta += std::string("    \"sim\": \"") +
+            routeVerdictName(cert.sim.verdict) + "\"\n";
+    meta += "  },\n";
+    meta += "  \"cex_reproduced\": ";
+    meta += cert.cexReproduced ? "true" : "false";
+    meta += ",\n";
+    meta += "  \"cex_deviations\": " + std::to_string(cert.cexDeviations) +
+            ",\n";
+    meta += "  \"build\": " + buildInfoJson("  ") + "\n";
+    meta += "}\n";
+    const std::vector<ReproFile> files{
+        {"impl_patched.raw", working().dumpRawString()},
+        {"spec.raw", spec_.dumpRawString()},
+        {"patch.txt", patchTxt},
+        {"cex.txt", cexTxt},
+        {"meta.json", meta},
+    };
+    Result<std::string> bundle = writeReproBundle(
+        opt_.reproDir, "disagreement-o" + std::to_string(d.output), files);
+    if (!bundle.isOk()) {
+      std::fprintf(stderr, "[syseco] repro bundle write failed: %s\n",
+                   bundle.status().toString().c_str());
+      return "";
+    }
+    return bundle.take();
   }
 
   /// Deterministic capped exponential backoff with per-(seed, output,
@@ -1030,6 +1220,9 @@ class Engine {
         }
         s.patch.reset();
         ++nextCommit;
+        // The committed patch crossed the IPC decode boundary before it
+        // touched the canonical netlist; audit what it left behind.
+        if (reported) auditBoundary("post-isolate-decode");
         if (reported && opt_.checkpointHook) {
           const RunCheckpoint cp{
               diag_.outputs.back(),
@@ -2716,6 +2909,11 @@ Status validateSysecoOptions(const SysecoOptions& o) {
     return invalid("isolateCpuSeconds must be non-negative");
   if (o.isolateBackoffMs < 0.0)
     return invalid("isolateBackoffMs must be non-negative");
+  if (o.oracle.simWords == 0) return invalid("oracle.simWords must be positive");
+  if (o.oracle.bddNodeBudget == 0)
+    return invalid("oracle.bddNodeBudget must be positive");
+  if (o.oracle.satConflictBudget != -1 && o.oracle.satConflictBudget <= 0)
+    return invalid("oracle.satConflictBudget must be -1 (unbounded) or positive");
   return Status::ok();
 }
 

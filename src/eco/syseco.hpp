@@ -35,6 +35,8 @@
 #include "eco/patch.hpp"
 #include "netlist/netlist.hpp"
 #include "util/status.hpp"
+#include "verify/audit.hpp"
+#include "verify/oracle.hpp"
 
 namespace syseco {
 
@@ -128,6 +130,28 @@ struct SysecoOptions {
   double isolateCpuSeconds = 0.0;    ///< worker RLIMIT_CPU (0 = inherit)
   std::uint64_t isolateMemoryBytes = 0;  ///< worker RLIMIT_AS (0 = inherit)
   double isolateBackoffMs = 100.0;   ///< base retry backoff (doubled, capped)
+
+  // --- Certification oracle + invariant auditing --------------------------
+  /// Tri-modal certification (verify/oracle.hpp) replaces the legacy
+  /// single-route final verification: every label-matched output is
+  /// re-proven through SAT (fresh miter), BDD (within node budget) and
+  /// simulation, and a refuted output is quarantined to the cone-clone
+  /// fallback instead of shipped wrong. `oracle.enabled = false` reverts
+  /// to the legacy SAT-only check. Neither the oracle knobs nor the audit
+  /// level shape the search, so - like the isolate knobs - they are
+  /// excluded from the resume fingerprint.
+  OracleOptions oracle;
+  /// Where oracle disagreements are packaged as atomic repro bundles
+  /// (netlists, patch, seed, minimized counterexample, build info).
+  /// Empty: diagnose and quarantine, but write no bundle.
+  std::string reproDir;
+  /// Structural invariant audits (verify/audit.hpp) at engine phase
+  /// boundaries: post-resume-restore and after every patch commit
+  /// (post-patch-commit in-process, post-isolate-decode under --isolate);
+  /// kParanoid deepens the checks and adds post-sweep and pre-verify
+  /// sites. A failed audit aborts the run with a structured
+  /// StatusError{kInternal} naming every violated invariant.
+  AuditLevel audit = AuditLevel::kOff;
 
   // --- Resource governor (whole-run ceilings; 0 = unlimited) --------------
   // The run always terminates with a correct patch: outputs whose share of
@@ -253,6 +277,13 @@ struct SysecoDiagnostics {
   double secondsFallback = 0.0;    ///< matched cone cloning
   double secondsSweep = 0.0;       ///< patch-input refinement
   double secondsVerify = 0.0;      ///< final full verification
+
+  // Certification-oracle + audit accounting (empty when the oracle is
+  // disabled / audits are off).
+  std::vector<OutputCertificate> certificates;  ///< final per-output verdicts
+  std::vector<OracleDisagreement> oracleDisagreements;
+  std::vector<AuditReport> audits;  ///< one entry per audited boundary
+  double secondsAudit = 0.0;        ///< total time spent auditing
 
   // Resource-governor accounting.
   std::vector<OutputReport> outputs;  ///< one entry per processed output

@@ -422,6 +422,25 @@ bool parseOutputRecord(const JsonValue& v, JournalOutputRecord* out) {
   return tracker && parseTracker(*tracker, &out->tracker);
 }
 
+bool parseVerdicts(const JsonValue& v, JournalVerdicts* out) {
+  const JsonValue* entries = v.find("outputs");
+  if (!entries || entries->kind != JsonValue::Kind::Array) return false;
+  out->entries.clear();
+  for (const JsonValue& item : entries->items) {
+    if (item.kind != JsonValue::Kind::Object) return false;
+    JournalVerdictEntry e;
+    const JsonValue* cert = item.find("certified");
+    if (!(getU32(item, "output", &e.output) &&
+          getString(item, "name", &e.name) && getString(item, "sat", &e.sat) &&
+          getString(item, "bdd", &e.bdd) && getString(item, "sim", &e.sim) &&
+          cert && cert->kind == JsonValue::Kind::Bool))
+      return false;
+    e.certified = cert->boolean;
+    out->entries.push_back(std::move(e));
+  }
+  return getU64(v, "disagreements", &out->disagreements);
+}
+
 void serializeReportInto(std::ostringstream& os,
                          const JournalOutputReport& r) {
   os << "{\"output\":" << r.output << ",\"name\":\"" << jsonEscape(r.name)
@@ -479,6 +498,15 @@ Result<JournalContents> readJournal(const std::string& dir) {
         continue;
       }
       contents.outputs.push_back(std::move(rec));
+    } else if (type == "verdicts") {
+      JournalVerdicts verdicts;
+      if (!parseVerdicts(v, &verdicts)) {
+        drop("malformed verdicts record");
+        continue;
+      }
+      // Last wins: a resumed run re-certifies and re-appends.
+      contents.hasVerdicts = true;
+      contents.verdicts = std::move(verdicts);
     } else if (type == "interrupted") {
       contents.interrupted = true;
     } else {
@@ -525,6 +553,21 @@ std::string serializeOutputRecord(const JournalOutputRecord& r) {
        << r.tracker.cloneCache[i].second << "]";
   }
   os << "]},\"netlist\":\"" << jsonEscape(r.netlistDump) << "\"}";
+  return os.str();
+}
+
+std::string serializeVerdicts(const JournalVerdicts& r) {
+  std::ostringstream os;
+  os << "{\"type\":\"verdicts\",\"outputs\":[";
+  for (std::size_t i = 0; i < r.entries.size(); ++i) {
+    const JournalVerdictEntry& e = r.entries[i];
+    os << (i ? "," : "") << "{\"output\":" << e.output << ",\"name\":\""
+       << jsonEscape(e.name) << "\",\"sat\":\"" << jsonEscape(e.sat)
+       << "\",\"bdd\":\"" << jsonEscape(e.bdd) << "\",\"sim\":\""
+       << jsonEscape(e.sim) << "\",\"certified\":"
+       << (e.certified ? "true" : "false") << "}";
+  }
+  os << "],\"disagreements\":" << r.disagreements << "}";
   return os.str();
 }
 

@@ -11,6 +11,9 @@
 //                 report list, so resume needs only the *last* valid
 //                 output record - corrupt earlier records cost nothing.
 //   interrupted - a clean signal-initiated stop (progress marker only).
+//   verdicts    - the certification oracle's per-output route verdicts for
+//                 the finished run. Deliberately timing-free so the record
+//                 is bit-identical across --jobs/--isolate/--resume.
 //
 // This layer parses and serializes payloads into plain structs; it knows
 // nothing about the engine types (src/eco/resume.cpp does the mapping and
@@ -105,11 +108,29 @@ struct JournalOutputRecord {
   std::string netlistDump;  ///< Netlist::dumpRaw text of the working netlist
 };
 
+/// One certified output pair: the three route verdicts (routeVerdictName
+/// strings) plus the combined judgement.
+struct JournalVerdictEntry {
+  std::uint32_t output = 0;
+  std::string name;
+  std::string sat;
+  std::string bdd;
+  std::string sim;
+  bool certified = false;
+};
+
+struct JournalVerdicts {
+  std::vector<JournalVerdictEntry> entries;
+  std::uint64_t disagreements = 0;
+};
+
 /// Every intelligible record recovered from a journal directory.
 struct JournalContents {
   bool hasRunStart = false;
   JournalRunStart runStart;
   std::vector<JournalOutputRecord> outputs;
+  bool hasVerdicts = false;  ///< a verdicts record was present (last wins)
+  JournalVerdicts verdicts;
   bool interrupted = false;  ///< an interrupted marker was present
   /// Frame-level and payload-level drop notes, line-accurate.
   std::vector<std::string> diagnostics;
@@ -123,6 +144,7 @@ Result<JournalContents> readJournal(const std::string& dir);
 
 std::string serializeRunStart(const JournalRunStart& r);
 std::string serializeOutputRecord(const JournalOutputRecord& r);
+std::string serializeVerdicts(const JournalVerdicts& r);
 std::string serializeInterrupted(std::uint64_t completed,
                                  std::uint64_t planned);
 

@@ -36,6 +36,15 @@ void Simulator::setInputWord(std::uint32_t input, std::size_t word,
   values_[netlist_.inputNet(input)][word] = bits;
 }
 
+InputPattern Simulator::inputPatternAt(std::size_t k) const {
+  SYSECO_CHECK(k < numPatterns());
+  InputPattern pattern(netlist_.numInputs(), 0);
+  for (std::size_t i = 0; i < netlist_.numInputs(); ++i)
+    pattern[i] =
+        bit(netlist_.inputNet(static_cast<std::uint32_t>(i)), k) ? 1 : 0;
+  return pattern;
+}
+
 void Simulator::run() {
   // The fanin Signature lookups are hoisted out of the word loop: each
   // gate resolves values_[fanin] once into a pointer array, so the hot

@@ -58,6 +58,11 @@ class Simulator {
     return (values_[net][k / 64] >> (k % 64)) & 1;
   }
 
+  /// Reconstructs the full input assignment of pattern index k from the
+  /// currently loaded input words. The certification oracle uses this to
+  /// turn a mismatching signature bit back into a concrete counterexample.
+  InputPattern inputPatternAt(std::size_t k) const;
+
   /// Output signature by output index.
   const Signature& outputValue(std::uint32_t o) const {
     return values_[netlist_.outputNet(o)];

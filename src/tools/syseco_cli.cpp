@@ -41,16 +41,28 @@
 //   --resume DIR        replay DIR's journal, independently re-certify the
 //                       newest checkpoint with fresh SAT miters, and re-run
 //                       only the remaining outputs (implies --journal DIR)
+//   --audit LEVEL       netlist invariant auditing: off|boundaries|paranoid
+//                       (default off; boundaries checks the working netlist
+//                       at phase boundaries, paranoid adds deep checks)
+//   --no-oracle         use the legacy single-route SAT verification instead
+//                       of the tri-modal certification oracle (syseco only)
+//   --oracle-bdd-budget N  oracle BDD-route node budget (default 1048576;
+//                       exhaustion reports skipped(budget), never a verdict)
+//   --repro-dir DIR     package every oracle disagreement into an atomic
+//                       repro bundle (netlists, patch, seed, minimized
+//                       counterexample, build info) under DIR
+//   --version           print build info (git hash, compiler) and exit
 //   --verbose           trace the search to stderr
 //
 // Exit codes:
 //   0   rectification SAT-verified, no resource limit interfered
 //   1   verification failed
-//   2   usage error or internal failure
+//   2   usage error or internal failure (including a failed --audit)
 //   3   invalid input (unreadable/malformed file, nonsensical options,
 //       a journal recorded for different inputs)
 //   4   rectification SAT-verified, but a resource limit degraded the
-//       search (some outputs fell back to cone cloning; see the report)
+//       search (some outputs fell back to cone cloning; see the report),
+//       or the certification oracle quarantined a refuted output
 //   130 interrupted (SIGINT/SIGTERM) with progress journaled; rerun with
 //       --resume to continue from the last committed checkpoint
 
@@ -60,8 +72,12 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <iterator>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "eco/conesynth.hpp"
 #include "eco/deltasyn.hpp"
@@ -74,6 +90,7 @@
 #include "io/netlist_io.hpp"
 #include "io/verilog_io.hpp"
 #include "util/atomic_file.hpp"
+#include "util/build_info.hpp"
 #include "util/fault.hpp"
 #include "util/journal.hpp"
 #include "util/status.hpp"
@@ -133,9 +150,10 @@ void saveAny(const std::string& path, const Netlist& nl) {
 /// Machine-readable run report (schema documented in README.md).
 void writeReport(std::ostream& os, const std::string& engine,
                  const EcoResult& result, const SysecoDiagnostics& diag,
-                 int exitCode) {
+                 AuditLevel auditLevel, bool oracleEnabled, int exitCode) {
   os << "{\n";
   os << "  \"engine\": \"" << jsonEscape(engine) << "\",\n";
+  os << "  \"build\": " << buildInfoJson("  ") << ",\n";
   os << "  \"success\": " << (result.success ? "true" : "false") << ",\n";
   os << "  \"degraded\": " << (diag.resourceDegraded() ? "true" : "false")
      << ",\n";
@@ -157,6 +175,39 @@ void writeReport(std::ostream& os, const std::string& engine,
      << ", \"fallback\": " << diag.secondsFallback
      << ", \"sweep\": " << diag.secondsSweep
      << ", \"verify\": " << diag.secondsVerify << "},\n";
+  // Invariant audits: boundary count and findings (a written report means
+  // every audit passed - failures abort the run - but the findings field
+  // keeps the schema honest either way).
+  os << "  \"audit\": {\"level\": \"" << auditLevelName(auditLevel)
+     << "\", \"boundaries\": " << diag.audits.size()
+     << ", \"seconds\": " << diag.secondsAudit << ", \"findings\": [";
+  {
+    bool first = true;
+    for (const AuditReport& a : diag.audits)
+      for (const AuditFinding& f : a.findings) {
+        os << (first ? "" : ", ") << "{\"phase\": \"" << jsonEscape(a.phase)
+           << "\", \"check\": \"" << jsonEscape(f.check)
+           << "\", \"detail\": \"" << jsonEscape(f.detail) << "\"}";
+        first = false;
+      }
+  }
+  os << "]},\n";
+  // Oracle certificates: per-output verdicts, deliberately timing-free so
+  // reports from --jobs/--isolate/--resume runs diff clean after the
+  // standard timing normalization.
+  os << "  \"oracle\": {\"enabled\": " << (oracleEnabled ? "true" : "false")
+     << ", \"disagreements\": " << diag.oracleDisagreements.size()
+     << ", \"outputs\": [";
+  for (std::size_t i = 0; i < diag.certificates.size(); ++i) {
+    const OutputCertificate& c = diag.certificates[i];
+    os << (i ? ", " : "") << "{\"output\": " << c.output << ", \"name\": \""
+       << jsonEscape(c.name) << "\", \"sat\": \""
+       << routeVerdictName(c.sat.verdict) << "\", \"bdd\": \""
+       << routeVerdictName(c.bdd.verdict) << "\", \"sim\": \""
+       << routeVerdictName(c.sim.verdict) << "\", \"certified\": "
+       << (c.certified ? "true" : "false") << "}";
+  }
+  os << "]},\n";
   os << "  \"outputs\": [";
   for (std::size_t i = 0; i < diag.outputs.size(); ++i) {
     const OutputReport& r = diag.outputs[i];
@@ -212,7 +263,10 @@ void writeFailureReport(const std::string& reportPath,
                "          [--isolate-cpu-s S] [--isolate-wall-ms MS] "
                "[--isolate-backoff-ms MS]\n"
                "          [--journal DIR] [--resume DIR] "
-               "[--seed S] [--verbose]\n",
+               "[--audit off|boundaries|paranoid]\n"
+               "          [--no-oracle] [--oracle-bdd-budget N] "
+               "[--repro-dir DIR]\n"
+               "          [--seed S] [--version] [--verbose]\n",
                argv0);
   std::exit(kExitUsage);
 }
@@ -225,8 +279,21 @@ int main(int argc, char** argv) {
   SysecoOptions opt;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Both spellings work: "--audit paranoid" and "--audit=paranoid".
+    std::optional<std::string> inlineValue;
+    if (arg.rfind("--", 0) == 0) {
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        inlineValue = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
     auto value = [&]() -> std::string {
+      if (inlineValue) {
+        std::string v = std::move(*inlineValue);
+        inlineValue.reset();
+        return v;
+      }
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
@@ -264,10 +331,31 @@ int main(int argc, char** argv) {
       else if (arg == "--seed") opt.seed = std::stoull(value());
       else if (arg == "--journal") journalDir = value();
       else if (arg == "--resume") resumeDir = value();
+      else if (arg == "--audit") {
+        const std::string level = value();
+        const auto parsed = auditLevelFromName(level);
+        if (!parsed) throw std::invalid_argument(
+            "expected off|boundaries|paranoid, got '" + level + "'");
+        opt.audit = *parsed;
+      }
+      else if (arg == "--no-oracle") opt.oracle.enabled = false;
+      else if (arg == "--oracle-bdd-budget")
+        opt.oracle.bddNodeBudget =
+            static_cast<std::size_t>(std::stoull(value()));
+      else if (arg == "--repro-dir") opt.reproDir = value();
+      else if (arg == "--version") {
+        std::printf("%s\n", buildInfoLine().c_str());
+        return kExitClean;
+      }
       else if (arg == "--verbose") opt.verbose = true;
       else if (arg == "--help" || arg == "-h") usage(argv[0]);
       else {
         std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+        usage(argv[0]);
+      }
+      if (inlineValue) {
+        std::fprintf(stderr, "option '%s' does not take a value\n",
+                     arg.c_str());
         usage(argv[0]);
       }
     } catch (const std::exception& e) {
@@ -307,6 +395,28 @@ int main(int argc, char** argv) {
     std::printf("implementation: %zu gates, %zu inputs, %zu outputs\n",
                 impl.countLiveGates(), impl.numInputs(), impl.numOutputs());
     std::printf("revised spec:   %zu gates\n", spec.countLiveGates());
+
+    // Post-parse boundary audit: the parsers validate their own formats,
+    // but a structurally corrupt netlist (e.g. a handcrafted file that
+    // round-trips the reader) should be diagnosed here, not after the
+    // engine has chewed on it. Clean audits are folded into the report's
+    // boundary accounting after the run.
+    std::vector<AuditReport> postParseAudits;
+    if (opt.audit != AuditLevel::kOff) {
+      const std::pair<const char*, const Netlist*> toAudit[] = {
+          {"impl", &impl}, {"spec", &spec}};
+      for (const auto& [name, nl] : toAudit) {
+        AuditReport report = auditNetlist(
+            *nl, opt.audit, std::string("post-parse(") + name + ")");
+        if (!report.ok) {
+          const Status s = auditFailure(report);
+          std::fprintf(stderr, "error: %s\n", s.toString().c_str());
+          writeFailureReport(reportPath, engine, s.toString(), kExitUsage);
+          return kExitUsage;
+        }
+        postParseAudits.push_back(std::move(report));
+      }
+    }
 
     EcoResult result;
     SysecoDiagnostics diag;
@@ -412,6 +522,16 @@ int main(int argc, char** argv) {
                     journalDir.c_str());
         return kExitInterrupted;
       }
+      // Journal the oracle's verdicts: the record is timing-free, so
+      // --jobs N, --isolate and --resume runs of the same inputs append
+      // bit-identical payloads (the resume parser keeps the last one).
+      if (!journalDir.empty() && opt.oracle.enabled) {
+        const Status s =
+            journal.append(serializeVerdicts(makeVerdictsRecord(diag)));
+        if (!s.isOk())
+          std::fprintf(stderr, "warning: journal write failed: %s\n",
+                       s.toString().c_str());
+      }
     } else if (engine == "deltasyn") {
       DeltaSynOptions d;
       d.seed = opt.seed;
@@ -452,8 +572,32 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("runtime: %s\n", formatHms(result.seconds).c_str());
+    const bool oracleRan = engine == "syseco" && opt.oracle.enabled;
     std::printf("verification: %s\n",
-                result.success ? "EQUIVALENT (SAT-proven)" : "FAILED");
+                result.success
+                    ? (oracleRan ? "CERTIFIED (SAT+BDD+simulation)"
+                                 : "EQUIVALENT (SAT-proven)")
+                    : "FAILED");
+    if (oracleRan) {
+      std::size_t certified = 0;
+      for (const OutputCertificate& c : diag.certificates)
+        certified += c.certified;
+      std::printf("oracle: %zu/%zu output pair(s) certified, "
+                  "%zu disagreement(s)%s\n",
+                  certified, diag.certificates.size(),
+                  diag.oracleDisagreements.size(),
+                  diag.oracleDisagreements.empty() ? ""
+                                                   : " (quarantined)");
+    }
+    // Fold the CLI's post-parse audits into the boundary accounting so the
+    // report counts every audited site, not just the engine's.
+    if (!postParseAudits.empty()) {
+      for (AuditReport& a : postParseAudits)
+        diag.secondsAudit += a.seconds;
+      diag.audits.insert(diag.audits.begin(),
+                         std::make_move_iterator(postParseAudits.begin()),
+                         std::make_move_iterator(postParseAudits.end()));
+    }
 
     int exitCode = kExitVerifyFailed;
     if (result.success)
@@ -465,7 +609,7 @@ int main(int argc, char** argv) {
       // Atomic temp-file + rename write: a crash mid-report leaves either
       // the previous report or none, never a truncated JSON document.
       std::ostringstream rf;
-      writeReport(rf, engine, result, diag, exitCode);
+      writeReport(rf, engine, result, diag, opt.audit, oracleRan, exitCode);
       const Status s = writeFileAtomic(reportPath, rf.str());
       if (!s.isOk()) {
         std::fprintf(stderr, "error: cannot write report file %s: %s\n",

@@ -1,0 +1,65 @@
+#include "util/build_info.hpp"
+
+namespace syseco {
+
+namespace {
+
+#ifndef SYSECO_GIT_HASH
+#define SYSECO_GIT_HASH "unknown"
+#endif
+#ifndef SYSECO_BUILD_TYPE
+#define SYSECO_BUILD_TYPE "unknown"
+#endif
+#ifndef SYSECO_SANITIZE_MODE
+#define SYSECO_SANITIZE_MODE "OFF"
+#endif
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& buildInfo() {
+  static const BuildInfo info{SYSECO_GIT_HASH, __VERSION__, SYSECO_BUILD_TYPE,
+                              SYSECO_SANITIZE_MODE};
+  return info;
+}
+
+std::string buildInfoLine() {
+  const BuildInfo& b = buildInfo();
+  return "syseco " + b.gitHash + " (" + b.buildType +
+         ", sanitize=" + b.sanitizer + ") " + b.compiler;
+}
+
+std::string buildInfoJson(const std::string& indent) {
+  const BuildInfo& b = buildInfo();
+  std::string j = "{\n";
+  j += indent + "  \"git_hash\": \"" + jsonEscape(b.gitHash) + "\",\n";
+  j += indent + "  \"compiler\": \"" + jsonEscape(b.compiler) + "\",\n";
+  j += indent + "  \"build_type\": \"" + jsonEscape(b.buildType) + "\",\n";
+  j += indent + "  \"sanitizer\": \"" + jsonEscape(b.sanitizer) + "\"\n";
+  j += indent + "}";
+  return j;
+}
+
+}  // namespace syseco

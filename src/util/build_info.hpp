@@ -1,0 +1,34 @@
+#pragma once
+// Build provenance for reports and repro bundles.
+//
+// A repro bundle is only actionable if it pins down *which build* produced
+// the disagreement: an oracle mismatch under ASan at -O0 and one from a
+// Release binary are different investigations. The git hash, compiler,
+// build type and sanitizer mode are captured at configure time (CMake
+// compile definitions on syseco_util) and surfaced here, in the CLI's
+// `--version` output, in the JSON report's "build" object and in every
+// repro bundle's meta.json.
+
+#include <string>
+
+namespace syseco {
+
+struct BuildInfo {
+  std::string gitHash;    ///< short commit hash, "unknown" outside a checkout
+  std::string compiler;   ///< __VERSION__ of the compiler that built this TU
+  std::string buildType;  ///< CMAKE_BUILD_TYPE (Release, RelWithDebInfo, ...)
+  std::string sanitizer;  ///< SYSECO_SANITIZE value (OFF, address, thread)
+};
+
+/// The build info baked into this binary.
+const BuildInfo& buildInfo();
+
+/// One-line human-readable form, e.g.
+/// "syseco <hash> (<buildType>, sanitize=<mode>) <compiler>".
+std::string buildInfoLine();
+
+/// The "build" JSON object embedded in reports and repro-bundle metadata.
+/// `indent` is prepended to every line after the first.
+std::string buildInfoJson(const std::string& indent);
+
+}  // namespace syseco

@@ -1,0 +1,23 @@
+#include "util/crc32.hpp"
+
+#include <fstream>
+
+namespace syseco {
+
+Result<std::uint32_t> crc32OfFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Status::invalidInput("crc32: cannot open '" + path + "'");
+  std::uint32_t state = crc32Init();
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    state = crc32Update(
+        state, std::string_view(buf, static_cast<std::size_t>(in.gcount())));
+    if (in.eof()) break;
+  }
+  if (in.bad())
+    return Status::internal("crc32: read error on '" + path + "'");
+  return crc32Final(state);
+}
+
+}  // namespace syseco

@@ -6,7 +6,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <string_view>
+
+#include "util/status.hpp"
 
 namespace syseco {
 
@@ -46,5 +49,11 @@ constexpr std::uint32_t crc32Final(std::uint32_t state) {
 constexpr std::uint32_t crc32(std::string_view data) {
   return crc32Final(crc32Update(crc32Init(), data));
 }
+
+/// Streaming CRC-32 of a file's contents (repro-bundle manifests checksum
+/// multi-megabyte netlist snapshots, so the file is read in fixed-size
+/// chunks rather than slurped). Returns kInvalidInput when the file cannot
+/// be opened and kInternal on a mid-stream read error.
+Result<std::uint32_t> crc32OfFile(const std::string& path);
 
 }  // namespace syseco

@@ -15,6 +15,7 @@ std::optional<Kind> kindFromName(std::string_view name) {
   if (name == "oom") return Kind::kOom;
   if (name == "hang") return Kind::kHang;
   if (name == "garbage-ipc") return Kind::kGarbageIpc;
+  if (name == "wrong-patch") return Kind::kWrongPatch;
   return std::nullopt;
 }
 

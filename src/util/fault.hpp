@@ -12,7 +12,8 @@
 //
 //   SYSECO_FAULT_INJECT="<site>=<kind>[@<skip>][,...]"
 //
-//   kind: budget | deadline | bdd | alloc | crash | oom | hang | garbage-ipc
+//   kind: budget | deadline | bdd | alloc | crash | oom | hang |
+//         garbage-ipc | wrong-patch
 //   skip: number of hits at the site to let through before firing
 //         (default 0: fire from the first hit onward)
 //
@@ -51,6 +52,10 @@ enum class Kind {
   kOom,         ///< worker: allocation failure escapes the whole task
   kHang,        ///< worker: ignore SIGTERM and spin until SIGKILLed
   kGarbageIpc,  ///< worker: respond with a corrupted IPC frame
+  // Certification-oracle kind, honored at the "oracle.wrong-patch" site:
+  // the engine silently miscompiles a committed patch so the tri-modal
+  // oracle must catch, diagnose and quarantine the corrupted output.
+  kWrongPatch,  ///< engine: corrupt a committed patch before certification
 };
 
 /// Exit code of a kCrash firing: 128 + SIGKILL, what a shell reports for a

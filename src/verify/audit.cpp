@@ -1,0 +1,189 @@
+#include "verify/audit.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace syseco {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void add(AuditReport& report, std::string check, std::string detail) {
+  report.ok = false;
+  report.findings.push_back(
+      AuditFinding{std::move(check), std::move(detail)});
+}
+
+void auditGates(const Netlist& nl, AuditReport& report) {
+  const std::size_t numNets = nl.numNetsTotal();
+  for (GateId g = 0; g < nl.numGatesTotal(); ++g) {
+    const Netlist::Gate& gate = nl.gate(g);
+    if (gate.dead) continue;
+    const std::uint8_t arity = gateArity(gate.type);
+    if (arity == 0xFF) {
+      if (gate.fanins.empty())
+        add(report, "gate-arity",
+            "gate " + std::to_string(g) + " (" + gateTypeName(gate.type) +
+                ") has no fanins");
+    } else if (gate.fanins.size() != arity) {
+      add(report, "gate-arity",
+          "gate " + std::to_string(g) + " (" + gateTypeName(gate.type) +
+              ") has " + std::to_string(gate.fanins.size()) + " fanins, wants " +
+              std::to_string(arity));
+    }
+    for (std::uint32_t port = 0; port < gate.fanins.size(); ++port) {
+      if (gate.fanins[port] >= numNets)
+        add(report, "fanin-bounds",
+            "gate " + std::to_string(g) + " fanin " + std::to_string(port) +
+                " -> net " + std::to_string(gate.fanins[port]) +
+                " out of range");
+    }
+    if (gate.out >= numNets) {
+      add(report, "gate-out-bounds",
+          "gate " + std::to_string(g) + " out -> net " +
+              std::to_string(gate.out) + " out of range");
+    } else {
+      const Netlist::Net& out = nl.net(gate.out);
+      if (out.srcKind != Netlist::SourceKind::Gate || out.srcIdx != g)
+        add(report, "driver-backref",
+            "gate " + std::to_string(g) + " out net " +
+                std::to_string(gate.out) + " does not name it as driver");
+    }
+  }
+}
+
+void auditNets(const Netlist& nl, AuditReport& report) {
+  for (NetId n = 0; n < nl.numNetsTotal(); ++n) {
+    const Netlist::Net& net = nl.net(n);
+    switch (net.srcKind) {
+      case Netlist::SourceKind::Input:
+        if (net.srcIdx >= nl.numInputs() || nl.inputNet(net.srcIdx) != n)
+          add(report, "net-source",
+              "net " + std::to_string(n) + " claims PI " +
+                  std::to_string(net.srcIdx) + " inconsistently");
+        break;
+      case Netlist::SourceKind::Gate:
+        if (net.srcIdx >= nl.numGatesTotal() ||
+            nl.gate(net.srcIdx).out != n)
+          add(report, "net-source",
+              "net " + std::to_string(n) + " claims gate " +
+                  std::to_string(net.srcIdx) + " inconsistently");
+        break;
+      case Netlist::SourceKind::None:
+        // An undriven net that feeds nothing is just unused storage; one
+        // with sinks evaluates as garbage downstream.
+        if (!net.sinks.empty())
+          add(report, "dangling-net",
+              "net " + std::to_string(n) + " is undriven but has " +
+                  std::to_string(net.sinks.size()) + " sinks");
+        break;
+    }
+    for (const Sink& s : net.sinks) {
+      if (s.isOutput()) {
+        if (s.port >= nl.numOutputs() || nl.outputNet(s.port) != n)
+          add(report, "sink-backref",
+              "net " + std::to_string(n) + " has stale PO sink " +
+                  std::to_string(s.port));
+      } else if (s.gate >= nl.numGatesTotal() || nl.gate(s.gate).dead ||
+                 s.port >= nl.gate(s.gate).fanins.size() ||
+                 nl.gate(s.gate).fanins[s.port] != n) {
+        add(report, "sink-backref",
+            "net " + std::to_string(n) + " has stale gate sink (" +
+                std::to_string(s.gate) + ", " + std::to_string(s.port) + ")");
+      }
+    }
+  }
+  // Every live pin and primary output must be registered exactly once.
+  for (GateId g = 0; g < nl.numGatesTotal(); ++g) {
+    const Netlist::Gate& gate = nl.gate(g);
+    if (gate.dead) continue;
+    for (std::uint32_t port = 0; port < gate.fanins.size(); ++port) {
+      const NetId f = gate.fanins[port];
+      if (f >= nl.numNetsTotal()) continue;  // already reported above
+      const auto& sinks = nl.net(f).sinks;
+      const Sink want{g, port};
+      if (std::count(sinks.begin(), sinks.end(), want) != 1)
+        add(report, "sink-registration",
+            "pin (" + std::to_string(g) + ", " + std::to_string(port) +
+                ") not registered exactly once on net " + std::to_string(f));
+    }
+  }
+  for (std::uint32_t o = 0; o < nl.numOutputs(); ++o) {
+    const auto& sinks = nl.net(nl.outputNet(o)).sinks;
+    const Sink want{kNullId, o};
+    if (std::count(sinks.begin(), sinks.end(), want) != 1)
+      add(report, "sink-registration",
+          "output " + std::to_string(o) + " not registered exactly once on net " +
+              std::to_string(nl.outputNet(o)));
+  }
+}
+
+void auditDeep(const Netlist& nl, AuditReport& report) {
+  // Topological consistency: topoOrder() must place every live fanin
+  // driver before its fanout (it returns a partial order only when the
+  // graph is consistent; a corrupted graph yields a truncated or
+  // misordered sequence).
+  const std::vector<GateId> topo = nl.topoOrder();
+  std::vector<std::uint32_t> pos(nl.numGatesTotal(), kNullId);
+  for (std::uint32_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (GateId g : topo) {
+    for (NetId f : nl.gate(g).fanins) {
+      if (f >= nl.numNetsTotal()) continue;
+      const GateId drv = nl.driverOf(f);
+      if (drv == kNullId) continue;
+      if (drv >= nl.numGatesTotal() || pos[drv] == kNullId ||
+          pos[drv] >= pos[g])
+        add(report, "topo-order",
+            "gate " + std::to_string(g) + " precedes its fanin driver " +
+                std::to_string(drv));
+    }
+  }
+  // Per-output support sanity: every support entry is a real PI index.
+  for (std::uint32_t o = 0; o < nl.numOutputs(); ++o) {
+    for (std::uint32_t pi : nl.support(nl.outputNet(o)))
+      if (pi >= nl.numInputs())
+        add(report, "support-bounds",
+            "output " + std::to_string(o) + " support names PI " +
+                std::to_string(pi) + " out of range");
+  }
+  // Cross-check against the model's own auditor: a disagreement means one
+  // of the two walks is wrong, which is itself a finding.
+  std::string why;
+  if (!nl.isWellFormed(&why) && report.ok)
+    add(report, "well-formed", "isWellFormed disagrees: " + why);
+}
+
+}  // namespace
+
+std::optional<AuditLevel> auditLevelFromName(std::string_view name) {
+  for (AuditLevel level : {AuditLevel::kOff, AuditLevel::kBoundaries,
+                           AuditLevel::kParanoid}) {
+    if (name == auditLevelName(level)) return level;
+  }
+  return std::nullopt;
+}
+
+AuditReport auditNetlist(const Netlist& netlist, AuditLevel level,
+                         std::string phase) {
+  AuditReport report;
+  report.phase = std::move(phase);
+  if (level == AuditLevel::kOff) return report;
+  const Clock::time_point start = Clock::now();
+  auditGates(netlist, report);
+  auditNets(netlist, report);
+  if (!netlist.isAcyclic())
+    add(report, "acyclicity", "gate graph has a cycle");
+  if (level == AuditLevel::kParanoid && report.ok) auditDeep(netlist, report);
+  report.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+Status auditFailure(const AuditReport& report) {
+  std::string msg = "netlist audit failed at " + report.phase + ":";
+  for (const AuditFinding& f : report.findings)
+    msg += " [" + f.check + "] " + f.detail + ";";
+  return Status::internal(std::move(msg));
+}
+
+}  // namespace syseco

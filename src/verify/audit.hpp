@@ -1,0 +1,78 @@
+#pragma once
+// NetlistAuditor: cheap structural invariant checks at engine phase
+// boundaries.
+//
+// The rectification engine mutates the working netlist across many layers
+// (plan-order commits, worker-patch replay over IPC, journal restore,
+// sweeping). A memory-corruption-class failure in any of them - a stale
+// sink list, an out-of-range fanin, a dangling net - does not fail loudly;
+// it produces downstream nonsense that the SAT/BDD/simulation layers then
+// chew on. The auditor turns that into a structured diagnosis at the
+// boundary where it first becomes observable: post-parse, post-patch-
+// commit, post-resume-restore and post-isolate-decode run the boundary
+// tier; `--audit=paranoid` adds deeper cross-checks (topological
+// consistency, per-output support sanity, full isWellFormed agreement) at
+// extra sites.
+//
+// Findings are collected, not thrown: a single audit reports *every*
+// violated invariant so the diagnosis names the corruption instead of its
+// first symptom. Callers that must abort convert the report with
+// auditFailure().
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/status.hpp"
+
+namespace syseco {
+
+enum class AuditLevel {
+  kOff,         ///< no audits
+  kBoundaries,  ///< structural tier at engine phase boundaries
+  kParanoid,    ///< adds deep cross-checks and extra audit sites
+};
+
+inline const char* auditLevelName(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff: return "off";
+    case AuditLevel::kBoundaries: return "boundaries";
+    case AuditLevel::kParanoid: return "paranoid";
+  }
+  return "unknown";
+}
+
+/// Inverse of auditLevelName; nullopt for unknown names.
+std::optional<AuditLevel> auditLevelFromName(std::string_view name);
+
+/// One violated invariant: which check and what exactly is wrong.
+struct AuditFinding {
+  std::string check;   ///< e.g. "gate-arity", "dangling-net", "acyclicity"
+  std::string detail;  ///< ids and values, e.g. "gate 17 fanin 2 -> net 999"
+};
+
+/// Outcome of auditing one netlist at one phase boundary.
+struct AuditReport {
+  std::string phase;  ///< e.g. "post-parse", "post-patch-commit"
+  bool ok = true;
+  std::vector<AuditFinding> findings;
+  double seconds = 0.0;
+};
+
+/// Audits `netlist` at `level`. kOff returns an empty ok report without
+/// touching the netlist. The boundary tier checks, per live gate: type
+/// arity, fanin/out id bounds and driver back-references; per net: source
+/// consistency, sink cross-references and no dangling (undriven but
+/// consumed) nets; plus acyclicity. Paranoid adds topological consistency
+/// (every live fanin precedes its fanout), per-output support bounds, and
+/// an isWellFormed cross-check.
+AuditReport auditNetlist(const Netlist& netlist, AuditLevel level,
+                         std::string phase);
+
+/// Converts a failed report into the Status the engine propagates:
+/// kInternal, with the phase and every finding in the message.
+Status auditFailure(const AuditReport& report);
+
+}  // namespace syseco

@@ -1,0 +1,110 @@
+#include "verify/repro.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+
+namespace syseco {
+
+namespace {
+
+Status ensureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST) return Status::ok();
+  return Status::invalidInput("cannot create directory '" + dir +
+                              "': " + std::strerror(errno));
+}
+
+Status writeAndSync(const std::string& path, const std::string& content) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return Status::internal("cannot create '" + path + "'");
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out)
+      return Status::internal("short write to '" + path + "'");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return Status::internal("cannot reopen '" + path + "' for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::internal("fsync failed on '" + path + "'");
+  return Status::ok();
+}
+
+void removeTree(const std::string& dir,
+                const std::vector<ReproFile>& files) {
+  for (const ReproFile& f : files)
+    ::unlink((dir + "/" + f.name).c_str());
+  ::unlink((dir + "/MANIFEST").c_str());
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+Result<std::string> writeReproBundle(const std::string& reproDir,
+                                     const std::string& bundleName,
+                                     const std::vector<ReproFile>& files) {
+  if (reproDir.empty() || bundleName.empty())
+    return Status::invalidInput("repro bundle needs a directory and a name");
+  for (const ReproFile& f : files) {
+    if (f.name.empty() || f.name.find('/') != std::string::npos ||
+        f.name == "MANIFEST" || f.name[0] == '.')
+      return Status::invalidInput("bad repro file name '" + f.name + "'");
+  }
+  if (Status s = ensureDirectory(reproDir); !s.isOk()) return s;
+
+  const std::string tmp = reproDir + "/.tmp." + bundleName;
+  removeTree(tmp, files);  // a crashed earlier attempt may have left it
+  if (::mkdir(tmp.c_str(), 0777) != 0)
+    return Status::internal("cannot create staging directory '" + tmp +
+                            "': " + std::strerror(errno));
+
+  auto abort = [&](Status s) -> Result<std::string> {
+    removeTree(tmp, files);
+    return s;
+  };
+  // The manifest checksums what actually landed on disk (crc32OfFile
+  // re-reads every file), so it doubles as a write-back verification.
+  std::string manifest;
+  for (const ReproFile& f : files) {
+    const std::string path = tmp + "/" + f.name;
+    if (Status s = writeAndSync(path, f.content); !s.isOk()) return abort(s);
+    Result<std::uint32_t> crc = crc32OfFile(path);
+    if (!crc.isOk()) return abort(crc.status());
+    char line[64];
+    std::snprintf(line, sizeof line, "%08x %zu ", crc.value(),
+                  f.content.size());
+    manifest += line;
+    manifest += f.name;
+    manifest += '\n';
+  }
+  if (Status s = writeAndSync(tmp + "/MANIFEST", manifest); !s.isOk())
+    return abort(s);
+  if (Status s = syncDirectory(tmp); !s.isOk()) return abort(s);
+
+  // Publish: rename into place; on name collision try numbered suffixes.
+  std::string finalDir = reproDir + "/" + bundleName;
+  for (int suffix = 2; ::rename(tmp.c_str(), finalDir.c_str()) != 0;
+       ++suffix) {
+    if (errno != ENOTEMPTY && errno != EEXIST && errno != EISDIR)
+      return abort(Status::internal("cannot publish repro bundle '" +
+                                    finalDir + "': " + std::strerror(errno)));
+    if (suffix > 1000)
+      return abort(Status::internal("too many repro bundles named '" +
+                                    bundleName + "'"));
+    finalDir = reproDir + "/" + bundleName + "-" + std::to_string(suffix);
+  }
+  if (Status s = syncDirectory(reproDir); !s.isOk()) return s;
+  return finalDir;
+}
+
+}  // namespace syseco

@@ -1,0 +1,33 @@
+#pragma once
+// Atomic repro bundles for oracle disagreements.
+//
+// When the certification oracle refutes a patch the engine committed as
+// correct, the evidence must survive the run: the exact netlists, the
+// minimized counterexample, the seed and the build that produced the
+// disagreement. A bundle is a directory published atomically - files are
+// written and fsync'd into a hidden temporary sibling, then rename()d into
+// place - so a crash mid-write never leaves a half-bundle that looks like
+// evidence. The MANIFEST (crc32 + size per file, computed by re-reading
+// what was written) makes later tampering or truncation detectable.
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace syseco {
+
+/// One file of a repro bundle. `name` is a bare filename (no separators).
+struct ReproFile {
+  std::string name;
+  std::string content;
+};
+
+/// Writes `files` plus a MANIFEST as `<reproDir>/<bundleName>` (a numeric
+/// suffix is appended on collision), creating `reproDir` if missing.
+/// Returns the published bundle directory path.
+Result<std::string> writeReproBundle(const std::string& reproDir,
+                                     const std::string& bundleName,
+                                     const std::vector<ReproFile>& files);
+
+}  // namespace syseco

@@ -512,7 +512,11 @@ TEST_P(IsolateFaultMatrix, InjectedFaultQuarantinesExactlyOneOutput) {
 
   const std::string report = slurp(dir + "/fault.json");
   const std::string victimKey = "{\"output\": " + std::to_string(victim) + ",";
-  const std::size_t at = report.find(victimKey);
+  // The oracle section also carries per-output entries; the run report
+  // array is the *last* "outputs" key in the document.
+  const std::size_t outputsArr = report.rfind("\"outputs\": [");
+  ASSERT_NE(outputsArr, std::string::npos);
+  const std::size_t at = report.find(victimKey, outputsArr);
   ASSERT_NE(at, std::string::npos) << report;
   const std::size_t end = report.find('}', at);
   const std::string entry = report.substr(at, end - at + 1);
