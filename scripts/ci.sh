@@ -7,7 +7,10 @@
 # it, and a verify-oracle stage that certifies the example suite under
 # paranoid audits, injects a miscompiled patch and proves the oracle
 # catches it (repro bundle, quarantine, exit 4) with verdict records
-# bit-identical across jobs/isolate/resume.
+# bit-identical across jobs/isolate/resume, and a distributed-loopback
+# stage that runs the suite over two --serve-worker TCP agents, kills one
+# mid-run, and proves the fleet finishes with verdicts bit-identical to
+# --jobs 2 (plus graceful in-process degradation when every agent is gone).
 # Run from anywhere; builds land in build-ci/ and build-ci-asan/.
 set -euo pipefail
 
@@ -250,5 +253,64 @@ cmp "$SMOKE/v_jobs.txt" "$SMOKE/v_iso.txt" \
 cmp "$SMOKE/v_jobs.txt" "$SMOKE/v_res.txt" \
     || { echo "--resume verdict record diverged"; exit 1; }
 echo "verify-oracle: verdict records identical across jobs/isolate/resume"
+
+echo "=== Distributed worker fleet (loopback) ==="
+# Two --serve-worker agents on loopback ephemeral ports; one is killed
+# mid-run. The supervisor must reclaim the dead agent's lease, finish on
+# the survivor, exit 0, and journal verdict records bit-identical to the
+# in-process --jobs 2 run.
+FLEET="$SMOKE/fleet"
+mkdir -p "$FLEET"
+"$CLI" --serve-worker 0 --port-file "$FLEET/p1" > "$FLEET/a1.log" 2>&1 &
+AGENT1=$!
+"$CLI" --serve-worker 0 --port-file "$FLEET/p2" > "$FLEET/a2.log" 2>&1 &
+AGENT2=$!
+for _ in $(seq 1 100); do
+  [ -s "$FLEET/p1" ] && [ -s "$FLEET/p2" ] && break
+  sleep 0.1
+done
+P1="$(cat "$FLEET/p1")"
+P2="$(cat "$FLEET/p2")"
+
+"$CLI" --impl "$IMPL" --spec "$SPEC" --jobs 2 --journal "$FLEET/j_ref" \
+    --out "$FLEET/ref.blif" > "$FLEET/ref.log"
+
+( sleep 0.2; kill -9 "$AGENT1" 2>/dev/null ) &
+KILLER=$!
+set +e
+"$CLI" --impl "$IMPL" --spec "$SPEC" \
+    --workers "127.0.0.1:$P1,127.0.0.1:$P2" \
+    --journal "$FLEET/j_fleet" --out "$FLEET/fleet.blif" \
+    > "$FLEET/fleet.log" 2>&1
+rc=$?
+set -e
+wait "$KILLER" 2>/dev/null || true
+kill -9 "$AGENT1" "$AGENT2" 2>/dev/null || true
+[ "$rc" -eq 0 ] || {
+  echo "fleet run failed with $rc"; cat "$FLEET/fleet.log"; exit 1; }
+cmp "$FLEET/fleet.blif" "$FLEET/ref.blif" \
+    || { echo "fleet netlist diverged from --jobs 2"; exit 1; }
+extract_verdicts "$FLEET/j_fleet" > "$FLEET/v_fleet.txt"
+extract_verdicts "$FLEET/j_ref" > "$FLEET/v_ref.txt"
+cmp "$FLEET/v_fleet.txt" "$FLEET/v_ref.txt" \
+    || { echo "fleet verdict record diverged from --jobs 2"; exit 1; }
+echo "fleet: run survived a mid-run agent kill, verdicts identical"
+
+# Total fleet loss: every endpoint refuses the connect. The run must
+# degrade to in-process execution instead of aborting, record the
+# degradation as a structured fleet event, and still land the identical
+# result and verdicts.
+"$CLI" --impl "$IMPL" --spec "$SPEC" --workers 127.0.0.1:1,127.0.0.1:2 \
+    --fleet-connect-timeout-ms 200 --journal "$FLEET/j_dead" \
+    --out "$FLEET/dead.blif" > "$FLEET/dead.log" 2>&1 \
+    || { echo "dead-fleet run failed"; cat "$FLEET/dead.log"; exit 1; }
+grep -aq '"kind":"fleet-degraded"' "$FLEET/j_dead/journal.jsonl" \
+    || { echo "dead fleet never recorded degradation"; exit 1; }
+cmp "$FLEET/dead.blif" "$FLEET/ref.blif" \
+    || { echo "degraded fleet netlist diverged"; exit 1; }
+extract_verdicts "$FLEET/j_dead" > "$FLEET/v_dead.txt"
+cmp "$FLEET/v_dead.txt" "$FLEET/v_ref.txt" \
+    || { echo "degraded fleet verdict record diverged"; exit 1; }
+echo "fleet: dead fleet degraded to in-process, verdicts identical"
 
 echo "=== CI passed ==="

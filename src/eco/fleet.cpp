@@ -1,0 +1,268 @@
+#include "eco/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "eco/isolate.hpp"
+#include "eco/syseco.hpp"
+#include "netlist/analysis.hpp"
+#include "util/crc32.hpp"
+#include "util/fault.hpp"
+#include "util/io_retry.hpp"
+#include "util/ipc.hpp"
+#include "util/socket.hpp"
+#include "util/status.hpp"
+#include "util/subprocess.hpp"
+
+namespace syseco {
+namespace {
+
+bool stopped(const FleetAgentOptions& opt) {
+  return opt.stop && opt.stop->load(std::memory_order_relaxed);
+}
+
+/// The agent's one-slot case cache, keyed by the case payload's crc32. A
+/// supervisor run uses exactly one case, so one slot is enough to make the
+/// netlist upload a once-per-run cost; the analyses are rebuilt with the
+/// case and shared read-only by every task computed against it.
+struct CaseCache {
+  bool valid = false;
+  std::uint32_t crc = 0;
+  FleetCase c;
+  std::unique_ptr<NetlistAnalysis> baseAnalysis;
+  std::unique_ptr<NetlistAnalysis> specAnalysis;
+};
+
+/// Makes sure the cache holds the case the request names, fetching it from
+/// the supervisor on a miss. Returns false when the connection should be
+/// dropped (transport break, bad payload, shutdown).
+bool ensureCase(int fd, std::string& rx, const FleetTaskRequest& req,
+                CaseCache& cache, const FleetAgentOptions& opt) {
+  if (cache.valid && cache.crc == req.caseCrc) return true;
+  if (!net::sendFrame(fd, ipc::kTypeFleetNeedCase,
+                      encodeFleetNeedCase(req.caseCrc))
+           .isOk())
+    return false;
+  // The upload can be megabytes of netlist; wait generously but keep the
+  // stop flag responsive.
+  for (int waited = 0; waited < 60000 && !stopped(opt); waited += 200) {
+    net::RecvOutcome out = net::recvFrame(fd, &rx, 200);
+    if (out.status == net::RecvStatus::kTimeout) continue;
+    if (out.status != net::RecvStatus::kFrame) return false;
+    if (out.frame.type != ipc::kTypeFleetCase) return false;
+    if (crc32(out.frame.payload) != req.caseCrc) return false;
+    Result<FleetCase> decoded = decodeFleetCase(out.frame.payload);
+    if (!decoded.isOk()) {
+      std::fprintf(stderr, "[syseco-agent] rejected case payload: %s\n",
+                   decoded.status().toString().c_str());
+      return false;
+    }
+    cache.c = decoded.take();
+    cache.baseAnalysis = std::make_unique<NetlistAnalysis>(cache.c.base);
+    cache.specAnalysis = std::make_unique<NetlistAnalysis>(cache.c.spec);
+    cache.crc = req.caseCrc;
+    cache.valid = true;
+    if (opt.verbose)
+      std::fprintf(stderr, "[syseco-agent] cached case crc=%u (%zu bytes)\n",
+                   cache.crc, out.frame.payload.size());
+    return true;
+  }
+  return false;
+}
+
+bool sendFailure(int fd, std::uint64_t epoch, WorkerExitCause cause,
+                 std::string detail) {
+  FleetFailure f;
+  f.epoch = epoch;
+  f.cause = workerExitCauseName(cause);
+  f.detail = std::move(detail);
+  return net::sendFrame(fd, ipc::kTypeFleetFailure, encodeFleetFailure(f))
+      .isOk();
+}
+
+/// No heartbeats, no result, no close: the honest simulation of an agent
+/// that accepted work and then wedged. Returns once the supervisor gives
+/// up on the connection (or the agent is asked to stop).
+bool hangUntilPeerCloses(int fd, std::string& rx,
+                         const FleetAgentOptions& opt) {
+  while (!stopped(opt)) {
+    subprocess::pollReadable({fd}, 200);
+    const ioretry::DrainOutcome dr = ioretry::drainNonblockingRaw(fd, &rx);
+    if (dr.state != ioretry::DrainState::kOpen) break;
+  }
+  return false;
+}
+
+/// Serves one task request end to end. Returns false when the connection
+/// should be dropped afterwards.
+bool serveTask(int fd, std::string& rx, const FleetTaskRequest& req,
+               CaseCache& cache, const FleetAgentOptions& opt) {
+  if (opt.verbose)
+    std::fprintf(stderr,
+                 "[syseco-agent] task out=%u attempt=%lld epoch=%llu\n",
+                 req.output, static_cast<long long>(req.attempt),
+                 static_cast<unsigned long long>(req.epoch));
+  if (!ensureCase(fd, rx, req, cache, opt)) return false;
+  if (req.output >= cache.c.base.numOutputs())
+    return sendFailure(fd, req.epoch, WorkerExitCause::kGarbageIpc,
+                       "task output out of range");
+
+  // Agent-side fault sites: "fleet.agent" hits every task; the per-output
+  // variant pins the blast radius to one output in tests and CI. (kCrash
+  // fires centrally inside fault::fire - std::_Exit(137).)
+  bool suppressHeartbeats = false;
+  const std::string persite = "fleet.agent.o" + std::to_string(req.output);
+  const char* sites[2] = {"fleet.agent", persite.c_str()};
+  for (const char* site : sites) {
+    const auto kind = fault::fire(site);
+    if (!kind) continue;
+    switch (*kind) {
+      case fault::Kind::kNetReset:
+        // Drop the connection between request and result.
+        return false;
+      case fault::Kind::kNetTruncate: {
+        // A complete header promising a payload that never fully arrives,
+        // then EOF: the supervisor must classify frame-truncated, not
+        // garbage-ipc (the prefix is a perfectly valid frame start).
+        const std::string full =
+            ipc::encodeFrame(ipc::kTypeFleetResult, std::string(256, 'x'));
+        (void)ioretry::writeAllRaw(
+            fd, std::string_view(full).substr(0, full.size() / 2), true);
+        return false;
+      }
+      case fault::Kind::kHang:
+        return hangUntilPeerCloses(fd, rx, opt);
+      case fault::Kind::kGarbageIpc: {
+        std::string garbled =
+            ipc::encodeFrame(ipc::kTypeFleetResult, "{\"produced\":true}");
+        garbled[garbled.size() / 2] =
+            static_cast<char>(garbled[garbled.size() / 2] ^ 0x40);
+        (void)ioretry::writeAllRaw(fd, garbled, true);
+        return true;  // keep serving; the supervisor will drop us
+      }
+      case fault::Kind::kOom:
+        return sendFailure(fd, req.epoch, WorkerExitCause::kOom,
+                           "injected allocation failure");
+      case fault::Kind::kNetDelay: {
+        // Outlive the lease with no heartbeats, then answer anyway: the
+        // supervisor must have reclaimed the task by then and must discard
+        // this duplicate by epoch.
+        const int totalMs =
+            static_cast<int>(req.leaseSeconds * 1500.0) + 200;
+        for (int waited = 0; waited < totalMs && !stopped(opt); waited += 100)
+          subprocess::pollReadable({}, 100);
+        suppressHeartbeats = true;
+        break;
+      }
+      default:
+        // Engine-internal kinds have no meaning at this site; report a
+        // cleanly contained injection.
+        return sendFailure(fd, req.epoch, WorkerExitCause::kFaultInjected,
+                           "injected fault");
+    }
+    break;  // a fired fault is handled once
+  }
+
+  // Compute on a thread while this one heartbeats every quarter-lease, so
+  // a long search never starves the supervisor's deadline. The task cannot
+  // be cancelled mid-flight; if the supervisor goes away we finish, drop
+  // the result and take the next connection.
+  std::optional<Result<WorkerPatch>> outcome;
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    outcome.emplace(runFleetTask(cache.c.base, cache.c.spec, cache.c.options,
+                                 req.output, cache.c.protect,
+                                 cache.baseAnalysis.get(),
+                                 cache.specAnalysis.get()));
+    done.store(true, std::memory_order_release);
+  });
+  const int hbMs = std::clamp(
+      static_cast<int>(req.leaseSeconds * 1000.0 / 4.0), 50, 1000);
+  bool peerOpen = true;
+  while (!done.load(std::memory_order_acquire)) {
+    if (peerOpen) {
+      subprocess::pollReadable({fd}, hbMs);
+      const ioretry::DrainOutcome dr = ioretry::drainNonblockingRaw(fd, &rx);
+      if (dr.state != ioretry::DrainState::kOpen)
+        peerOpen = false;
+      else if (!suppressHeartbeats)
+        (void)net::sendFrame(fd, ipc::kTypeFleetHeartbeat,
+                             encodeFleetHeartbeat(req.epoch));
+    } else {
+      subprocess::pollReadable({}, hbMs);
+    }
+  }
+  worker.join();
+  if (!peerOpen) return false;
+
+  Result<WorkerPatch> r = std::move(*outcome);
+  if (!r.isOk())
+    return sendFailure(fd, req.epoch,
+                       r.status().code() == StatusCode::kBudgetExhausted
+                           ? WorkerExitCause::kOom
+                           : WorkerExitCause::kCrash,
+                       r.status().message());
+  const WorkerPatch patch = r.take();
+  if (opt.verbose)
+    std::fprintf(stderr, "[syseco-agent] out=%u done (produced=%d)\n",
+                 req.output, patch.produced ? 1 : 0);
+  return net::sendFrame(fd, ipc::kTypeFleetResult,
+                        encodeFleetResult(req.epoch, patch))
+      .isOk();
+}
+
+void serveConnection(int fd, CaseCache& cache, const FleetAgentOptions& opt) {
+  std::string rx;
+  while (!stopped(opt)) {
+    net::RecvOutcome out = net::recvFrame(fd, &rx, 200);
+    if (out.status == net::RecvStatus::kTimeout) continue;
+    if (out.status != net::RecvStatus::kFrame) return;
+    if (out.frame.type != ipc::kTypeFleetTask) return;
+    Result<FleetTaskRequest> req = decodeFleetTaskRequest(out.frame.payload);
+    if (!req.isOk()) return;
+    if (!serveTask(fd, rx, req.value(), cache, opt)) return;
+  }
+}
+
+}  // namespace
+
+Status runWorkerAgent(const FleetAgentOptions& opt) {
+  ioretry::ignoreSigpipeOnce();
+  std::uint16_t bound = 0;
+  Result<int> listening = net::listenOn(opt.port, &bound);
+  if (!listening.isOk()) return listening.status();
+  int listenFd = listening.take();
+  if (opt.boundHook) opt.boundHook(bound);
+  if (opt.verbose)
+    std::fprintf(stderr, "[syseco-agent] listening on port %u\n",
+                 static_cast<unsigned>(bound));
+  // The case cache outlives connections on purpose: a supervisor that
+  // reconnects after a transport hiccup skips the netlist re-upload.
+  CaseCache cache;
+  while (!stopped(opt)) {
+    Result<int> client = net::acceptClient(listenFd, 200);
+    if (!client.isOk()) {
+      net::closeSocket(listenFd);
+      return client.status();
+    }
+    int fd = client.take();
+    if (fd < 0) continue;  // accept timeout; re-check the stop flag
+    if (opt.verbose)
+      std::fprintf(stderr, "[syseco-agent] supervisor connected\n");
+    serveConnection(fd, cache, opt);
+    net::closeSocket(fd);
+    if (opt.verbose)
+      std::fprintf(stderr, "[syseco-agent] supervisor disconnected\n");
+    if (opt.serveOnce) break;
+  }
+  net::closeSocket(listenFd);
+  return Status::ok();
+}
+
+}  // namespace syseco

@@ -1,0 +1,46 @@
+#pragma once
+// The --serve-worker fleet agent: the remote half of the --workers
+// transport (the supervisor half lives in syseco.cpp's runFleet).
+//
+// An agent listens on a TCP port and serves one supervisor connection at a
+// time. Over that connection it receives SEF1-framed task requests
+// (eco/isolate.hpp fleet codecs), fetches the content-addressed case
+// payload once per crc32 key, computes each task with the exact pure
+// per-output function a local worker runs (runFleetTask), heartbeats while
+// computing so the supervisor's lease stays renewed, and ships back an
+// epoch-stamped result or a contained failure. An agent must never die on
+// a bad task: compute-side exceptions become failure frames, and transport
+// errors just drop the connection (the supervisor classifies the break).
+//
+// Fault-injection sites "fleet.agent" and "fleet.agent.o<output>" make the
+// agent misbehave on the wire deterministically (net-truncate / net-reset /
+// net-delay and the isolation kinds), so the supervisor's network failure
+// taxonomy is testable end to end on a loopback fleet.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "util/status.hpp"
+
+namespace syseco {
+
+struct FleetAgentOptions {
+  std::uint16_t port = 0;  ///< 0: kernel-assigned (see boundHook)
+  bool serveOnce = false;  ///< exit after the first connection closes
+  bool verbose = false;
+  /// Polled between accepts and frames; a set flag shuts the agent down
+  /// cleanly (the CLI wires SIGINT/SIGTERM here).
+  std::atomic<bool>* stop = nullptr;
+  /// Called once with the actually-bound listening port (meaningful with
+  /// port = 0; the CLI's --port-file uses it).
+  std::function<void(std::uint16_t)> boundHook;
+};
+
+/// Runs the agent loop until `stop` is set (or, with serveOnce, until the
+/// first supervisor connection closes). Returns non-ok only for setup
+/// failures (the port cannot be bound); per-connection and per-task
+/// failures are contained and served back to the supervisor.
+Status runWorkerAgent(const FleetAgentOptions& options);
+
+}  // namespace syseco

@@ -1,5 +1,6 @@
 #include "eco/isolate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
@@ -327,6 +328,263 @@ Result<WorkerPatch> decodeWorkerPatch(std::string_view payload,
     patch.frag.outputs.push_back(std::move(r));
   }
   return patch;
+}
+
+// --- Fleet transport payloads ---------------------------------------------
+
+namespace {
+
+Status badFleet(const std::string& what) {
+  return Status::invalidInput("fleet payload: " + what);
+}
+
+/// uint64 carried as a decimal string: the journal idiom for values (seed,
+/// epoch) that may not fit a JSON int64.
+void putU64String(std::ostringstream& os, std::uint64_t v) {
+  os << '"' << v << '"';
+}
+
+bool getU64String(const JsonValue& obj, const std::string& key,
+                  std::uint64_t* out) {
+  std::string text;
+  if (!getString(obj, key, &text) || text.empty() || text.size() > 20)
+    return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (0xFFFFFFFFFFFFFFFFull - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string encodeFleetTaskRequest(const FleetTaskRequest& req) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"output\":" << req.output << ",\"attempt\":" << req.attempt
+     << ",\"epoch\":";
+  putU64String(os, req.epoch);
+  os << ",\"lease_seconds\":" << req.leaseSeconds
+     << ",\"case_crc\":" << req.caseCrc << "}";
+  return os.str();
+}
+
+Result<FleetTaskRequest> decodeFleetTaskRequest(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  if (v.kind != JsonValue::Kind::Object) return badFleet("not an object");
+  FleetTaskRequest req;
+  if (!getU32(v, "output", &req.output) ||
+      !getI64(v, "attempt", &req.attempt) || req.attempt < 1 ||
+      req.attempt > kMaxSmallCount ||
+      !getU64String(v, "epoch", &req.epoch) ||
+      !getDouble(v, "lease_seconds", &req.leaseSeconds) ||
+      req.leaseSeconds <= 0.0 || !getU32(v, "case_crc", &req.caseCrc))
+    return badFleet("malformed task request");
+  return req;
+}
+
+std::string encodeFleetCase(const Netlist& base, const Netlist& spec,
+                            const SysecoOptions& options,
+                            const std::vector<std::uint32_t>& protect) {
+  std::ostringstream os;
+  os << "{\"impl\":\"" << jsonEscape(base.dumpRawString()) << "\",\"spec\":\""
+     << jsonEscape(spec.dumpRawString()) << "\",\"options\":{"
+     << "\"samples\":" << options.numSamples
+     << ",\"points\":" << options.maxPoints
+     << ",\"pins\":" << options.maxCandidatePins
+     << ",\"nets\":" << options.maxRewireNets
+     << ",\"sets\":" << options.maxPointSets
+     << ",\"choices\":" << options.maxChoices
+     << ",\"refine\":" << options.maxRefineIters
+     << ",\"vbudget\":" << options.validationBudget
+     << ",\"sbudget\":" << options.samplingBudget
+     << ",\"bddlimit\":" << options.bddNodeLimit
+     << ",\"errsample\":" << (options.useErrorDomainSampling ? "true" : "false")
+     << ",\"utility\":" << (options.useUtilityHeuristic ? "true" : "false")
+     << ",\"trivial\":" << (options.includeTrivialCandidate ? "true" : "false")
+     << ",\"sweep\":" << (options.enableSweeping ? "true" : "false")
+     << ",\"synth\":" << (options.synthesizeFunctions ? "true" : "false")
+     << ",\"level\":" << (options.levelDriven ? "true" : "false")
+     << ",\"seed\":";
+  putU64String(os, options.seed);
+  os << "},\"protect\":[";
+  for (std::size_t i = 0; i < protect.size(); ++i)
+    os << (i ? "," : "") << protect[i];
+  os << "]}";
+  return os.str();
+}
+
+Result<FleetCase> decodeFleetCase(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  if (v.kind != JsonValue::Kind::Object) return badFleet("not an object");
+
+  std::string implDump, specDump;
+  if (!getString(v, "impl", &implDump) || !getString(v, "spec", &specDump))
+    return badFleet("missing netlist snapshots");
+  Result<Netlist> base = Netlist::restoreRawString(implDump);
+  if (!base.isOk())
+    return badFleet("impl snapshot: " + base.status().message());
+  Result<Netlist> spec = Netlist::restoreRawString(specDump);
+  if (!spec.isOk())
+    return badFleet("spec snapshot: " + spec.status().message());
+
+  const JsonValue* opts = v.find("options");
+  if (!opts || opts->kind != JsonValue::Kind::Object)
+    return badFleet("missing options");
+  FleetCase out;
+  SysecoOptions& o = out.options;
+  std::uint64_t samples = 0, pins = 0, nets = 0, sets = 0, choices = 0,
+                bddLimit = 0;
+  std::int64_t points = 0, refine = 0;
+  if (!(getU64(*opts, "samples", &samples) &&
+        getI64(*opts, "points", &points) && getU64(*opts, "pins", &pins) &&
+        getU64(*opts, "nets", &nets) && getU64(*opts, "sets", &sets) &&
+        getU64(*opts, "choices", &choices) &&
+        getI64(*opts, "refine", &refine) &&
+        getI64(*opts, "vbudget", &o.validationBudget) &&
+        getI64(*opts, "sbudget", &o.samplingBudget) &&
+        getU64(*opts, "bddlimit", &bddLimit) &&
+        getBool(*opts, "errsample", &o.useErrorDomainSampling) &&
+        getBool(*opts, "utility", &o.useUtilityHeuristic) &&
+        getBool(*opts, "trivial", &o.includeTrivialCandidate) &&
+        getBool(*opts, "sweep", &o.enableSweeping) &&
+        getBool(*opts, "synth", &o.synthesizeFunctions) &&
+        getBool(*opts, "level", &o.levelDriven) &&
+        getU64String(*opts, "seed", &o.seed)))
+    return badFleet("malformed options");
+  if (points < 1 || points > kMaxSmallCount || refine < 0 ||
+      refine > kMaxSmallCount)
+    return badFleet("malformed options");
+  o.numSamples = static_cast<std::size_t>(samples);
+  o.maxPoints = static_cast<int>(points);
+  o.maxCandidatePins = static_cast<std::size_t>(pins);
+  o.maxRewireNets = static_cast<std::size_t>(nets);
+  o.maxPointSets = static_cast<std::size_t>(sets);
+  o.maxChoices = static_cast<std::size_t>(choices);
+  o.maxRefineIters = static_cast<int>(refine);
+  o.bddNodeLimit = static_cast<std::size_t>(bddLimit);
+  if (const Status s = validateSysecoOptions(o); !s.isOk())
+    return badFleet("options rejected: " + s.message());
+
+  const JsonValue* protect = v.find("protect");
+  if (!protect || protect->kind != JsonValue::Kind::Array)
+    return badFleet("missing protect array");
+  if (protect->items.size() > static_cast<std::size_t>(kMaxSmallCount))
+    return badFleet("absurd protect count");
+  out.protect.reserve(protect->items.size());
+  for (const JsonValue& item : protect->items) {
+    std::uint32_t idx = 0;
+    if (!elemU32(item, &idx) || idx >= base.value().numOutputs())
+      return badFleet("protect entry out of range");
+    out.protect.push_back(idx);
+  }
+  out.base = base.take();
+  out.spec = spec.take();
+  return out;
+}
+
+std::string encodeFleetNeedCase(std::uint32_t caseCrc) {
+  std::ostringstream os;
+  os << "{\"case_crc\":" << caseCrc << "}";
+  return os.str();
+}
+
+Result<std::uint32_t> decodeFleetNeedCase(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  std::uint32_t crc = 0;
+  if (parsed.value().kind != JsonValue::Kind::Object ||
+      !getU32(parsed.value(), "case_crc", &crc))
+    return badFleet("malformed need-case");
+  return crc;
+}
+
+std::string encodeFleetHeartbeat(std::uint64_t epoch) {
+  std::ostringstream os;
+  os << "{\"epoch\":";
+  putU64String(os, epoch);
+  os << "}";
+  return os.str();
+}
+
+Result<std::uint64_t> decodeFleetHeartbeat(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  std::uint64_t epoch = 0;
+  if (parsed.value().kind != JsonValue::Kind::Object ||
+      !getU64String(parsed.value(), "epoch", &epoch))
+    return badFleet("malformed heartbeat");
+  return epoch;
+}
+
+std::string encodeFleetResult(std::uint64_t epoch, const WorkerPatch& patch) {
+  // The patch document with the assignment epoch stamped into its envelope;
+  // decodeWorkerPatch ignores the extra key, so the patch half of the
+  // payload decodes through the one hardened codec both transports share.
+  std::string body = encodeWorkerPatch(patch);
+  std::ostringstream os;
+  os << "{\"epoch\":";
+  putU64String(os, epoch);
+  os << ",";
+  os << std::string_view(body).substr(1);
+  return os.str();
+}
+
+Result<std::uint64_t> peekFleetEpoch(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  std::uint64_t epoch = 0;
+  if (parsed.value().kind != JsonValue::Kind::Object ||
+      !getU64String(parsed.value(), "epoch", &epoch))
+    return badFleet("missing epoch");
+  return epoch;
+}
+
+std::string encodeFleetFailure(const FleetFailure& failure) {
+  std::ostringstream os;
+  os << "{\"epoch\":";
+  putU64String(os, failure.epoch);
+  os << ",\"cause\":\"" << jsonEscape(failure.cause) << "\",\"detail\":\""
+     << jsonEscape(failure.detail) << "\"}";
+  return os.str();
+}
+
+Result<FleetFailure> decodeFleetFailure(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  FleetFailure f;
+  if (v.kind != JsonValue::Kind::Object ||
+      !getU64String(v, "epoch", &f.epoch) ||
+      !getString(v, "cause", &f.cause) ||
+      !getString(v, "detail", &f.detail) ||
+      !workerExitCauseFromName(f.cause))
+    return badFleet("malformed failure");
+  if (f.detail.size() > 4096) f.detail.resize(4096);
+  return f;
+}
+
+double retryBackoffSeconds(const SysecoOptions& opt, std::uint32_t output,
+                           int failedAttempts) {
+  const int shift = std::min(failedAttempts - 1, 10);
+  double ms = opt.isolateBackoffMs * static_cast<double>(1u << shift);
+  ms = std::min(ms, 5000.0);
+  std::uint64_t h =
+      opt.seed ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(output) + 1));
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  ms += (static_cast<double>(h % 1024) / 1024.0) * 0.5 * ms;
+  return ms / 1000.0;
 }
 
 }  // namespace syseco

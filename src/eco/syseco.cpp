@@ -19,9 +19,12 @@
 #include "util/budget.hpp"
 #include "util/build_info.hpp"
 #include "util/check.hpp"
+#include "util/crc32.hpp"
 #include "util/fault.hpp"
+#include "util/io_retry.hpp"
 #include "util/ipc.hpp"
 #include "util/rng.hpp"
+#include "util/socket.hpp"
 #include "util/status.hpp"
 #include "util/subprocess.hpp"
 #include "util/thread_pool.hpp"
@@ -230,9 +233,11 @@ class Engine {
     }
 
     const bool interrupted =
-        speculative ? (opt_.isolate ? runIsolated(failing, plan)
-                                    : runSpeculative(failing, plan))
-                    : runSequential(failing);
+        speculative
+            ? (!opt_.workers.empty() ? runFleet(failing, plan)
+               : opt_.isolate        ? runIsolated(failing, plan)
+                                     : runSpeculative(failing, plan))
+            : runSequential(failing);
     diag_.interrupted = interrupted;
 
     if (!interrupted) {
@@ -682,6 +687,8 @@ class Engine {
     workerOpt.resumePlan = nullptr;
     workerOpt.jobs = 1;
     workerOpt.isolate = false;
+    workerOpt.workers.clear();
+    workerOpt.fleetEventHook = nullptr;
     // Certification and auditing belong to the canonical engine: the commit
     // path re-proves worker results, and the oracle certifies the final
     // netlist once - per-worker passes would only skew timings.
@@ -864,23 +871,10 @@ class Engine {
     return bundle.take();
   }
 
-  /// Deterministic capped exponential backoff with per-(seed, output,
-  /// attempt) jitter: retries desynchronize across outputs without
-  /// consulting a clock or the search RNG, so worker results stay pure
-  /// functions of their inputs.
+  /// Deterministic capped exponential backoff; see retryBackoffSeconds
+  /// (isolate.hpp) for the transport-independence contract.
   double backoffSeconds(std::uint32_t o, int failedAttempts) const {
-    const int shift = std::min(failedAttempts - 1, 10);
-    double ms = opt_.isolateBackoffMs * static_cast<double>(1u << shift);
-    ms = std::min(ms, 5000.0);
-    std::uint64_t h =
-        opt_.seed ^
-        (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(o) + 1)) ^
-        (0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(failedAttempts));
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdULL;
-    h ^= h >> 33;
-    ms += (static_cast<double>(h % 1024) / 1024.0) * 0.5 * ms;
-    return ms / 1000.0;
+    return retryBackoffSeconds(opt_, o, failedAttempts);
   }
 
   /// The resource-limit code a quarantined output reports: it makes
@@ -890,6 +884,7 @@ class Engine {
     switch (cause) {
       case WorkerExitCause::kCpuTimeout:
       case WorkerExitCause::kWallTimeout:
+      case WorkerExitCause::kLeaseExpired:
         return StatusCode::kDeadlineExceeded;
       case WorkerExitCause::kOom:
         return StatusCode::kBudgetExhausted;
@@ -1242,6 +1237,544 @@ class Engine {
       }
     }
     killAll();
+    return interrupted;
+  }
+
+  // --- Distributed fleet supervision (--workers host:port,...) ------------
+
+ public:
+  /// The pure per-output fleet task: the exact computation a forked isolate
+  /// worker runs, packaged as a static function so both the --serve-worker
+  /// agent process and the supervisor's degraded in-process path compute
+  /// byte-identical WorkerPatch results. Escaping exceptions are contained
+  /// into a non-ok Status - an agent must report a task failure, never die.
+  static Result<WorkerPatch> computeTask(
+      const Netlist& base, const Netlist& spec, const SysecoOptions& workerOpt,
+      std::uint32_t output, const std::vector<std::uint32_t>& protect,
+      const NetlistAnalysis* baseAnalysis, const NetlistAnalysis* specAnalysis) {
+    if (output >= base.numOutputs())
+      return Status::invalidInput("fleet task output out of range");
+    try {
+      SysecoDiagnostics frag;
+      Engine eng(base, spec, workerOpt, frag);
+      eng.setSharedAnalyses(baseAnalysis, specAnalysis);
+      const bool produced = eng.rectifyAsWorker(output, protect);
+      WorkerPatch p;
+      p.produced = produced;
+      p.baseGates = base.numGatesTotal();
+      p.baseNets = base.numNetsTotal();
+      if (produced) {
+        const Netlist& wn = eng.result_.rectified;
+        for (GateId g = static_cast<GateId>(p.baseGates);
+             g < wn.numGatesTotal(); ++g) {
+          const auto& gate = wn.gate(g);
+          p.gates.push_back(
+              WorkerPatch::NewGate{gate.type, gate.fanins, gate.out});
+        }
+        p.rewires = eng.tracker_->rewires();
+        p.frag = eng.diag_;
+      }
+      return p;
+    } catch (const std::bad_alloc&) {
+      return Status::budgetExhausted("fleet task allocation failure");
+    } catch (const StatusError& e) {
+      return e.status();
+    } catch (const std::exception& e) {
+      return Status::internal(std::string("fleet task threw: ") + e.what());
+    }
+  }
+
+ private:
+  /// Emits one fleet lifecycle event to the journaling hook and, under
+  /// --verbose, to stderr. Events are observability only - they carry
+  /// timing-dependent scheduling history and never feed the verdict
+  /// records, which is what keeps fleet runs bit-comparable to --jobs.
+  void fleetEvent(const std::string& kind, const std::string& worker,
+                  std::uint32_t output, int attempt,
+                  const std::string& detail) {
+    if (opt_.fleetEventHook) {
+      FleetEvent ev;
+      ev.kind = kind;
+      ev.worker = worker;
+      ev.output = output;
+      ev.attempt = attempt;
+      ev.detail = detail;
+      opt_.fleetEventHook(ev);
+    }
+    if (opt_.verbose)
+      std::fprintf(stderr, "[syseco] fleet %s worker=%s out=%u attempt=%d%s%s\n",
+                   kind.c_str(), worker.c_str(), output, attempt,
+                   detail.empty() ? "" : ": ", detail.c_str());
+  }
+
+  /// The fleet supervisor: per-output tasks are sharded over persistent TCP
+  /// connections to --serve-worker agents. Each assignment carries a fresh
+  /// epoch and a lease; heartbeats renew the lease, and a task whose agent
+  /// disconnects, babbles or overruns its lease is reclaimed and retried
+  /// through the same capped-backoff / quarantine machinery as --isolate.
+  /// Duplicate results from reassigned-then-returned tasks are discarded by
+  /// epoch. When fewer than fleetMinWorkers agents remain usable the run
+  /// degrades to computing the identical pure task in-process (sequentially;
+  /// slower, never wrong). Commits happen strictly in plan order through
+  /// the shared commitWorker path, so verdict records are bit-identical to
+  /// a local --jobs run. Returns true when a checkpoint hook interrupted.
+  bool runFleet(const std::vector<std::uint32_t>& failing,
+                const ResumePlan* plan) {
+    Netlist& w = working();
+    const Netlist base = plan ? plan->base : w;
+    commitBaseGates_ = base.numGatesTotal();
+    commitBaseNets_ = base.numNetsTotal();
+    const SysecoOptions workerOpt = makeWorkerOptions();
+    const std::vector<std::uint32_t>& protect = plan ? plan->order : failing;
+
+    // The one-time case upload: everything a task is a pure function of,
+    // minus the output index. Content-addressed by crc32 so each agent
+    // fetches it at most once per connection lifetime.
+    const std::string casePayload =
+        encodeFleetCase(base, spec_, workerOpt, protect);
+    const std::uint32_t caseCrc = crc32(casePayload);
+
+    enum class TaskState : std::uint8_t { kPending, kRunning, kDone };
+    struct FleetTask {
+      TaskState st = TaskState::kPending;
+      int attemptsFailed = 0;
+      WorkerExitCause lastCause = WorkerExitCause::kNone;
+      bool quarantined = false;
+      std::uint64_t epoch = 0;  ///< current assignment; stale frames differ
+      int peer = -1;            ///< peer index while kRunning
+      double deadline = 0.0;    ///< lease expiry on the supervisor clock
+      double notBefore = 0.0;   ///< backoff: earliest reassignment time
+      std::optional<WorkerPatch> patch;
+    };
+    enum class PeerState : std::uint8_t { kIdle, kBusy, kLagging, kDead };
+    struct FleetPeer {
+      std::string spec;  ///< "host:port" as the user wrote it
+      std::string host;
+      std::uint16_t port = 0;
+      int fd = -1;
+      std::string rx;             ///< framed receive stream
+      int strikes = 0;            ///< consecutive transport failures
+      int task = -1;              ///< task index while kBusy / kLagging
+      std::uint64_t staleEpoch = 0;  ///< lease-expired assignment, if any
+      PeerState st = PeerState::kIdle;
+    };
+    constexpr int kPeerMaxStrikes = 2;
+
+    std::vector<FleetTask> tasks(failing.size());
+    std::vector<FleetPeer> peers;
+    for (const std::string& spec : opt_.workers) {
+      Result<std::pair<std::string, std::uint16_t>> hp =
+          net::parseHostPort(spec);
+      if (!hp.isOk()) continue;  // validateSysecoOptions rejects these
+      FleetPeer p;
+      p.spec = spec;
+      p.host = hp.value().first;
+      p.port = hp.value().second;
+      peers.push_back(std::move(p));
+    }
+
+    Timer clock;
+    const std::size_t window = std::max<std::size_t>(2 * peers.size(), 4);
+    std::size_t nextCommit = 0;
+    std::uint64_t epochCounter = 0;
+    bool interrupted = false;
+    bool degraded = false;
+
+    auto failAttempt = [&](std::size_t k, WorkerExitCause cause,
+                           const std::string& worker,
+                           const std::string& reason) {
+      FleetTask& t = tasks[k];
+      ++t.attemptsFailed;
+      t.lastCause = cause;
+      t.peer = -1;
+      fleetEvent(workerExitCauseName(cause), worker, failing[k],
+                 t.attemptsFailed, reason);
+      std::fprintf(stderr,
+                   "[syseco] fleet task out=%u attempt %d/%d failed: %s%s%s%s\n",
+                   failing[k], t.attemptsFailed, opt_.isolateMaxAttempts,
+                   workerExitCauseName(cause), reason.empty() ? "" : " (",
+                   reason.c_str(), reason.empty() ? "" : ")");
+      if (t.attemptsFailed >= opt_.isolateMaxAttempts) {
+        t.quarantined = true;
+        t.st = TaskState::kDone;
+        std::fprintf(stderr,
+                     "[syseco] out=%u quarantined after %d attempts; "
+                     "degrading to the cone-clone fallback\n",
+                     failing[k], t.attemptsFailed);
+      } else {
+        t.st = TaskState::kPending;
+        t.notBefore =
+            clock.seconds() + backoffSeconds(failing[k], t.attemptsFailed);
+      }
+    };
+
+    auto failPeer = [&](std::size_t pi, const std::string& why) {
+      FleetPeer& p = peers[pi];
+      net::closeSocket(p.fd);
+      p.rx.clear();
+      p.task = -1;
+      p.staleEpoch = 0;
+      ++p.strikes;
+      if (p.strikes >= kPeerMaxStrikes) {
+        p.st = PeerState::kDead;
+        fleetEvent("worker-dead", p.spec, 0, 0, why);
+        std::fprintf(stderr, "[syseco] fleet worker %s marked dead: %s\n",
+                     p.spec.c_str(), why.c_str());
+      } else {
+        p.st = PeerState::kIdle;
+      }
+    };
+
+    // A stale frame: the agent finished an assignment the supervisor
+    // already reclaimed. The duplicate is discarded by epoch and the agent
+    // rejoins the pool - it is alive and computed honestly, just too late.
+    auto settleStale = [&](std::size_t pi, std::uint64_t epoch,
+                           const char* what) {
+      FleetPeer& p = peers[pi];
+      fleetEvent("stale-epoch", p.spec,
+                 p.task >= 0 ? failing[static_cast<std::size_t>(p.task)] : 0, 0,
+                 std::string("discarded duplicate ") + what + " for epoch " +
+                     std::to_string(epoch));
+      p.task = -1;
+      p.staleEpoch = 0;
+      p.strikes = 0;
+      if (p.st == PeerState::kLagging) p.st = PeerState::kIdle;
+    };
+
+    // True when `epoch` names the live assignment of this peer's task.
+    auto isCurrent = [&](const FleetPeer& p, std::uint64_t epoch) {
+      return p.task >= 0 &&
+             tasks[static_cast<std::size_t>(p.task)].st == TaskState::kRunning &&
+             tasks[static_cast<std::size_t>(p.task)].epoch == epoch;
+    };
+
+    auto failGarbage = [&](std::size_t pi, const std::string& why) {
+      FleetPeer& p = peers[pi];
+      if (p.task >= 0 &&
+          tasks[static_cast<std::size_t>(p.task)].st == TaskState::kRunning)
+        failAttempt(static_cast<std::size_t>(p.task),
+                    WorkerExitCause::kGarbageIpc, p.spec, why);
+      else
+        fleetEvent(workerExitCauseName(WorkerExitCause::kGarbageIpc), p.spec,
+                   0, 0, why);
+      failPeer(pi, why);
+    };
+
+    auto handleFrame = [&](std::size_t pi, const ipc::Frame& f) {
+      FleetPeer& p = peers[pi];
+      switch (f.type) {
+        case ipc::kTypeFleetNeedCase: {
+          Result<std::uint32_t> crc = decodeFleetNeedCase(f.payload);
+          if (!crc.isOk() || crc.value() != caseCrc) {
+            failGarbage(pi, "bad need-case frame");
+            return;
+          }
+          fleetEvent("case-upload", p.spec, 0, 0,
+                     std::to_string(casePayload.size()) + " bytes");
+          if (!net::sendFrame(p.fd, ipc::kTypeFleetCase, casePayload).isOk()) {
+            if (p.task >= 0 &&
+                tasks[static_cast<std::size_t>(p.task)].st ==
+                    TaskState::kRunning)
+              failAttempt(static_cast<std::size_t>(p.task),
+                          WorkerExitCause::kConnReset, p.spec,
+                          "case upload failed");
+            failPeer(pi, "case upload failed");
+          }
+          return;
+        }
+        case ipc::kTypeFleetHeartbeat: {
+          Result<std::uint64_t> ep = decodeFleetHeartbeat(f.payload);
+          if (!ep.isOk()) {
+            failGarbage(pi, "bad heartbeat frame");
+            return;
+          }
+          // Heartbeats for reclaimed assignments are ignored: the peer is
+          // kLagging and stays out of the pool until its stale result lands.
+          if (isCurrent(p, ep.value()))
+            tasks[static_cast<std::size_t>(p.task)].deadline =
+                clock.seconds() + opt_.fleetLeaseSeconds;
+          return;
+        }
+        case ipc::kTypeFleetResult: {
+          Result<std::uint64_t> ep = peekFleetEpoch(f.payload);
+          if (!ep.isOk()) {
+            failGarbage(pi, "bad result envelope");
+            return;
+          }
+          if (!isCurrent(p, ep.value())) {
+            settleStale(pi, ep.value(), "result");
+            return;
+          }
+          const std::size_t k = static_cast<std::size_t>(p.task);
+          Result<WorkerPatch> decoded = decodeWorkerPatch(f.payload, base);
+          if (!decoded.isOk()) {
+            failAttempt(k, WorkerExitCause::kGarbageIpc, p.spec,
+                        decoded.status().message());
+            failPeer(pi, "undecodable result: " + decoded.status().message());
+            return;
+          }
+          tasks[k].patch.emplace(decoded.take());
+          tasks[k].st = TaskState::kDone;
+          tasks[k].peer = -1;
+          p.task = -1;
+          p.strikes = 0;
+          p.st = PeerState::kIdle;
+          return;
+        }
+        case ipc::kTypeFleetFailure: {
+          Result<FleetFailure> fail = decodeFleetFailure(f.payload);
+          if (!fail.isOk()) {
+            failGarbage(pi, "bad failure frame");
+            return;
+          }
+          if (!isCurrent(p, fail.value().epoch)) {
+            settleStale(pi, fail.value().epoch, "failure");
+            return;
+          }
+          const std::optional<WorkerExitCause> cause =
+              workerExitCauseFromName(fail.value().cause);
+          failAttempt(static_cast<std::size_t>(p.task),
+                      cause.value_or(WorkerExitCause::kCrash), p.spec,
+                      fail.value().detail);
+          // A contained failure report proves the agent itself is healthy.
+          p.task = -1;
+          p.strikes = 0;
+          p.st = PeerState::kIdle;
+          return;
+        }
+        default:
+          failGarbage(pi, "unexpected fleet frame type " +
+                              std::to_string(f.type));
+          return;
+      }
+    };
+
+    auto servicePeer = [&](std::size_t pi) {
+      FleetPeer& p = peers[pi];
+      if (p.fd < 0) return;
+      const ioretry::DrainOutcome dr =
+          ioretry::drainNonblockingRaw(p.fd, &p.rx);
+      const bool eof = dr.state == ioretry::DrainState::kEof;
+      const int derr =
+          dr.state == ioretry::DrainState::kError ? dr.err : 0;
+      while (p.fd >= 0) {
+        net::RecvOutcome out = net::takeFrame(&p.rx, eof, derr);
+        if (out.status == net::RecvStatus::kFrame) {
+          handleFrame(pi, out.frame);
+          continue;
+        }
+        if (out.status == net::RecvStatus::kTimeout) break;  // stream intact
+        WorkerExitCause cause = WorkerExitCause::kConnReset;
+        if (out.status == net::RecvStatus::kTruncated)
+          cause = WorkerExitCause::kFrameTruncated;
+        else if (out.status == net::RecvStatus::kGarbage)
+          cause = WorkerExitCause::kGarbageIpc;
+        const std::string why =
+            out.detail.empty() ? workerExitCauseName(cause) : out.detail;
+        if (p.task >= 0 &&
+            tasks[static_cast<std::size_t>(p.task)].st == TaskState::kRunning)
+          failAttempt(static_cast<std::size_t>(p.task), cause, p.spec, why);
+        else
+          fleetEvent(workerExitCauseName(cause), p.spec, 0, 0, why);
+        failPeer(pi, why);
+        break;
+      }
+    };
+
+    auto assignTask = [&](std::size_t k, std::size_t pi) {
+      FleetPeer& p = peers[pi];
+      FleetTask& t = tasks[k];
+      if (p.fd < 0) {
+        Result<int> fd =
+            net::connectTo(p.host, p.port, opt_.fleetConnectTimeoutMs);
+        if (!fd.isOk()) {
+          // The task never reached an agent, so no retry attempt is
+          // consumed: the refusal is the peer's failure, and enough of
+          // those kill the peer (and eventually degrade the fleet).
+          fleetEvent(workerExitCauseName(WorkerExitCause::kConnRefused),
+                     p.spec, failing[k], t.attemptsFailed,
+                     fd.status().message());
+          failPeer(pi, fd.status().message());
+          return;
+        }
+        p.fd = fd.take();
+        p.rx.clear();
+      }
+      FleetTaskRequest req;
+      req.output = failing[k];
+      req.attempt = t.attemptsFailed + 1;
+      req.epoch = ++epochCounter;
+      req.leaseSeconds = opt_.fleetLeaseSeconds;
+      req.caseCrc = caseCrc;
+      if (!net::sendFrame(p.fd, ipc::kTypeFleetTask,
+                          encodeFleetTaskRequest(req))
+               .isOk()) {
+        failAttempt(k, WorkerExitCause::kConnReset, p.spec,
+                    "task request send failed");
+        failPeer(pi, "task request send failed");
+        return;
+      }
+      t.st = TaskState::kRunning;
+      t.epoch = req.epoch;
+      t.peer = static_cast<int>(pi);
+      t.deadline = clock.seconds() + opt_.fleetLeaseSeconds;
+      p.st = PeerState::kBusy;
+      p.task = static_cast<int>(k);
+    };
+
+    while (nextCommit < tasks.size() && !interrupted) {
+      // Fleet-health phase: kLagging and kDead peers cannot take work, so
+      // only kIdle/kBusy count. Dropping below the threshold permanently
+      // degrades the run to in-process execution of the identical pure
+      // tasks - slower, never wrong, never aborted.
+      if (!degraded) {
+        std::size_t healthy = 0;
+        for (const FleetPeer& p : peers)
+          if (p.st == PeerState::kIdle || p.st == PeerState::kBusy) ++healthy;
+        if (healthy < static_cast<std::size_t>(opt_.fleetMinWorkers)) {
+          degraded = true;
+          fleetEvent("fleet-degraded", "", 0, 0,
+                     std::to_string(healthy) + " usable worker(s), minimum " +
+                         std::to_string(opt_.fleetMinWorkers) +
+                         "; continuing in-process");
+          std::fprintf(stderr,
+                       "[syseco] fleet degraded below --fleet-min-workers; "
+                       "continuing in-process\n");
+          for (FleetPeer& p : peers) {
+            if (p.task >= 0 &&
+                tasks[static_cast<std::size_t>(p.task)].st ==
+                    TaskState::kRunning) {
+              // Reclaimed without consuming a retry attempt: the supervisor
+              // is abandoning the agent, not the other way around.
+              tasks[static_cast<std::size_t>(p.task)].st = TaskState::kPending;
+              tasks[static_cast<std::size_t>(p.task)].peer = -1;
+            }
+            net::closeSocket(p.fd);
+            p.rx.clear();
+            p.task = -1;
+            p.st = PeerState::kDead;
+          }
+        }
+      }
+
+      const double now = clock.seconds();
+      const std::size_t horizon = std::min(tasks.size(), nextCommit + window);
+      bool computedLocally = false;
+
+      if (degraded) {
+        // One task per pass keeps commits (and checkpoints) flowing.
+        for (std::size_t k = nextCommit; k < horizon; ++k) {
+          FleetTask& t = tasks[k];
+          if (t.st != TaskState::kPending || t.notBefore > now) continue;
+          Result<WorkerPatch> r =
+              computeTask(base, spec_, workerOpt, failing[k], protect,
+                          baseAnalysis_, specAnalysis_);
+          computedLocally = true;
+          if (r.isOk()) {
+            t.patch.emplace(r.take());
+            t.st = TaskState::kDone;
+          } else {
+            failAttempt(k,
+                        r.status().code() == StatusCode::kBudgetExhausted
+                            ? WorkerExitCause::kOom
+                            : WorkerExitCause::kCrash,
+                        "local", r.status().message());
+          }
+          break;
+        }
+      } else {
+        // Launch phase: hand due pending tasks from the commit window to
+        // idle peers.
+        for (std::size_t k = nextCommit; k < horizon; ++k) {
+          if (tasks[k].st != TaskState::kPending || tasks[k].notBefore > now)
+            continue;
+          int pi = -1;
+          for (std::size_t i = 0; i < peers.size(); ++i)
+            if (peers[i].st == PeerState::kIdle) {
+              pi = static_cast<int>(i);
+              break;
+            }
+          if (pi < 0) break;
+          assignTask(k, static_cast<std::size_t>(pi));
+        }
+      }
+
+      if (!degraded) {
+        // Wait for a fleet event (or a backoff / lease tick).
+        std::vector<int> fds;
+        for (const FleetPeer& p : peers)
+          if (p.fd >= 0) fds.push_back(p.fd);
+        subprocess::pollReadable(fds, 20);
+
+        // Service phase: drain streams, dispatch frames, classify breaks.
+        for (std::size_t pi = 0; pi < peers.size(); ++pi) servicePeer(pi);
+
+        // Lease enforcement: an assignment with no heartbeat inside its
+        // lease is reclaimed. The connection is kept - the agent may still
+        // deliver a now-stale result, and discarding it by epoch is cheaper
+        // than resynchronizing a torn stream - but the peer stops counting
+        // toward fleet health until that happens.
+        const double tnow = clock.seconds();
+        for (std::size_t k = nextCommit; k < tasks.size(); ++k) {
+          FleetTask& t = tasks[k];
+          if (t.st != TaskState::kRunning || tnow <= t.deadline) continue;
+          const int pi = t.peer;
+          std::string worker;
+          if (pi >= 0) {
+            FleetPeer& p = peers[static_cast<std::size_t>(pi)];
+            worker = p.spec;
+            p.st = PeerState::kLagging;
+            p.staleEpoch = t.epoch;
+          }
+          failAttempt(k, WorkerExitCause::kLeaseExpired, worker,
+                      "no heartbeat within the lease");
+        }
+      } else if (!computedLocally) {
+        subprocess::pollReadable({}, 20);
+      }
+
+      // Commit phase: adopt finished tasks strictly in plan order through
+      // the same path the in-process speculative mode uses.
+      while (nextCommit < tasks.size() &&
+             tasks[nextCommit].st == TaskState::kDone) {
+        FleetTask& t = tasks[nextCommit];
+        const std::uint32_t o = failing[nextCommit];
+        bool reported = false;
+        if (t.quarantined) {
+          reported = commitQuarantined(o, t.attemptsFailed, t.lastCause);
+        } else if (t.patch && t.patch->produced) {
+          reported = commitWorker(o, *t.patch);
+          if (reported && t.attemptsFailed > 0) {
+            // The commit path reproduces the clean report; the supervisor
+            // grafts on what the retries cost.
+            diag_.outputs.back().workerFailedAttempts = t.attemptsFailed;
+            diag_.outputs.back().workerExitCause = t.lastCause;
+          }
+        }
+        t.patch.reset();
+        ++nextCommit;
+        // The committed patch crossed a network decode boundary before it
+        // touched the canonical netlist; audit what it left behind.
+        if (reported) auditBoundary("post-fleet-decode");
+        if (reported && opt_.checkpointHook) {
+          const RunCheckpoint cp{
+              diag_.outputs.back(),
+              diag_.outputs,
+              w,
+              tracker(),
+              diag_.outputs.size(),
+              plannedOutputs_,
+              restoredConflicts_ + rootGuard_.conflictsUsed() +
+                  extraConflicts_,
+              restoredBddNodes_ + rootGuard_.bddNodesUsed() + extraBddNodes_};
+          if (!opt_.checkpointHook(cp)) {
+            interrupted = true;
+            break;
+          }
+        }
+      }
+    }
+    for (FleetPeer& p : peers) net::closeSocket(p.fd);
     return interrupted;
   }
 
@@ -2914,6 +3447,19 @@ Status validateSysecoOptions(const SysecoOptions& o) {
     return invalid("oracle.bddNodeBudget must be positive");
   if (o.oracle.satConflictBudget != -1 && o.oracle.satConflictBudget <= 0)
     return invalid("oracle.satConflictBudget must be -1 (unbounded) or positive");
+  if (!o.workers.empty() && o.isolate)
+    return invalid("workers and isolate are mutually exclusive transports");
+  if (o.fleetLeaseSeconds <= 0.0)
+    return invalid("fleetLeaseSeconds must be positive");
+  if (o.fleetConnectTimeoutMs <= 0)
+    return invalid("fleetConnectTimeoutMs must be positive");
+  if (o.fleetMinWorkers <= 0) return invalid("fleetMinWorkers must be positive");
+  for (const std::string& spec : o.workers) {
+    Result<std::pair<std::string, std::uint16_t>> hp = net::parseHostPort(spec);
+    if (!hp.isOk())
+      return invalid("bad worker endpoint '" + spec + "': " +
+                     hp.status().message());
+  }
   return Status::ok();
 }
 
@@ -2935,6 +3481,16 @@ Result<EcoResult> runSysecoChecked(const Netlist& impl, const Netlist& spec,
   SysecoDiagnostics local;
   Engine engine(impl, spec, options, diagnostics ? *diagnostics : local);
   return engine.run();
+}
+
+Result<WorkerPatch> runFleetTask(const Netlist& base, const Netlist& spec,
+                                 const SysecoOptions& options,
+                                 std::uint32_t output,
+                                 const std::vector<std::uint32_t>& protect,
+                                 const NetlistAnalysis* baseAnalysis,
+                                 const NetlistAnalysis* specAnalysis) {
+  return Engine::computeTask(base, spec, options, output, protect,
+                             baseAnalysis, specAnalysis);
 }
 
 }  // namespace syseco

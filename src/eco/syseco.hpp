@@ -131,6 +131,27 @@ struct SysecoOptions {
   std::uint64_t isolateMemoryBytes = 0;  ///< worker RLIMIT_AS (0 = inherit)
   double isolateBackoffMs = 100.0;   ///< base retry backoff (doubled, capped)
 
+  // --- Distributed worker fleet -------------------------------------------
+  /// TCP generalization of the isolation transport: per-output tasks are
+  /// sharded across `syseco --serve-worker` agent processes listed here as
+  /// "host:port" endpoints. Every in-flight task holds a deadline-bearing
+  /// lease renewed by agent heartbeats; a task whose worker disconnects,
+  /// stops heartbeating or overruns its lease is reassigned, its failure
+  /// classified into the same taxonomy (the network causes: conn-refused,
+  /// conn-reset, frame-truncated, lease-expired) and retried with the same
+  /// capped backoff and quarantine rules as --isolate. Duplicate results
+  /// from a reassigned-then-returned task are rejected by task epoch. When
+  /// fewer than `fleetMinWorkers` agents remain usable the run degrades to
+  /// in-process execution instead of failing. Successful fleet runs are
+  /// bit-identical to in-process `jobs` runs (same plan-ordered commits of
+  /// the same pure per-output results). Mutually exclusive with `isolate`;
+  /// like it, governed runs ignore the fleet and stay sequential, and none
+  /// of these knobs enter the resume fingerprint.
+  std::vector<std::string> workers;  ///< agent endpoints, "host:port"
+  double fleetLeaseSeconds = 10.0;   ///< task lease; heartbeats renew it
+  int fleetConnectTimeoutMs = 2000;  ///< per-connect deadline
+  int fleetMinWorkers = 1;           ///< usable agents below this: degrade
+
   // --- Certification oracle + invariant auditing --------------------------
   /// Tri-modal certification (verify/oracle.hpp) replaces the legacy
   /// single-route final verification: every label-matched output is
@@ -179,6 +200,21 @@ struct SysecoOptions {
   /// runSyseco must be the restored working snapshot the plan refers to.
   /// Borrowed pointer; must outlive the run.
   const ResumePlan* resumePlan = nullptr;
+  /// Called on every fleet lifecycle event (worker failures classified into
+  /// the taxonomy, stale-epoch rejections, worker death, degradation to
+  /// in-process execution). A journaling caller appends them as "fleet"
+  /// records; timing-sensitive by nature, so they never enter the
+  /// bit-compared verdict records.
+  std::function<void(const struct FleetEvent&)> fleetEventHook;
+};
+
+/// One fleet lifecycle event (see SysecoOptions::fleetEventHook).
+struct FleetEvent {
+  std::string kind;    ///< taxonomy cause or lifecycle tag (worker-dead, ...)
+  std::string worker;  ///< "host:port" endpoint; empty for fleet-wide events
+  std::uint32_t output = 0;  ///< task output index; 0 for fleet-wide events
+  int attempt = 0;           ///< failed-attempt ordinal; 0 when n/a
+  std::string detail;
 };
 
 /// Rejects nonsensical configurations (zero samples, non-positive point
@@ -213,6 +249,13 @@ enum class WorkerExitCause {
   kWallTimeout,   ///< supervisor wall deadline; SIGTERM->SIGKILL delivered
   kGarbageIpc,    ///< response frame undecodable or semantically invalid
   kFaultInjected, ///< an injected fault the worker could still report
+  // Fleet-transport causes (--workers): the same retry/quarantine rules
+  // apply; only the classification is network-specific.
+  kConnRefused,    ///< TCP connect to the agent failed
+  kConnReset,      ///< connection dropped between request and result
+  kFrameTruncated, ///< stream ended mid-frame
+  kLeaseExpired,   ///< no heartbeat or result within the task lease
+  kStaleEpoch,     ///< duplicate result from a superseded task epoch
 };
 
 inline const char* workerExitCauseName(WorkerExitCause c) {
@@ -224,6 +267,11 @@ inline const char* workerExitCauseName(WorkerExitCause c) {
     case WorkerExitCause::kWallTimeout: return "wall-timeout";
     case WorkerExitCause::kGarbageIpc: return "garbage-ipc";
     case WorkerExitCause::kFaultInjected: return "fault-injected";
+    case WorkerExitCause::kConnRefused: return "conn-refused";
+    case WorkerExitCause::kConnReset: return "conn-reset";
+    case WorkerExitCause::kFrameTruncated: return "frame-truncated";
+    case WorkerExitCause::kLeaseExpired: return "lease-expired";
+    case WorkerExitCause::kStaleEpoch: return "stale-epoch";
   }
   return "unknown";
 }
@@ -234,7 +282,10 @@ inline std::optional<WorkerExitCause> workerExitCauseFromName(
   for (WorkerExitCause c :
        {WorkerExitCause::kNone, WorkerExitCause::kCrash, WorkerExitCause::kOom,
         WorkerExitCause::kCpuTimeout, WorkerExitCause::kWallTimeout,
-        WorkerExitCause::kGarbageIpc, WorkerExitCause::kFaultInjected}) {
+        WorkerExitCause::kGarbageIpc, WorkerExitCause::kFaultInjected,
+        WorkerExitCause::kConnRefused, WorkerExitCause::kConnReset,
+        WorkerExitCause::kFrameTruncated, WorkerExitCause::kLeaseExpired,
+        WorkerExitCause::kStaleEpoch}) {
     if (name == workerExitCauseName(c)) return c;
   }
   return std::nullopt;

@@ -422,6 +422,14 @@ bool parseOutputRecord(const JsonValue& v, JournalOutputRecord* out) {
   return tracker && parseTracker(*tracker, &out->tracker);
 }
 
+bool parseFleetEvent(const JsonValue& v, JournalFleetEvent* out) {
+  return getString(v, "kind", &out->kind) &&
+         getString(v, "worker", &out->worker) &&
+         getU32(v, "output", &out->output) &&
+         getI64(v, "attempt", &out->attempt) &&
+         getString(v, "detail", &out->detail);
+}
+
 bool parseVerdicts(const JsonValue& v, JournalVerdicts* out) {
   const JsonValue* entries = v.find("outputs");
   if (!entries || entries->kind != JsonValue::Kind::Array) return false;
@@ -507,6 +515,13 @@ Result<JournalContents> readJournal(const std::string& dir) {
       // Last wins: a resumed run re-certifies and re-appends.
       contents.hasVerdicts = true;
       contents.verdicts = std::move(verdicts);
+    } else if (type == "fleet") {
+      JournalFleetEvent ev;
+      if (!parseFleetEvent(v, &ev)) {
+        drop("malformed fleet record");
+        continue;
+      }
+      contents.fleetEvents.push_back(std::move(ev));
     } else if (type == "interrupted") {
       contents.interrupted = true;
     } else {
@@ -568,6 +583,15 @@ std::string serializeVerdicts(const JournalVerdicts& r) {
        << (e.certified ? "true" : "false") << "}";
   }
   os << "],\"disagreements\":" << r.disagreements << "}";
+  return os.str();
+}
+
+std::string serializeFleetEvent(const JournalFleetEvent& r) {
+  std::ostringstream os;
+  os << "{\"type\":\"fleet\",\"kind\":\"" << jsonEscape(r.kind)
+     << "\",\"worker\":\"" << jsonEscape(r.worker)
+     << "\",\"output\":" << r.output << ",\"attempt\":" << r.attempt
+     << ",\"detail\":\"" << jsonEscape(r.detail) << "\"}";
   return os.str();
 }
 

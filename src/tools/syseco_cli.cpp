@@ -35,6 +35,30 @@
 //                             0 disables; SIGTERM, then SIGKILL)
 //   --isolate-backoff-ms MS   base retry backoff, doubled per attempt and
 //                             capped at 5000ms, with deterministic jitter
+//   --workers LIST      distribute per-output workers over a TCP fleet of
+//                       `--serve-worker` agents (comma-separated host:port
+//                       list; syseco only, mutually exclusive with
+//                       --isolate). Tasks carry leases renewed by agent
+//                       heartbeats; disconnects, truncated frames, lease
+//                       expiries and refused connections are classified,
+//                       retried with the --isolate backoff/quarantine rules,
+//                       and duplicate results from reassigned tasks are
+//                       discarded by epoch. When fewer than
+//                       --fleet-min-workers agents remain usable the run
+//                       degrades to in-process execution. Verdict records
+//                       are bit-identical to local --jobs runs.
+//   --fleet-lease-ms MS       per-task lease (default 10000); an agent
+//                             heartbeats every quarter-lease
+//   --fleet-min-workers N     usable-agent threshold before degrading to
+//                             in-process execution (default 1)
+//   --fleet-connect-timeout-ms MS  per-connect deadline (default 2000)
+//   --serve-worker PORT run as a fleet agent: listen on PORT (0 = kernel-
+//                       assigned; see --port-file) and serve task requests
+//                       until stopped. Ignores --impl/--spec; the case
+//                       arrives over the wire, content-addressed by crc32.
+//   --serve-once        agent: exit after the first supervisor disconnects
+//   --port-file FILE    agent: write the actually-bound port to FILE
+//                       (atomic; what supervisors and scripts poll for)
 //   --seed S            RNG seed                          (default 1)
 //   --journal DIR       crash-safe run journal: one checksummed record per
 //                       completed per-output rectification (syseco only)
@@ -66,6 +90,7 @@
 //   130 interrupted (SIGINT/SIGTERM) with progress journaled; rerun with
 //       --resume to continue from the last committed checkpoint
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -82,6 +107,7 @@
 #include "eco/conesynth.hpp"
 #include "eco/deltasyn.hpp"
 #include "eco/exactfix.hpp"
+#include "eco/fleet.hpp"
 #include "eco/resume.hpp"
 #include "eco/syseco.hpp"
 #include "itp/interp_fix.hpp"
@@ -113,9 +139,14 @@ constexpr int kExitInterrupted = 130;  ///< 128 + SIGINT, journal intact
 /// be dropped as a torn record on resume).
 volatile std::sig_atomic_t gInterrupted = 0;
 
+/// Agent-mode mirror of gInterrupted (the fleet agent polls a
+/// std::atomic<bool>; lock-free stores are async-signal-safe).
+std::atomic<bool> gAgentStop{false};
+
 void onSignal(int /*sig*/) {
   if (gInterrupted) std::_Exit(kExitInterrupted);
   gInterrupted = 1;
+  gAgentStop.store(true, std::memory_order_relaxed);
 }
 
 void installSignalHandlers() {
@@ -262,12 +293,17 @@ void writeFailureReport(const std::string& reportPath,
                " [--isolate-mem-mb N]\n"
                "          [--isolate-cpu-s S] [--isolate-wall-ms MS] "
                "[--isolate-backoff-ms MS]\n"
+               "          [--workers host:port,...] [--fleet-lease-ms MS] "
+               "[--fleet-min-workers N]\n"
+               "          [--fleet-connect-timeout-ms MS]\n"
                "          [--journal DIR] [--resume DIR] "
                "[--audit off|boundaries|paranoid]\n"
                "          [--no-oracle] [--oracle-bdd-budget N] "
                "[--repro-dir DIR]\n"
-               "          [--seed S] [--version] [--verbose]\n",
-               argv0);
+               "          [--seed S] [--version] [--verbose]\n"
+               "       %s --serve-worker PORT [--serve-once] "
+               "[--port-file FILE] [--verbose]\n",
+               argv0, argv0);
   std::exit(kExitUsage);
 }
 
@@ -275,7 +311,9 @@ void writeFailureReport(const std::string& reportPath,
 
 int main(int argc, char** argv) {
   std::string implPath, specPath, outPath, reportPath, engine = "syseco";
-  std::string journalDir, resumeDir;
+  std::string journalDir, resumeDir, portFilePath;
+  int servePort = -1;  ///< >= 0: run as a fleet agent instead of an engine
+  bool serveOnce = false;
   SysecoOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -328,6 +366,34 @@ int main(int argc, char** argv) {
         opt.isolateWallSeconds = std::stod(value()) / 1000.0;
       else if (arg == "--isolate-backoff-ms")
         opt.isolateBackoffMs = std::stod(value());
+      else if (arg == "--workers") {
+        std::string list = value();
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+          const std::size_t comma = list.find(',', pos);
+          const std::string entry =
+              list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                          : comma - pos);
+          if (!entry.empty()) opt.workers.push_back(entry);
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+        if (opt.workers.empty())
+          throw std::invalid_argument("expected a host:port list");
+      }
+      else if (arg == "--fleet-lease-ms")
+        opt.fleetLeaseSeconds = std::stod(value()) / 1000.0;
+      else if (arg == "--fleet-min-workers")
+        opt.fleetMinWorkers = std::stoi(value());
+      else if (arg == "--fleet-connect-timeout-ms")
+        opt.fleetConnectTimeoutMs = std::stoi(value());
+      else if (arg == "--serve-worker") {
+        servePort = std::stoi(value());
+        if (servePort < 0 || servePort > 65535)
+          throw std::invalid_argument("port must be in 0..65535");
+      }
+      else if (arg == "--serve-once") serveOnce = true;
+      else if (arg == "--port-file") portFilePath = value();
       else if (arg == "--seed") opt.seed = std::stoull(value());
       else if (arg == "--journal") journalDir = value();
       else if (arg == "--resume") resumeDir = value();
@@ -369,11 +435,44 @@ int main(int argc, char** argv) {
       return kExitInvalidInput;
     }
   }
+  if (servePort >= 0) {
+    // Fleet-agent mode: serve task requests over TCP until stopped. No
+    // netlists are loaded here - the case arrives over the wire.
+    installSignalHandlers();
+    FleetAgentOptions agentOpt;
+    agentOpt.port = static_cast<std::uint16_t>(servePort);
+    agentOpt.serveOnce = serveOnce;
+    agentOpt.verbose = opt.verbose;
+    agentOpt.stop = &gAgentStop;
+    if (!portFilePath.empty())
+      agentOpt.boundHook = [&](std::uint16_t bound) {
+        const Status s =
+            writeFileAtomic(portFilePath, std::to_string(bound) + "\n");
+        if (!s.isOk())
+          std::fprintf(stderr, "warning: cannot write port file %s: %s\n",
+                       portFilePath.c_str(), s.toString().c_str());
+      };
+    const Status served = runWorkerAgent(agentOpt);
+    if (!served.isOk()) {
+      std::fprintf(stderr, "error: %s\n", served.toString().c_str());
+      return kExitUsage;
+    }
+    return kExitClean;  // a signal-initiated stop is the normal shutdown
+  }
   if (implPath.empty() || specPath.empty()) usage(argv[0]);
   if (!resumeDir.empty() && journalDir.empty()) journalDir = resumeDir;
   if (!journalDir.empty() && engine != "syseco") {
     std::fprintf(stderr,
                  "error: --journal/--resume support only the syseco engine\n");
+    writeFailureReport(reportPath, engine,
+                       "--journal/--resume support only the syseco engine",
+                       kExitUsage);
+    return kExitUsage;
+  }
+  if (!opt.workers.empty() && engine != "syseco") {
+    std::fprintf(stderr, "error: --workers supports only the syseco engine\n");
+    writeFailureReport(reportPath, engine,
+                       "--workers supports only the syseco engine", kExitUsage);
     return kExitUsage;
   }
 
@@ -382,12 +481,16 @@ int main(int argc, char** argv) {
     if (!implLoaded.isOk()) {
       std::fprintf(stderr, "error: %s\n",
                    implLoaded.status().toString().c_str());
+      writeFailureReport(reportPath, engine, implLoaded.status().toString(),
+                         kExitInvalidInput);
       return kExitInvalidInput;
     }
     Result<Netlist> specLoaded = loadAnyChecked(specPath);
     if (!specLoaded.isOk()) {
       std::fprintf(stderr, "error: %s\n",
                    specLoaded.status().toString().c_str());
+      writeFailureReport(reportPath, engine, specLoaded.status().toString(),
+                         kExitInvalidInput);
       return kExitInvalidInput;
     }
     const Netlist impl = implLoaded.take();
@@ -432,6 +535,8 @@ int main(int argc, char** argv) {
         if (!read.isOk()) {
           std::fprintf(stderr, "error: %s\n",
                        read.status().toString().c_str());
+          writeFailureReport(reportPath, engine, read.status().toString(),
+                             kExitInvalidInput);
           return kExitInvalidInput;
         }
         Result<ResumeOutcome> prepared =
@@ -439,6 +544,8 @@ int main(int argc, char** argv) {
         if (!prepared.isOk()) {
           std::fprintf(stderr, "error: %s\n",
                        prepared.status().toString().c_str());
+          writeFailureReport(reportPath, engine, prepared.status().toString(),
+                             kExitInvalidInput);
           return kExitInvalidInput;
         }
         ResumeOutcome outcome = prepared.take();
@@ -462,6 +569,8 @@ int main(int argc, char** argv) {
         if (!scan.isOk()) {
           std::fprintf(stderr, "error: %s\n",
                        scan.status().toString().c_str());
+          writeFailureReport(reportPath, engine, scan.status().toString(),
+                             kExitInvalidInput);
           return kExitInvalidInput;
         }
         Result<JournalWriter> opened =
@@ -472,6 +581,8 @@ int main(int argc, char** argv) {
         if (!opened.isOk()) {
           std::fprintf(stderr, "error: %s\n",
                        opened.status().toString().c_str());
+          writeFailureReport(reportPath, engine, opened.status().toString(),
+                             kExitUsage);
           return kExitUsage;
         }
         journal = opened.take();
@@ -496,6 +607,22 @@ int main(int argc, char** argv) {
           // kill-and-resume tests assert.
           fault::fire("journal.checkpoint");
           return gInterrupted == 0;
+        };
+        // Fleet lifecycle events become "fleet" records: the journal keeps
+        // the full failure/retry/degradation history of a --workers run.
+        // Timing-dependent by design, ignored by resume, and never part of
+        // the bit-compared verdict records.
+        opt.fleetEventHook = [&](const FleetEvent& ev) {
+          JournalFleetEvent rec;
+          rec.kind = ev.kind;
+          rec.worker = ev.worker;
+          rec.output = ev.output;
+          rec.attempt = ev.attempt;
+          rec.detail = ev.detail;
+          const Status s = journal.append(serializeFleetEvent(rec));
+          if (!s.isOk())
+            std::fprintf(stderr, "warning: journal write failed: %s\n",
+                         s.toString().c_str());
         };
       }
 
@@ -548,6 +675,8 @@ int main(int argc, char** argv) {
       result = runInterpFix(impl, spec, x);
     } else {
       std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+      writeFailureReport(reportPath, engine, "unknown engine '" + engine + "'",
+                         kExitUsage);
       return kExitUsage;
     }
 

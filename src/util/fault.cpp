@@ -16,6 +16,9 @@ std::optional<Kind> kindFromName(std::string_view name) {
   if (name == "hang") return Kind::kHang;
   if (name == "garbage-ipc") return Kind::kGarbageIpc;
   if (name == "wrong-patch") return Kind::kWrongPatch;
+  if (name == "net-truncate") return Kind::kNetTruncate;
+  if (name == "net-reset") return Kind::kNetReset;
+  if (name == "net-delay") return Kind::kNetDelay;
   return std::nullopt;
 }
 

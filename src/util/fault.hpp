@@ -13,7 +13,7 @@
 //   SYSECO_FAULT_INJECT="<site>=<kind>[@<skip>][,...]"
 //
 //   kind: budget | deadline | bdd | alloc | crash | oom | hang |
-//         garbage-ipc | wrong-patch
+//         garbage-ipc | wrong-patch | net-truncate | net-reset | net-delay
 //   skip: number of hits at the site to let through before firing
 //         (default 0: fire from the first hit onward)
 //
@@ -56,6 +56,12 @@ enum class Kind {
   // the engine silently miscompiles a committed patch so the tri-modal
   // oracle must catch, diagnose and quarantine the corrupted output.
   kWrongPatch,  ///< engine: corrupt a committed patch before certification
+  // Fleet-transport kinds, honored at the worker-agent sites (grep for
+  // fault::fire("fleet.agent")): the agent genuinely misbehaves on the
+  // wire and the --workers supervisor must classify and contain it.
+  kNetTruncate,  ///< agent: send a partial result frame, then close
+  kNetReset,     ///< agent: drop the connection between request and result
+  kNetDelay,     ///< agent: suppress heartbeats and respond after the lease
 };
 
 /// Exit code of a kCrash firing: 128 + SIGKILL, what a shell reports for a

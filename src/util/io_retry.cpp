@@ -1,0 +1,124 @@
+#include "util/io_retry.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+
+namespace syseco::ioretry {
+
+namespace {
+
+/// Waits until `fd` is writable (or an error/hangup is pending, which the
+/// next write() will then report). EINTR-safe.
+void pollWritable(int fd) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = POLLOUT;
+  p.revents = 0;
+  int rc;
+  do {
+    rc = ::poll(&p, 1, 100);
+  } while (rc == -1 && errno == EINTR);
+}
+
+}  // namespace
+
+int writeAllRaw(int fd, std::string_view data, bool pollOnEagain) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == -1 && errno == EINTR) continue;
+    if (n == -1 && pollOnEagain &&
+        (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollWritable(fd);
+      continue;
+    }
+    return errno != 0 ? errno : EIO;
+  }
+  return 0;
+}
+
+Status writeAll(int fd, std::string_view data) {
+  const int err = writeAllRaw(fd, data);
+  if (err != 0)
+    return Status::internal("write() failed: errno " + std::to_string(err));
+  return Status::ok();
+}
+
+Result<std::string> readAll(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return out;
+    if (errno == EINTR) continue;
+    return Status::internal("read() failed: errno " + std::to_string(errno));
+  }
+}
+
+DrainOutcome drainNonblockingRaw(int fd, std::string* buf) {
+  DrainOutcome out;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf->append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      out.state = DrainState::kEof;
+      return out;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.state = DrainState::kOpen;
+      return out;
+    }
+    out.state = DrainState::kError;
+    out.err = errno;
+    return out;
+  }
+}
+
+Result<bool> drainAvailable(int fd, std::string* buf) {
+  const DrainOutcome out = drainNonblockingRaw(fd, buf);
+  switch (out.state) {
+    case DrainState::kOpen:
+      return true;
+    case DrainState::kEof:
+      return false;
+    case DrainState::kError:
+      break;
+  }
+  return Status::internal("read() failed: errno " + std::to_string(out.err));
+}
+
+void ignoreSigpipeOnce() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+void closeFd(int& fd) {
+  if (fd >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd);
+    } while (rc == -1 && errno == EINTR);
+    fd = -1;
+  }
+}
+
+}  // namespace syseco::ioretry

@@ -1,0 +1,63 @@
+#pragma once
+// EINTR-safe full-read/full-write retry loops, shared by every transport.
+//
+// The pipe transport (util/subprocess.hpp) and the TCP fleet transport
+// (util/socket.hpp) both need the same three primitives: write everything
+// or report why not, read to EOF, and drain whatever a nonblocking fd has
+// buffered right now. Keeping one tested copy here means a retry-loop bug
+// cannot fix itself in one transport and survive in the other.
+//
+// Two layers are exposed on purpose. The raw layer reports errno so a
+// caller that must classify failures (the socket layer maps ECONNRESET and
+// EPIPE to its conn-reset taxonomy cause) can do so without parsing error
+// strings; the Status layer wraps the raw one for callers that only need
+// success-or-diagnostic.
+
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace syseco::ioretry {
+
+/// EINTR-safe full write. Returns 0 on success, otherwise the errno of the
+/// failing write(). With `pollOnEagain` set, EAGAIN/EWOULDBLOCK on a
+/// nonblocking fd waits for writability and retries instead of failing
+/// (sockets); without it, EAGAIN is reported like any other error (pipes
+/// are used blocking).
+int writeAllRaw(int fd, std::string_view data, bool pollOnEagain = false);
+
+/// EINTR-safe full write with a Status diagnostic (pipe transport surface).
+Status writeAll(int fd, std::string_view data);
+
+/// EINTR-safe blocking read to EOF.
+Result<std::string> readAll(int fd);
+
+enum class DrainState {
+  kOpen,   ///< drained everything currently buffered; fd still open
+  kEof,    ///< orderly end of stream
+  kError,  ///< read() failed; see `err`
+};
+
+struct DrainOutcome {
+  DrainState state = DrainState::kOpen;
+  int err = 0;  ///< errno when state == kError
+};
+
+/// Appends whatever is currently readable on a nonblocking fd to *buf and
+/// reports how the stream stands. Never blocks.
+DrainOutcome drainNonblockingRaw(int fd, std::string* buf);
+
+/// Status-layer wrapper: true while the stream is open, false on EOF,
+/// kInternal on a read error (pipe transport surface).
+Result<bool> drainAvailable(int fd, std::string* buf);
+
+/// Installs a process-wide SIGPIPE ignore exactly once. A peer that dies
+/// mid-conversation must surface as a classified transport failure in the
+/// supervisor, not as a SIGPIPE killing it. Called by both transports.
+void ignoreSigpipeOnce();
+
+/// Closes an fd, retrying on EINTR, and resets it to -1 (idempotent).
+void closeFd(int& fd);
+
+}  // namespace syseco::ioretry

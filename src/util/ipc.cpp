@@ -30,6 +30,10 @@ Status bad(const std::string& what) {
   return Status::invalidInput("ipc frame: " + what);
 }
 
+bool knownType(std::uint32_t type) {
+  return type >= kTypeTaskRequest && type <= kTypeFleetFailure;
+}
+
 }  // namespace
 
 std::string encodeFrame(std::uint32_t type, std::string_view payload) {
@@ -49,7 +53,7 @@ Result<Frame> decodeFrame(std::string_view bytes) {
                     std::string_view(kMagic, sizeof(kMagic))) != 0)
     return bad("bad magic");
   const std::uint32_t type = getU32(bytes, 4);
-  if (type != kTypeTaskRequest && type != kTypeWorkerResult)
+  if (!knownType(type))
     return bad("unknown message type " + std::to_string(type));
   const std::uint32_t length = getU32(bytes, 8);
   if (length > kMaxPayloadBytes)
@@ -64,6 +68,38 @@ Result<Frame> decodeFrame(std::string_view bytes) {
   frame.type = type;
   frame.payload.assign(payload);
   return frame;
+}
+
+Result<std::size_t> frameBytesNeeded(std::string_view bytes) {
+  // Validate what has arrived so far even before the header completes:
+  // garbage at the stream front fails fast instead of waiting on a length
+  // field that will never make sense.
+  const std::size_t magicAvail =
+      bytes.size() < sizeof(kMagic) ? bytes.size() : sizeof(kMagic);
+  if (bytes.compare(0, magicAvail, std::string_view(kMagic, magicAvail)) != 0)
+    return bad("bad magic");
+  if (bytes.size() < 8) return std::size_t{0};
+  const std::uint32_t type = getU32(bytes, 4);
+  if (!knownType(type))
+    return bad("unknown message type " + std::to_string(type));
+  if (bytes.size() < 12) return std::size_t{0};
+  const std::uint32_t length = getU32(bytes, 8);
+  if (length > kMaxPayloadBytes)
+    return bad("oversized payload (" + std::to_string(length) + " bytes)");
+  return kHeaderBytes + static_cast<std::size_t>(length);
+}
+
+Result<std::optional<Frame>> extractFrame(std::string* stream) {
+  if (stream->empty()) return std::optional<Frame>{};
+  const Result<std::size_t> need = frameBytesNeeded(*stream);
+  if (!need.isOk()) return need.status();
+  if (need.value() == 0 || stream->size() < need.value())
+    return std::optional<Frame>{};
+  Result<Frame> frame =
+      decodeFrame(std::string_view(*stream).substr(0, need.value()));
+  if (!frame.isOk()) return frame.status();
+  stream->erase(0, need.value());
+  return std::optional<Frame>{std::move(frame.value())};
 }
 
 }  // namespace syseco::ipc

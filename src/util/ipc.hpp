@@ -18,6 +18,7 @@
 // so the same fuzz-hardened parser guards the semantic layer too.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -34,6 +35,15 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 26;  // 64 MiB
 /// Message types. Values are part of the wire format.
 inline constexpr std::uint32_t kTypeTaskRequest = 1;
 inline constexpr std::uint32_t kTypeWorkerResult = 2;
+// Fleet transport (util/socket.hpp): a persistent TCP stream carries many
+// frames per direction, so these travel through the incremental decoder
+// below rather than the one-shot decodeFrame contract.
+inline constexpr std::uint32_t kTypeFleetTask = 3;       ///< supervisor -> agent
+inline constexpr std::uint32_t kTypeFleetNeedCase = 4;   ///< agent -> supervisor
+inline constexpr std::uint32_t kTypeFleetCase = 5;       ///< supervisor -> agent
+inline constexpr std::uint32_t kTypeFleetHeartbeat = 6;  ///< agent -> supervisor
+inline constexpr std::uint32_t kTypeFleetResult = 7;     ///< agent -> supervisor
+inline constexpr std::uint32_t kTypeFleetFailure = 8;    ///< agent -> supervisor
 
 struct Frame {
   std::uint32_t type = 0;
@@ -47,5 +57,20 @@ std::string encodeFrame(std::uint32_t type, std::string_view payload);
 /// short headers, bad magic, unknown types, oversized or truncated
 /// payloads, trailing bytes and checksum mismatches with kInvalidInput.
 Result<Frame> decodeFrame(std::string_view bytes);
+
+/// Stream decode, step 1: the total on-wire size of the frame that starts
+/// at the front of `bytes`, once its header is fully present. Returns 0
+/// while fewer bytes than the length field's offset have arrived ("need
+/// more"); kInvalidInput as soon as the prefix cannot open a valid frame
+/// (bad magic, unknown type, oversized length) - a stream gone bad is
+/// detected before the payload lands, not after.
+Result<std::size_t> frameBytesNeeded(std::string_view bytes);
+
+/// Stream decode, step 2: consumes exactly one complete frame from the
+/// front of *stream, validating it like decodeFrame. Returns the frame, or
+/// an empty optional while the stream holds only a partial frame, or
+/// kInvalidInput when the front is not a frame. On success the consumed
+/// bytes are erased from *stream.
+Result<std::optional<Frame>> extractFrame(std::string* stream);
 
 }  // namespace syseco::ipc

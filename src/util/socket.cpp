@@ -1,0 +1,250 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/io_retry.hpp"
+
+namespace syseco::net {
+
+namespace {
+
+Status sockErr(const std::string& what, int err) {
+  return Status::internal(what + ": errno " + std::to_string(err) + " (" +
+                          std::strerror(err) + ")");
+}
+
+Status setNonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return sockErr("fcntl(O_NONBLOCK) failed", errno);
+  return Status::ok();
+}
+
+void setNodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// EINTR-safe poll for one fd; returns the revents (0 on timeout).
+short pollOne(int fd, short events, int timeoutMs) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  int rc;
+  do {
+    rc = ::poll(&p, 1, timeoutMs);
+  } while (rc == -1 && errno == EINTR);
+  return rc > 0 ? p.revents : 0;
+}
+
+}  // namespace
+
+Result<std::pair<std::string, std::uint16_t>> parseHostPort(
+    std::string_view spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= spec.size())
+    return Status::invalidInput("worker spec '" + std::string(spec) +
+                                "' is not host:port");
+  const std::string_view portPart = spec.substr(colon + 1);
+  std::uint32_t port = 0;
+  for (char c : portPart) {
+    if (c < '0' || c > '9')
+      return Status::invalidInput("worker spec '" + std::string(spec) +
+                                  "' has a non-numeric port");
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    if (port > 65535)
+      return Status::invalidInput("worker spec '" + std::string(spec) +
+                                  "' port out of range");
+  }
+  if (port == 0)
+    return Status::invalidInput("worker spec '" + std::string(spec) +
+                                "' port out of range");
+  return std::make_pair(std::string(spec.substr(0, colon)),
+                        static_cast<std::uint16_t>(port));
+}
+
+Result<int> listenOn(std::uint16_t port, std::uint16_t* boundPort) {
+  ioretry::ignoreSigpipeOnce();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return sockErr("socket() failed", errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ioretry::closeFd(fd);
+    return sockErr("bind() failed", err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ioretry::closeFd(fd);
+    return sockErr("listen() failed", err);
+  }
+  if (const Status s = setNonblocking(fd); !s.isOk()) {
+    ioretry::closeFd(fd);
+    return s;
+  }
+  if (boundPort != nullptr) {
+    struct sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) !=
+        0) {
+      const int err = errno;
+      ioretry::closeFd(fd);
+      return sockErr("getsockname() failed", err);
+    }
+    *boundPort = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Result<int> acceptClient(int listenFd, int timeoutMs) {
+  const short re = pollOne(listenFd, POLLIN, timeoutMs);
+  if (re == 0) return -1;
+  int fd;
+  do {
+    fd = ::accept(listenFd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return sockErr("accept() failed", errno);
+  }
+  if (const Status s = setNonblocking(fd); !s.isOk()) {
+    ioretry::closeFd(fd);
+    return s;
+  }
+  setNodelay(fd);
+  return fd;
+}
+
+Result<int> connectTo(const std::string& host, std::uint16_t port,
+                      int timeoutMs) {
+  ioretry::ignoreSigpipeOnce();
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string portStr = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), portStr.c_str(), &hints,
+                                   &res);
+      rc != 0 || res == nullptr)
+    return Status::internal("getaddrinfo('" + host +
+                            "') failed: " + ::gai_strerror(rc));
+
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    const int err = errno;
+    ::freeaddrinfo(res);
+    return sockErr("socket() failed", err);
+  }
+  Status fail = Status::ok();
+  if (const Status s = setNonblocking(fd); !s.isOk()) fail = s;
+  if (fail.isOk()) {
+    int rc;
+    do {
+      rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0 && errno == EINPROGRESS) {
+      const short re = pollOne(fd, POLLOUT, timeoutMs);
+      if (re == 0) {
+        fail = Status::internal("connect to " + host + ":" + portStr +
+                                " timed out");
+      } else {
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len);
+        if (soErr != 0)
+          fail = sockErr("connect to " + host + ":" + portStr + " failed",
+                         soErr);
+      }
+    } else if (rc < 0) {
+      fail = sockErr("connect to " + host + ":" + portStr + " failed", errno);
+    }
+  }
+  ::freeaddrinfo(res);
+  if (!fail.isOk()) {
+    ioretry::closeFd(fd);
+    return fail;
+  }
+  setNodelay(fd);
+  return fd;
+}
+
+void closeSocket(int& fd) { ioretry::closeFd(fd); }
+
+Status sendFrame(int fd, std::uint32_t type, std::string_view payload) {
+  const std::string bytes = ipc::encodeFrame(type, payload);
+  const int err = ioretry::writeAllRaw(fd, bytes, /*pollOnEagain=*/true);
+  if (err != 0) return sockErr("frame send failed", err);
+  return Status::ok();
+}
+
+RecvOutcome takeFrame(std::string* buf, bool eof, int drainErr) {
+  RecvOutcome out;
+  Result<std::optional<ipc::Frame>> frame = ipc::extractFrame(buf);
+  if (!frame.isOk()) {
+    out.status = RecvStatus::kGarbage;
+    out.detail = frame.status().message();
+    return out;
+  }
+  if (frame.value().has_value()) {
+    out.status = RecvStatus::kFrame;
+    out.frame = std::move(*frame.value());
+    return out;
+  }
+  if (drainErr != 0) {
+    out.status = RecvStatus::kError;
+    out.detail = "read failed: errno " + std::to_string(drainErr) + " (" +
+                 std::strerror(drainErr) + ")";
+    return out;
+  }
+  if (eof) {
+    if (buf->empty()) {
+      out.status = RecvStatus::kClosed;
+      out.detail = "connection closed";
+    } else {
+      out.status = RecvStatus::kTruncated;
+      out.detail = "stream ended with " + std::to_string(buf->size()) +
+                   " bytes of a partial frame";
+    }
+    return out;
+  }
+  out.status = RecvStatus::kTimeout;
+  return out;
+}
+
+RecvOutcome recvFrame(int fd, std::string* buf, int timeoutMs) {
+  int remaining = timeoutMs;
+  while (true) {
+    const ioretry::DrainOutcome d = ioretry::drainNonblockingRaw(fd, buf);
+    const bool eof = d.state == ioretry::DrainState::kEof;
+    const int err = d.state == ioretry::DrainState::kError ? d.err : 0;
+    RecvOutcome out = takeFrame(buf, eof, err);
+    if (out.status != RecvStatus::kTimeout) return out;
+    if (remaining <= 0) return out;  // kTimeout
+    const int slice = remaining < 50 ? remaining : 50;
+    pollOne(fd, POLLIN, slice);
+    remaining -= slice;
+  }
+}
+
+}  // namespace syseco::net

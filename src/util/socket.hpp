@@ -1,0 +1,80 @@
+#pragma once
+// Framed TCP transport for the distributed worker fleet.
+//
+// The isolation supervisor's pipe transport (util/subprocess.hpp) carries
+// one frame per direction and dies with the box. This layer carries the
+// same SEF1 frames (util/ipc.hpp) over persistent sockets between the
+// `--workers` supervisor and `--serve-worker` agents, with the properties
+// a lossy network demands: connect and read timeouts, EINTR-safe framed
+// send (util/io_retry.hpp), and an incremental receive that distinguishes
+// the failure modes the fleet taxonomy cares about - a clean close, a
+// stream that ends mid-frame, and bytes that were never a frame at all.
+//
+// All sockets are switched to nonblocking mode: reads go through
+// poll+drain so a stalled peer costs a timeout, never a hang, and writes
+// ride the EAGAIN-aware retry loop.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/ipc.hpp"
+#include "util/status.hpp"
+
+namespace syseco::net {
+
+/// Splits "host:port" (the --workers list element format). The host may be
+/// a name or numeric address; the port must be 1..65535.
+Result<std::pair<std::string, std::uint16_t>> parseHostPort(
+    std::string_view spec);
+
+/// Opens a listening socket on every interface. Port 0 binds an ephemeral
+/// port; the actually-bound port is stored through `boundPort` when
+/// non-null. The returned fd is nonblocking.
+Result<int> listenOn(std::uint16_t port, std::uint16_t* boundPort = nullptr);
+
+/// Waits up to `timeoutMs` for a connection; returns the accepted
+/// (nonblocking) fd, or -1 on timeout.
+Result<int> acceptClient(int listenFd, int timeoutMs);
+
+/// Connects with a deadline; the returned fd is nonblocking with
+/// TCP_NODELAY set (frames are small and latency-sensitive). Refused,
+/// unreachable and timed-out connects all come back as a non-ok Status -
+/// the supervisor maps every connect failure to its conn-refused cause.
+Result<int> connectTo(const std::string& host, std::uint16_t port,
+                      int timeoutMs);
+
+/// EINTR-safe close; resets fd to -1.
+void closeSocket(int& fd);
+
+/// Encodes and fully writes one frame. Any send failure (EPIPE,
+/// ECONNRESET, ...) is kInternal; the caller treats the connection as lost.
+Status sendFrame(int fd, std::uint32_t type, std::string_view payload);
+
+enum class RecvStatus {
+  kFrame,      ///< one complete frame decoded
+  kTimeout,    ///< nothing complete within the deadline; stream still open
+  kClosed,     ///< orderly EOF on a frame boundary
+  kTruncated,  ///< EOF with a partial frame in the buffer
+  kGarbage,    ///< bytes at the stream front are not a valid frame
+  kError,      ///< transport-level read error (e.g. ECONNRESET)
+};
+
+struct RecvOutcome {
+  RecvStatus status = RecvStatus::kTimeout;
+  ipc::Frame frame;    ///< valid when status == kFrame
+  std::string detail;  ///< diagnostic for the non-frame outcomes
+};
+
+/// Classifies the stream after the caller drained fresh bytes into *buf
+/// itself: extracts one frame if complete, otherwise reports how the
+/// stream stands. `eof` is what the drain observed. Pure (no I/O), so the
+/// supervisor can multiplex many peers over one poll.
+RecvOutcome takeFrame(std::string* buf, bool eof, int drainErr = 0);
+
+/// Blocking receive with a deadline: polls, drains, and extracts until one
+/// frame is complete, the deadline passes, or the stream fails.
+RecvOutcome recvFrame(int fd, std::string* buf, int timeoutMs);
+
+}  // namespace syseco::net

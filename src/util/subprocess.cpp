@@ -16,19 +16,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/io_retry.hpp"
+
 namespace syseco::subprocess {
 
 namespace {
 
-/// A worker that dies mid-conversation must surface as a classified worker
-/// failure in the supervisor, not as a SIGPIPE killing the supervisor.
-void ignoreSigpipeOnce() {
-  static const bool done = [] {
-    std::signal(SIGPIPE, SIG_IGN);
-    return true;
-  }();
-  (void)done;
-}
+using ioretry::closeFd;
+using ioretry::ignoreSigpipeOnce;
 
 void applyLimitsInChild(const Limits& limits) {
   if (limits.memoryBytes > 0) {
@@ -43,16 +38,6 @@ void applyLimitsInChild(const Limits& limits) {
     rl.rlim_cur = static_cast<rlim_t>(ceiled < 1.0 ? 1.0 : ceiled);
     rl.rlim_max = rl.rlim_cur;
     ::setrlimit(RLIMIT_CPU, &rl);
-  }
-}
-
-void closeFd(int& fd) {
-  if (fd >= 0) {
-    int rc;
-    do {
-      rc = ::close(fd);
-    } while (rc == -1 && errno == EINTR);
-    fd = -1;
   }
 }
 
@@ -173,47 +158,13 @@ void closeChildFds(Child& child) {
 void closeRequestFd(Child& child) { closeFd(child.requestFd); }
 
 Status writeAll(int fd, std::string_view data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n == -1 && errno == EINTR) continue;
-    return Status::internal("write() failed: errno " + std::to_string(errno));
-  }
-  return Status::ok();
+  return ioretry::writeAll(fd, data);
 }
 
-Result<std::string> readAll(int fd) {
-  std::string out;
-  char buf[4096];
-  while (true) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n > 0) {
-      out.append(buf, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n == 0) return out;
-    if (errno == EINTR) continue;
-    return Status::internal("read() failed: errno " + std::to_string(errno));
-  }
-}
+Result<std::string> readAll(int fd) { return ioretry::readAll(fd); }
 
 Result<bool> drainAvailable(int fd, std::string* buf) {
-  char chunk[4096];
-  while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n > 0) {
-      buf->append(chunk, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n == 0) return false;  // EOF
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-    return Status::internal("read() failed: errno " + std::to_string(errno));
-  }
+  return ioretry::drainAvailable(fd, buf);
 }
 
 void pollReadable(const std::vector<int>& fds, int timeoutMs) {

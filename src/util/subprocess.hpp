@@ -75,7 +75,8 @@ void closeRequestFd(Child& child);
 
 /// EINTR-safe full write; kInternal on any unrecoverable error (including
 /// EPIPE after the child died - SIGPIPE is ignored process-wide on first
-/// forkWorker call).
+/// forkWorker call). The retry loops behind these three helpers live in
+/// util/io_retry.hpp, shared with the TCP fleet transport.
 Status writeAll(int fd, std::string_view data);
 
 /// EINTR-safe blocking read to EOF (worker side reads its request here).
