@@ -10,7 +10,10 @@
 # bit-identical across jobs/isolate/resume, and a distributed-loopback
 # stage that runs the suite over two --serve-worker TCP agents, kills one
 # mid-run, and proves the fleet finishes with verdicts bit-identical to
-# --jobs 2 (plus graceful in-process degradation when every agent is gone).
+# --jobs 2 (plus graceful in-process degradation when every agent is gone),
+# and a daemon-soak stage that SIGKILLs a resident --serve daemon mid-queue
+# and proves the restarted daemon recovers its WAL and drains every job to
+# verdicts bit-identical to undisturbed one-shot runs.
 # Run from anywhere; builds land in build-ci/ and build-ci-asan/.
 set -euo pipefail
 
@@ -312,5 +315,68 @@ extract_verdicts "$FLEET/j_dead" > "$FLEET/v_dead.txt"
 cmp "$FLEET/v_dead.txt" "$FLEET/v_ref.txt" \
     || { echo "degraded fleet verdict record diverged"; exit 1; }
 echo "fleet: dead fleet degraded to in-process, verdicts identical"
+
+echo "=== Daemon soak: SIGKILL mid-queue, recover, drain ==="
+# A resident --serve daemon takes three jobs whose workers self-crash at
+# every checkpoint commit (one output of progress per attempt), is killed
+# with SIGKILL while the queue is mid-heal, and is restarted on the same
+# state directory. The recovered daemon must drain every job to done and
+# every job's verdict record and rectified netlist must be bit-identical
+# to an undisturbed one-shot run of the same case and seed.
+SERVE="$SMOKE/serve"
+mkdir -p "$SERVE"
+for SEED in 1 2 3; do
+  "$CLI" --impl "$IMPL" --spec "$SPEC" --seed "$SEED" \
+      --journal "$SERVE/ref$SEED" --out "$SERVE/ref$SEED.blif" \
+      > "$SERVE/ref$SEED.log"
+done
+
+"$CLI" --serve 0 --serve-state "$SERVE/state" --port-file "$SERVE/port" \
+    --serve-pool 1 --serve-attempts 40 > "$SERVE/d1.log" 2>&1 &
+DAEMON=$!
+for _ in $(seq 1 100); do [ -s "$SERVE/port" ] && break; sleep 0.1; done
+PORT="$(cat "$SERVE/port")"
+for SEED in 1 2 3; do
+  "$CLI" --connect "127.0.0.1:$PORT" --impl "$IMPL" --spec "$SPEC" \
+      --seed "$SEED" --detach \
+      --submit-fault "journal.checkpoint=crash@0" \
+      > "$SERVE/submit$SEED.log" 2>&1 \
+      || { echo "submit $SEED rejected"; cat "$SERVE/submit$SEED.log"; exit 1; }
+done
+sleep 1
+kill -9 "$DAEMON" 2>/dev/null
+wait "$DAEMON" 2>/dev/null || true
+grep -aq '"event":"running"' "$SERVE/state/queue/journal.jsonl" \
+    || { echo "daemon died before dispatching anything"; exit 1; }
+grep -aq '"event":"done"' "$SERVE/state/queue/journal.jsonl" \
+    && { echo "daemon drained before the kill; soak window too late"; exit 1; }
+
+rm -f "$SERVE/port"
+"$CLI" --serve 0 --serve-state "$SERVE/state" --port-file "$SERVE/port" \
+    --serve-pool 1 --serve-attempts 40 > "$SERVE/d2.log" 2>&1 &
+DAEMON=$!
+for _ in $(seq 1 100); do [ -s "$SERVE/port" ] && break; sleep 0.1; done
+PORT="$(cat "$SERVE/port")"
+# A job killed mid-attempt logs "re-queued with resume"; one killed during
+# crash-backoff was already queued-with-resume and logs "restored as
+# queued-with-resume" instead. Either proves the WAL recovery ran.
+grep -aqE 're-queued with resume|restored as queued-with-resume' \
+    "$SERVE/d2.log" "$SERVE/state/queue/journal.jsonl" \
+    || { echo "restart never recovered the mid-run job"; exit 1; }
+for SEED in 1 2 3; do
+  "$CLI" --connect "127.0.0.1:$PORT" --wait "j00000$SEED" \
+      > "$SERVE/wait$SEED.log" 2>&1 \
+      || { echo "job j00000$SEED never drained"; cat "$SERVE/wait$SEED.log"; exit 1; }
+  extract_verdicts "$SERVE/state/jobs/j00000$SEED/journal" \
+      > "$SERVE/v_job$SEED.txt"
+  extract_verdicts "$SERVE/ref$SEED" > "$SERVE/v_ref$SEED.txt"
+  cmp "$SERVE/v_job$SEED.txt" "$SERVE/v_ref$SEED.txt" \
+      || { echo "job j00000$SEED verdicts diverged after recovery"; exit 1; }
+  cmp "$SERVE/state/jobs/j00000$SEED/out.blif" "$SERVE/ref$SEED.blif" \
+      || { echo "job j00000$SEED netlist diverged after recovery"; exit 1; }
+done
+kill "$DAEMON" 2>/dev/null
+wait "$DAEMON" 2>/dev/null || true
+echo "daemon soak: SIGKILL mid-queue recovered, 3 jobs drained bit-identical"
 
 echo "=== CI passed ==="

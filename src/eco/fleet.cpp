@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,53 +28,42 @@ bool stopped(const FleetAgentOptions& opt) {
   return opt.stop && opt.stop->load(std::memory_order_relaxed);
 }
 
-/// The agent's one-slot case cache, keyed by the case payload's crc32. A
-/// supervisor run uses exactly one case, so one slot is enough to make the
-/// netlist upload a once-per-run cost; the analyses are rebuilt with the
-/// case and shared read-only by every task computed against it.
-struct CaseCache {
-  bool valid = false;
-  std::uint32_t crc = 0;
-  FleetCase c;
-  std::unique_ptr<NetlistAnalysis> baseAnalysis;
-  std::unique_ptr<NetlistAnalysis> specAnalysis;
-};
-
 /// Makes sure the cache holds the case the request names, fetching it from
-/// the supervisor on a miss. Returns false when the connection should be
-/// dropped (transport break, bad payload, shutdown).
-bool ensureCase(int fd, std::string& rx, const FleetTaskRequest& req,
-                CaseCache& cache, const FleetAgentOptions& opt) {
-  if (cache.valid && cache.crc == req.caseCrc) return true;
+/// the supervisor on a miss. Returns the resident entry, or null when the
+/// connection should be dropped (transport break, bad payload, shutdown).
+CaseCacheLru::Entry* ensureCase(int fd, std::string& rx,
+                                const FleetTaskRequest& req,
+                                CaseCacheLru& cache,
+                                const FleetAgentOptions& opt) {
+  if (CaseCacheLru::Entry* hit = cache.find(req.caseCrc)) return hit;
   if (!net::sendFrame(fd, ipc::kTypeFleetNeedCase,
                       encodeFleetNeedCase(req.caseCrc))
            .isOk())
-    return false;
+    return nullptr;
   // The upload can be megabytes of netlist; wait generously but keep the
   // stop flag responsive.
   for (int waited = 0; waited < 60000 && !stopped(opt); waited += 200) {
     net::RecvOutcome out = net::recvFrame(fd, &rx, 200);
     if (out.status == net::RecvStatus::kTimeout) continue;
-    if (out.status != net::RecvStatus::kFrame) return false;
-    if (out.frame.type != ipc::kTypeFleetCase) return false;
-    if (crc32(out.frame.payload) != req.caseCrc) return false;
+    if (out.status != net::RecvStatus::kFrame) return nullptr;
+    if (out.frame.type != ipc::kTypeFleetCase) return nullptr;
+    if (crc32(out.frame.payload) != req.caseCrc) return nullptr;
     Result<FleetCase> decoded = decodeFleetCase(out.frame.payload);
     if (!decoded.isOk()) {
       std::fprintf(stderr, "[syseco-agent] rejected case payload: %s\n",
                    decoded.status().toString().c_str());
-      return false;
+      return nullptr;
     }
-    cache.c = decoded.take();
-    cache.baseAnalysis = std::make_unique<NetlistAnalysis>(cache.c.base);
-    cache.specAnalysis = std::make_unique<NetlistAnalysis>(cache.c.spec);
-    cache.crc = req.caseCrc;
-    cache.valid = true;
+    CaseCacheLru::Entry* entry = cache.insert(req.caseCrc, decoded.take());
     if (opt.verbose)
-      std::fprintf(stderr, "[syseco-agent] cached case crc=%u (%zu bytes)\n",
-                   cache.crc, out.frame.payload.size());
-    return true;
+      std::fprintf(stderr,
+                   "[syseco-agent] cached case crc=%u (%zu bytes, %zu/%zu "
+                   "slots)\n",
+                   entry->crc, out.frame.payload.size(), cache.size(),
+                   cache.slots());
+    return entry;
   }
-  return false;
+  return nullptr;
 }
 
 bool sendFailure(int fd, std::uint64_t epoch, WorkerExitCause cause,
@@ -102,14 +92,15 @@ bool hangUntilPeerCloses(int fd, std::string& rx,
 /// Serves one task request end to end. Returns false when the connection
 /// should be dropped afterwards.
 bool serveTask(int fd, std::string& rx, const FleetTaskRequest& req,
-               CaseCache& cache, const FleetAgentOptions& opt) {
+               CaseCacheLru& cache, const FleetAgentOptions& opt) {
   if (opt.verbose)
     std::fprintf(stderr,
                  "[syseco-agent] task out=%u attempt=%lld epoch=%llu\n",
                  req.output, static_cast<long long>(req.attempt),
                  static_cast<unsigned long long>(req.epoch));
-  if (!ensureCase(fd, rx, req, cache, opt)) return false;
-  if (req.output >= cache.c.base.numOutputs())
+  CaseCacheLru::Entry* entry = ensureCase(fd, rx, req, cache, opt);
+  if (entry == nullptr) return false;
+  if (req.output >= entry->c.base.numOutputs())
     return sendFailure(fd, req.epoch, WorkerExitCause::kGarbageIpc,
                        "task output out of range");
 
@@ -176,10 +167,10 @@ bool serveTask(int fd, std::string& rx, const FleetTaskRequest& req,
   std::optional<Result<WorkerPatch>> outcome;
   std::atomic<bool> done{false};
   std::thread worker([&] {
-    outcome.emplace(runFleetTask(cache.c.base, cache.c.spec, cache.c.options,
-                                 req.output, cache.c.protect,
-                                 cache.baseAnalysis.get(),
-                                 cache.specAnalysis.get()));
+    outcome.emplace(runFleetTask(entry->c.base, entry->c.spec,
+                                 entry->c.options, req.output,
+                                 entry->c.protect, entry->baseAnalysis.get(),
+                                 entry->specAnalysis.get()));
     done.store(true, std::memory_order_release);
   });
   const int hbMs = std::clamp(
@@ -217,7 +208,8 @@ bool serveTask(int fd, std::string& rx, const FleetTaskRequest& req,
       .isOk();
 }
 
-void serveConnection(int fd, CaseCache& cache, const FleetAgentOptions& opt) {
+void serveConnection(int fd, CaseCacheLru& cache,
+                     const FleetAgentOptions& opt) {
   std::string rx;
   while (!stopped(opt)) {
     net::RecvOutcome out = net::recvFrame(fd, &rx, 200);
@@ -232,6 +224,41 @@ void serveConnection(int fd, CaseCache& cache, const FleetAgentOptions& opt) {
 
 }  // namespace
 
+CaseCacheLru::Entry* CaseCacheLru::find(std::uint32_t crc) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->crc != crc) continue;
+    entries_.splice(entries_.begin(), entries_, it);
+    return &entries_.front();
+  }
+  return nullptr;
+}
+
+CaseCacheLru::Entry* CaseCacheLru::insert(std::uint32_t crc, FleetCase c) {
+  if (Entry* hit = find(crc)) {
+    // Same key re-uploaded (e.g. after a supervisor reconnect): refresh the
+    // payload in place rather than holding two copies of one family.
+    hit->c = std::move(c);
+    hit->baseAnalysis = std::make_unique<NetlistAnalysis>(hit->c.base);
+    hit->specAnalysis = std::make_unique<NetlistAnalysis>(hit->c.spec);
+    return hit;
+  }
+  while (entries_.size() >= slots_) entries_.pop_back();
+  entries_.emplace_front();
+  Entry& e = entries_.front();
+  e.crc = crc;
+  e.c = std::move(c);
+  e.baseAnalysis = std::make_unique<NetlistAnalysis>(e.c.base);
+  e.specAnalysis = std::make_unique<NetlistAnalysis>(e.c.spec);
+  return &e;
+}
+
+std::vector<std::uint32_t> CaseCacheLru::keysMruFirst() const {
+  std::vector<std::uint32_t> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& e : entries_) keys.push_back(e.crc);
+  return keys;
+}
+
 Status runWorkerAgent(const FleetAgentOptions& opt) {
   ioretry::ignoreSigpipeOnce();
   std::uint16_t bound = 0;
@@ -243,16 +270,31 @@ Status runWorkerAgent(const FleetAgentOptions& opt) {
     std::fprintf(stderr, "[syseco-agent] listening on port %u\n",
                  static_cast<unsigned>(bound));
   // The case cache outlives connections on purpose: a supervisor that
-  // reconnects after a transport hiccup skips the netlist re-upload.
-  CaseCache cache;
+  // reconnects after a transport hiccup skips the netlist re-upload, and a
+  // --serve daemon fanning jobs across a few netlist families keeps each
+  // family resident (LRU eviction beyond cacheSlots).
+  CaseCacheLru cache(opt.cacheSlots);
   while (!stopped(opt)) {
-    Result<int> client = net::acceptClient(listenFd, 200);
+    int softErr = 0;
+    Result<int> client = net::acceptClient(listenFd, 200, &softErr);
     if (!client.isOk()) {
       net::closeSocket(listenFd);
       return client.status();
     }
     int fd = client.take();
-    if (fd < 0) continue;  // accept timeout; re-check the stop flag
+    if (fd < 0) {
+      if (softErr != 0) {
+        // fd exhaustion (EMFILE/ENFILE) or a peer-aborted connect: back off
+        // briefly so the fd table can drain, then keep serving. Dying here
+        // would turn a load spike into a fleet-wide outage.
+        std::fprintf(stderr,
+                     "[syseco-agent] accept backoff: errno %d (%s); "
+                     "retrying\n",
+                     softErr, std::strerror(softErr));
+        subprocess::pollReadable({}, 200);
+      }
+      continue;  // accept timeout or soft failure; re-check the stop flag
+    }
     if (opt.verbose)
       std::fprintf(stderr, "[syseco-agent] supervisor connected\n");
     serveConnection(fd, cache, opt);

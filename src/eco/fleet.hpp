@@ -20,15 +20,61 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <memory>
+#include <vector>
 
+#include "eco/isolate.hpp"
+#include "netlist/analysis.hpp"
 #include "util/status.hpp"
 
 namespace syseco {
+
+/// The agent's resident-case store: a small crc32-keyed LRU of decoded
+/// case payloads with their shared read-only analyses. One slot was enough
+/// when every supervisor run used exactly one case; a --serve daemon
+/// dispatching jobs across a handful of netlist families would thrash the
+/// upload with one slot, so the agent now keeps `slots` families resident
+/// and evicts in least-recently-used order. Entries live in a std::list so
+/// a found/inserted entry's address stays stable while a task computes
+/// against its analyses.
+class CaseCacheLru {
+ public:
+  struct Entry {
+    std::uint32_t crc = 0;
+    FleetCase c;
+    std::unique_ptr<NetlistAnalysis> baseAnalysis;
+    std::unique_ptr<NetlistAnalysis> specAnalysis;
+  };
+
+  explicit CaseCacheLru(std::size_t slots) : slots_(slots ? slots : 1) {}
+
+  /// Resident lookup; marks the entry most-recently used. Null on a miss.
+  Entry* find(std::uint32_t crc);
+
+  /// Makes `c` resident (building its analyses), evicting the
+  /// least-recently-used entry when every slot is taken. Returns the
+  /// resident entry, already marked most-recently used.
+  Entry* insert(std::uint32_t crc, FleetCase c);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t slots() const { return slots_; }
+
+  /// Resident keys, most-recently used first (the eviction-order test
+  /// surface; also what a status probe would report).
+  std::vector<std::uint32_t> keysMruFirst() const;
+
+ private:
+  std::size_t slots_ = 1;
+  std::list<Entry> entries_;  ///< front = most recently used
+};
 
 struct FleetAgentOptions {
   std::uint16_t port = 0;  ///< 0: kernel-assigned (see boundHook)
   bool serveOnce = false;  ///< exit after the first connection closes
   bool verbose = false;
+  /// Resident-case LRU slots (netlist families kept decoded+analyzed).
+  std::size_t cacheSlots = 4;
   /// Polled between accepts and frames; a set flag shuts the agent down
   /// cleanly (the CLI wires SIGINT/SIGTERM here).
   std::atomic<bool>* stop = nullptr;

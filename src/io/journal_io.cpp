@@ -603,4 +603,49 @@ std::string serializeInterrupted(std::uint64_t completed,
   return os.str();
 }
 
+std::string serializeServeEvent(const JournalServeEvent& r) {
+  std::ostringstream os;
+  os << "{\"type\":\"serve\",\"event\":\"" << jsonEscape(r.event)
+     << "\",\"job\":\"" << jsonEscape(r.job) << "\",\"tenant\":\""
+     << jsonEscape(r.tenant) << "\",\"format\":\"" << jsonEscape(r.format)
+     << "\",\"seed\":\"" << r.seed << "\",\"jobs\":" << r.jobs
+     << ",\"detach\":" << (r.detach ? "true" : "false")
+     << ",\"isolate\":" << (r.isolate ? "true" : "false")
+     << ",\"bytes\":" << r.bytes << ",\"attempt\":" << r.attempt
+     << ",\"exit_code\":" << r.exitCode << ",\"cause\":\""
+     << jsonEscape(r.cause) << "\",\"detail\":\"" << jsonEscape(r.detail)
+     << "\",\"fault_inject\":\"" << jsonEscape(r.faultInject) << "\"}";
+  return os.str();
+}
+
+Result<JournalServeEvent> parseServeEvent(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  std::string type;
+  if (!getString(v, "type", &type) || type != "serve")
+    return Status::invalidInput("serve record: wrong or missing type");
+  JournalServeEvent out;
+  const JsonValue* detach = v.find("detach");
+  const JsonValue* isolate = v.find("isolate");
+  if (!(getString(v, "event", &out.event) && getString(v, "job", &out.job) &&
+        getString(v, "tenant", &out.tenant) &&
+        getString(v, "format", &out.format) &&
+        getU64Wide(v, "seed", &out.seed) && getI64(v, "jobs", &out.jobs) &&
+        detach && detach->kind == JsonValue::Kind::Bool &&
+        isolate && isolate->kind == JsonValue::Kind::Bool &&
+        getU64(v, "bytes", &out.bytes) &&
+        getI64(v, "attempt", &out.attempt) &&
+        getI64(v, "exit_code", &out.exitCode) &&
+        getString(v, "cause", &out.cause) &&
+        getString(v, "detail", &out.detail) &&
+        getString(v, "fault_inject", &out.faultInject)))
+    return Status::invalidInput("serve record: malformed fields");
+  out.detach = detach->boolean;
+  out.isolate = isolate->boolean;
+  if (out.event.empty())
+    return Status::invalidInput("serve record: empty event");
+  return out;
+}
+
 }  // namespace syseco

@@ -139,6 +139,34 @@ struct JournalFleetEvent {
   std::string detail;
 };
 
+/// One durable state transition of the --serve daemon's job queue (the
+/// serve WAL reuses the util/journal framing but lives in its own
+/// directory, so these records never mix with an engine run journal).
+/// Engine-type-free like the fleet events: src/serve owns the semantics.
+struct JournalServeEvent {
+  std::string event;   ///< submitted|running|done|failed|cancelled|recovered|note
+  std::string job;     ///< daemon-assigned job id; empty for daemon-wide notes
+  std::string tenant;
+  std::string format;  ///< netlist text format of the job's payloads
+  std::uint64_t seed = 0;
+  std::int64_t jobs = 1;        ///< worker threads requested for the job
+  bool detach = false;          ///< survives the submitting connection
+  bool isolate = false;         ///< run the job's workers under --isolate
+  std::uint64_t bytes = 0;      ///< resident payload bytes (admission ledger)
+  std::int64_t attempt = 0;     ///< dispatch ordinal for running/failed
+  std::int64_t exitCode = 0;    ///< worker exit code for done
+  std::string cause;            ///< failure/cancel classification
+  std::string detail;
+  std::string faultInject;      ///< test hook carried into the job's worker
+};
+
+std::string serializeServeEvent(const JournalServeEvent& r);
+
+/// Parses one serve WAL payload (a single JSON object with type "serve").
+/// Hardened like the rest of the journal parsers: arbitrary bytes yield
+/// kInvalidInput, never UB.
+Result<JournalServeEvent> parseServeEvent(std::string_view payload);
+
 /// Every intelligible record recovered from a journal directory.
 struct JournalContents {
   bool hasRunStart = false;

@@ -1,0 +1,517 @@
+#include "serve/serve.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "io/blif_io.hpp"
+#include "io/netlist_io.hpp"
+#include "io/verilog_io.hpp"
+#include "serve/watchdog.hpp"
+#include "util/io_retry.hpp"
+#include "util/ipc.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+#include "util/timer.hpp"
+
+namespace syseco::serve {
+
+namespace {
+
+constexpr int kTickMs = 50;
+constexpr double kTerminateGraceSeconds = 1.0;
+
+/// One client session: its receive buffer and the non-detached jobs whose
+/// lifetime is bound to it.
+struct Conn {
+  int fd = -1;
+  std::string rx;
+  std::vector<std::string> ownedJobs;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Admission-time payload validation with the checked parsers: a job that
+/// cannot parse must be rejected at the door, not dispatched to fail.
+Status validatePayload(const SubmitRequest& r) {
+  const std::pair<const char*, const std::string*> texts[] = {
+      {"impl", &r.implText}, {"spec", &r.specText}};
+  for (const auto& [name, text] : texts) {
+    std::istringstream is(*text);
+    Result<Netlist> parsed = r.format == "blif"   ? readBlifChecked(is)
+                             : r.format == "v"    ? readVerilogChecked(is)
+                                                  : readNetlistChecked(is);
+    if (!parsed.isOk())
+      return Status::invalidInput(std::string(name) + " netlist: " +
+                                  parsed.status().message());
+  }
+  return Status::ok();
+}
+
+class Daemon {
+ public:
+  Daemon(const ServeOptions& opt, JobQueue queue)
+      : opt_(opt),
+        queue_(std::move(queue)),
+        watchdog_(PoolWatchdog::Options{opt.poolSize, opt.maxAttempts,
+                                        opt.backoffBaseMs}) {}
+
+  Status run();
+
+ private:
+  bool stopped() const {
+    return opt_.stop != nullptr &&
+           opt_.stop->load(std::memory_order_relaxed);
+  }
+
+  void log(const std::string& msg) {
+    if (opt_.verbose)
+      std::fprintf(stderr, "[syseco-serve] %s\n", msg.c_str());
+  }
+
+  /// Journaled warning: visible in the WAL (note record) and on stderr.
+  void warn(const std::string& msg) {
+    std::fprintf(stderr, "[syseco-serve] warning: %s\n", msg.c_str());
+    queue_.note("warning: " + msg);
+  }
+
+  void acceptClients(int listenFd);
+  void serviceConnections();
+  bool handleFrame(Conn& conn, const ipc::Frame& frame);
+  void handleSubmit(Conn& conn, const ipc::Frame& frame);
+  void handleStatus(Conn& conn, const ipc::Frame& frame);
+  void handleCancel(Conn& conn, const ipc::Frame& frame);
+  void dropConnection(Conn& conn);
+  JobState stateOf(Job& job, bool withArtifacts);
+  void dispatchQueued();
+  void reapExits();
+  void cancelJob(Job& job, const std::string& cause,
+                 const std::string& detail);
+
+  const ServeOptions& opt_;
+  JobQueue queue_;
+  PoolWatchdog watchdog_;
+  std::vector<Conn> conns_;
+  /// Retry pacing: job id -> monotonic seconds before which it must not
+  /// be re-dispatched.
+  std::map<std::string, double> notBefore_;
+  Timer clock_;
+};
+
+Status Daemon::run() {
+  for (const std::string& n : queue_.recoveryNotes()) {
+    log("recovery: " + n);
+    queue_.note("recovery: " + n);
+  }
+  std::uint16_t bound = 0;
+  Result<int> listening = net::listenOn(opt_.port, &bound);
+  if (!listening.isOk()) return listening.status();
+  const int listenFd = listening.take();
+  if (opt_.boundHook) opt_.boundHook(bound);
+  log("listening on port " + std::to_string(bound) + ", state dir " +
+      queue_.stateDir());
+
+  while (!stopped()) {
+    std::vector<int> fds;
+    fds.push_back(listenFd);
+    for (const Conn& c : conns_) fds.push_back(c.fd);
+    subprocess::pollReadable(fds, kTickMs);
+    acceptClients(listenFd);
+    serviceConnections();
+    reapExits();
+    dispatchQueued();
+  }
+
+  // Clean drain: terminate in-flight workers (their journals keep every
+  // committed checkpoint) and leave their jobs running in the WAL - the
+  // next daemon life recovers them as queued-with-resume.
+  log("stopping: terminating " + std::to_string(watchdog_.busy()) +
+      " in-flight worker(s)");
+  queue_.note("shutdown");
+  watchdog_.terminateAll(kTerminateGraceSeconds);
+  for (Conn& c : conns_) net::closeSocket(c.fd);
+  int fd = listenFd;
+  net::closeSocket(fd);
+  return Status::ok();
+}
+
+void Daemon::acceptClients(int listenFd) {
+  while (true) {
+    int softErr = 0;
+    Result<int> client = net::acceptClient(listenFd, 0, &softErr);
+    if (!client.isOk()) {
+      warn("accept failed: " + client.status().message());
+      return;
+    }
+    const int fd = client.take();
+    if (fd < 0) {
+      if (softErr != 0) {
+        // fd exhaustion or kernel resource pressure: journal it and back
+        // off for one tick. The listener stays up; pending connections
+        // stay queued in the kernel until fds free up.
+        warn("accept backoff: errno " + std::to_string(softErr) +
+             " (transient resource exhaustion); retrying");
+        subprocess::pollReadable({}, 200);
+      }
+      return;
+    }
+    Conn c;
+    c.fd = fd;
+    conns_.push_back(std::move(c));
+    log("client connected (fd " + std::to_string(fd) + ", " +
+        std::to_string(conns_.size()) + " session(s))");
+  }
+}
+
+void Daemon::serviceConnections() {
+  for (std::size_t i = 0; i < conns_.size();) {
+    Conn& c = conns_[i];
+    bool alive = true;
+    while (alive) {
+      net::RecvOutcome out = net::recvFrame(c.fd, &c.rx, 0);
+      if (out.status == net::RecvStatus::kTimeout) break;
+      if (out.status != net::RecvStatus::kFrame) {
+        // Closed, truncated, garbage or reset: same session teardown for
+        // all of them - bound jobs are cancelled, detached jobs live on.
+        log("client gone (" + out.detail + ")");
+        alive = false;
+        break;
+      }
+      alive = handleFrame(c, out.frame);
+    }
+    if (!alive) {
+      dropConnection(c);
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Daemon::handleFrame(Conn& conn, const ipc::Frame& frame) {
+  switch (frame.type) {
+    case ipc::kTypeServeSubmit:
+      handleSubmit(conn, frame);
+      return true;
+    case ipc::kTypeServeStatus:
+      handleStatus(conn, frame);
+      return true;
+    case ipc::kTypeServeCancel:
+      handleCancel(conn, frame);
+      return true;
+    default:
+      // A known SEF1 frame that is not a serve verb: a confused peer
+      // (e.g. a fleet supervisor dialed the wrong port). Drop the session.
+      log("unexpected frame type " + std::to_string(frame.type) +
+          "; dropping session");
+      return false;
+  }
+}
+
+void Daemon::handleSubmit(Conn& conn, const ipc::Frame& frame) {
+  auto reject = [&](const std::string& reason, const std::string& detail) {
+    Rejected r;
+    r.reason = reason;
+    r.detail = detail;
+    log("rejected submit (" + reason + "): " + detail);
+    net::sendFrame(conn.fd, ipc::kTypeServeRejected, encodeRejected(r));
+  };
+  if (stopped()) {
+    reject("shutting-down", "daemon is draining");
+    return;
+  }
+  Result<SubmitRequest> decoded = decodeSubmit(frame.payload);
+  if (!decoded.isOk()) {
+    reject("bad-request", decoded.status().message());
+    return;
+  }
+  const SubmitRequest req = decoded.take();
+  const std::uint64_t bytes = req.implText.size() + req.specText.size();
+  Admission adm = queue_.admit(req.tenant, bytes, opt_.limits);
+  if (!adm.admitted) {
+    reject(adm.reason, adm.detail);
+    return;
+  }
+  if (Status s = validatePayload(req); !s.isOk()) {
+    reject("bad-request", s.message());
+    return;
+  }
+  Result<Job*> submitted = queue_.submit(req);
+  if (!submitted.isOk()) {
+    // Durability failure, not a client error: shed the job rather than
+    // accept work the WAL cannot attest to.
+    warn("submit persistence failed: " + submitted.status().message());
+    reject("queue-full", "cannot persist job: " +
+                             submitted.status().message());
+    return;
+  }
+  Job* job = submitted.take();
+  if (!job->detach) conn.ownedJobs.push_back(job->id);
+  log("accepted job " + job->id + " (tenant " + job->tenant + ", " +
+      std::to_string(bytes) + " bytes" + (job->detach ? ", detached)" : ")"));
+  Accepted ok;
+  ok.job = job->id;
+  net::sendFrame(conn.fd, ipc::kTypeServeAccepted, encodeAccepted(ok));
+}
+
+JobState Daemon::stateOf(Job& job, bool withArtifacts) {
+  JobState st;
+  st.job = job.id;
+  st.state = queueStateName(job.state);
+  st.attempt = job.attempt;
+  st.exitCode = job.exitCode;
+  st.cause = job.cause;
+  st.detail = job.detail;
+  if (withArtifacts && (job.state == QueueState::kDone ||
+                        job.state == QueueState::kFailed)) {
+    st.reportText = slurp(queue_.reportPath(job));
+    if (job.state == QueueState::kDone)
+      st.outText = slurp(queue_.outPath(job));
+  }
+  return st;
+}
+
+void Daemon::handleStatus(Conn& conn, const ipc::Frame& frame) {
+  Result<JobRef> ref = decodeJobRef(frame.payload);
+  JobState st;
+  if (!ref.isOk()) {
+    st.state = "unknown";
+    st.detail = ref.status().message();
+  } else if (Job* job = queue_.find(ref.value().job)) {
+    st = stateOf(*job, /*withArtifacts=*/true);
+  } else {
+    st.job = ref.value().job;
+    st.state = "unknown";
+    st.detail = "no such job";
+  }
+  net::sendFrame(conn.fd, ipc::kTypeServeJobState, encodeJobState(st));
+}
+
+void Daemon::handleCancel(Conn& conn, const ipc::Frame& frame) {
+  Result<JobRef> ref = decodeJobRef(frame.payload);
+  JobState st;
+  if (!ref.isOk()) {
+    st.state = "unknown";
+    st.detail = ref.status().message();
+  } else if (Job* job = queue_.find(ref.value().job)) {
+    cancelJob(*job, "client-cancel", "cancelled by request");
+    st = stateOf(*job, /*withArtifacts=*/false);
+  } else {
+    st.job = ref.value().job;
+    st.state = "unknown";
+    st.detail = "no such job";
+  }
+  net::sendFrame(conn.fd, ipc::kTypeServeJobState, encodeJobState(st));
+}
+
+void Daemon::cancelJob(Job& job, const std::string& cause,
+                       const std::string& detail) {
+  if (job.state == QueueState::kRunning) {
+    watchdog_.terminate(job.id, kTerminateGraceSeconds);
+    queue_.markCancelled(job, cause, detail);
+    log("job " + job.id + " terminated and cancelled (" + cause + ")");
+  } else if (job.state == QueueState::kQueued) {
+    queue_.markCancelled(job, cause, detail);
+    log("job " + job.id + " cancelled while queued (" + cause + ")");
+  }
+  // Terminal states are left alone: cancel is idempotent and never
+  // rewrites history.
+}
+
+void Daemon::dropConnection(Conn& conn) {
+  for (const std::string& id : conn.ownedJobs)
+    if (Job* job = queue_.find(id))
+      cancelJob(*job, "client-disconnect",
+                "submitting connection closed before completion");
+  net::closeSocket(conn.fd);
+}
+
+void Daemon::dispatchQueued() {
+  for (Job* job : queue_.all()) {
+    if (!watchdog_.hasIdleSlot()) return;
+    if (job->state != QueueState::kQueued) continue;
+    if (auto it = notBefore_.find(job->id);
+        it != notBefore_.end() && clock_.seconds() < it->second)
+      continue;  // still backing off; later queued jobs may proceed
+    const std::int64_t attempt = job->attempt + 1;
+    const bool resume = job->resume;
+    if (Status s = queue_.markRunning(*job, attempt); !s.isOk()) {
+      warn("cannot journal dispatch of " + job->id + ": " + s.message());
+      return;
+    }
+    std::vector<std::string> argv = {
+        opt_.selfExe,
+        "--impl", queue_.implPath(*job),
+        "--spec", queue_.specPath(*job),
+        resume ? "--resume" : "--journal", queue_.engineJournalDir(*job),
+        "--report", queue_.reportPath(*job),
+        "--out", queue_.outPath(*job),
+        "--seed", std::to_string(job->seed),
+        "--jobs", std::to_string(job->jobs),
+    };
+    if (job->isolate) argv.push_back("--isolate");
+    std::vector<std::string> env;
+    if (!job->faultInject.empty())
+      env.push_back("SYSECO_FAULT_INJECT=" + job->faultInject);
+    Status spawned = watchdog_.spawn(job->id, attempt, argv,
+                                     queue_.workerLogPath(*job), env);
+    if (!spawned.isOk()) {
+      warn("cannot spawn worker for " + job->id + ": " + spawned.message());
+      queue_.markRequeued(*job, "crash", "spawn failed: " +
+                                             spawned.message());
+      notBefore_[job->id] =
+          clock_.seconds() + watchdog_.backoffSeconds(attempt + 1);
+      continue;
+    }
+    log("dispatched job " + job->id + " (attempt " +
+        std::to_string(attempt) + (resume ? ", resume)" : ")"));
+  }
+}
+
+void Daemon::reapExits() {
+  for (const WorkerExit& e : watchdog_.reap()) {
+    Job* job = queue_.find(e.job);
+    if (job == nullptr || job->state != QueueState::kRunning)
+      continue;  // cancelled while the exit was in flight
+    if (!e.retryable) {
+      queue_.markDone(*job, e.exitCode);
+      log("job " + job->id + " done (exit " + std::to_string(e.exitCode) +
+          ", attempt " + std::to_string(e.attempt) + ")");
+      continue;
+    }
+    const std::string how =
+        e.signaled ? "signal " + std::to_string(e.signal)
+                   : "exit " + std::to_string(e.exitCode);
+    if (e.attempt >= opt_.maxAttempts) {
+      queue_.markFailed(*job, e.cause,
+                        "quarantined after " + std::to_string(e.attempt) +
+                            " attempt(s); last death: " + how);
+      log("job " + job->id + " quarantined (" + e.cause + ", " + how + ")");
+      continue;
+    }
+    queue_.markRequeued(*job, e.cause, "worker died (" + how + ")");
+    notBefore_[job->id] =
+        clock_.seconds() + watchdog_.backoffSeconds(e.attempt + 1);
+    log("job " + job->id + " worker died (" + e.cause + ", " + how +
+        "); retrying with resume");
+  }
+}
+
+}  // namespace
+
+Status runServeDaemon(const ServeOptions& options) {
+  if (options.stateDir.empty())
+    return Status::invalidInput("--serve needs a state directory");
+  if (options.selfExe.empty())
+    return Status::invalidInput("serve daemon needs its worker binary path");
+  ioretry::ignoreSigpipeOnce();
+  Result<JobQueue> queue = JobQueue::open(options.stateDir);
+  if (!queue.isOk()) return queue.status();
+  Daemon daemon(options, queue.take());
+  return daemon.run();
+}
+
+// --- Client ---------------------------------------------------------------
+
+namespace {
+
+constexpr int kReplyTimeoutMs = 10000;
+
+Result<ipc::Frame> roundTrip(int fd, std::string* rx, std::uint32_t type,
+                             const std::string& payload,
+                             std::uint32_t expect1, std::uint32_t expect2) {
+  if (Status s = net::sendFrame(fd, type, payload); !s.isOk()) return s;
+  net::RecvOutcome out = net::recvFrame(fd, rx, kReplyTimeoutMs);
+  if (out.status != net::RecvStatus::kFrame)
+    return Status::internal("daemon reply failed: " + out.detail);
+  if (out.frame.type != expect1 && out.frame.type != expect2)
+    return Status::internal("unexpected daemon reply type " +
+                            std::to_string(out.frame.type));
+  return std::move(out.frame);
+}
+
+}  // namespace
+
+Result<ServeClient> ServeClient::connect(const std::string& host,
+                                         std::uint16_t port, int timeoutMs) {
+  Result<int> fd = net::connectTo(host, port, timeoutMs);
+  if (!fd.isOk()) return fd.status();
+  ServeClient c;
+  c.fd_ = fd.take();
+  return c;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) net::closeSocket(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    rx_ = std::move(other.rx_);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) net::closeSocket(fd_);
+}
+
+Result<SubmitOutcome> ServeClient::submit(const SubmitRequest& request) {
+  Result<ipc::Frame> reply =
+      roundTrip(fd_, &rx_, ipc::kTypeServeSubmit, encodeSubmit(request),
+                ipc::kTypeServeAccepted, ipc::kTypeServeRejected);
+  if (!reply.isOk()) return reply.status();
+  SubmitOutcome out;
+  if (reply.value().type == ipc::kTypeServeAccepted) {
+    Result<Accepted> acc = decodeAccepted(reply.value().payload);
+    if (!acc.isOk()) return acc.status();
+    out.accepted = true;
+    out.job = acc.take().job;
+    return out;
+  }
+  Result<Rejected> rej = decodeRejected(reply.value().payload);
+  if (!rej.isOk()) return rej.status();
+  out.rejected = rej.take();
+  return out;
+}
+
+Result<JobState> ServeClient::status(const std::string& job) {
+  JobRef ref;
+  ref.job = job;
+  Result<ipc::Frame> reply =
+      roundTrip(fd_, &rx_, ipc::kTypeServeStatus, encodeJobRef(ref),
+                ipc::kTypeServeJobState, ipc::kTypeServeJobState);
+  if (!reply.isOk()) return reply.status();
+  return decodeJobState(reply.value().payload);
+}
+
+Result<JobState> ServeClient::cancel(const std::string& job) {
+  JobRef ref;
+  ref.job = job;
+  Result<ipc::Frame> reply =
+      roundTrip(fd_, &rx_, ipc::kTypeServeCancel, encodeJobRef(ref),
+                ipc::kTypeServeJobState, ipc::kTypeServeJobState);
+  if (!reply.isOk()) return reply.status();
+  return decodeJobState(reply.value().payload);
+}
+
+Result<JobState> ServeClient::wait(const std::string& job, int pollMs) {
+  while (true) {
+    Result<JobState> st = status(job);
+    if (!st.isOk()) return st.status();
+    const std::string& s = st.value().state;
+    if (s == "done" || s == "failed" || s == "cancelled" || s == "unknown")
+      return st;
+    subprocess::pollReadable({}, pollMs);
+  }
+}
+
+}  // namespace syseco::serve

@@ -57,8 +57,45 @@
 //                       until stopped. Ignores --impl/--spec; the case
 //                       arrives over the wire, content-addressed by crc32.
 //   --serve-once        agent: exit after the first supervisor disconnects
-//   --port-file FILE    agent: write the actually-bound port to FILE
-//                       (atomic; what supervisors and scripts poll for)
+//   --serve-cache-slots N  agent: resident-case LRU slots (netlist families
+//                       kept decoded+analyzed; default 4, LRU-evicted)
+//   --port-file FILE    agent/daemon: write the actually-bound port to FILE
+//                       (atomic; what supervisors and scripts poll for).
+//                       A leftover file from a previous life is detected,
+//                       warned about and overwritten on startup; the file
+//                       is removed again on clean exit.
+//   --serve PORT        run as the resident ECO service: accept whole
+//                       rectification jobs over TCP (see --connect),
+//                       persist every queue transition to a write-ahead
+//                       log under --serve-state, dispatch jobs to a
+//                       supervised pool of exec'd engine workers, and heal
+//                       worker crashes by re-dispatching with --resume.
+//                       kill -9 of the daemon recovers the queue on
+//                       restart with bit-identical verdict records.
+//   --serve-state DIR   daemon: state directory (WAL + per-job artifacts;
+//                       required with --serve)
+//   --serve-pool N      daemon: concurrent job workers        (default 1)
+//   --serve-max-jobs N  daemon: admission cap on resident (queued+running)
+//                       jobs                                  (default 16)
+//   --serve-max-tenant N   daemon: per-tenant resident-job cap (default 8)
+//   --serve-max-bytes-mb N daemon: resident payload watermark (default 256)
+//   --serve-attempts N  daemon: worker deaths per job before quarantine
+//                       (default 3)
+//   --connect HOST:PORT client mode: submit --impl/--spec as a job to a
+//                       --serve daemon, wait for it, and write --out /
+//                       --report from the delivered artifacts. Structured
+//                       rejections (queue-full, tenant-quota, ...) print
+//                       their reason and exit 3.
+//   --tenant NAME       client: admission-control tenant    (default
+//                       "default")
+//   --detach            client: exit right after acceptance; the job
+//                       survives the connection (poll with --status)
+//   --status JOB        client: print one job's queue state and exit
+//   --wait JOB          client: block until JOB finishes, then deliver
+//                       artifacts and exit with the job's verdict
+//   --cancel JOB        client: cancel JOB (terminates a running worker)
+//   --submit-fault SPEC client test hook: SYSECO_FAULT_INJECT spec exported
+//                       into the job's worker process
 //   --seed S            RNG seed                          (default 1)
 //   --journal DIR       crash-safe run journal: one checksummed record per
 //                       completed per-output rectification (syseco only)
@@ -90,6 +127,9 @@
 //   130 interrupted (SIGINT/SIGTERM) with progress journaled; rerun with
 //       --resume to continue from the last committed checkpoint
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -115,7 +155,9 @@
 #include "io/journal_io.hpp"
 #include "io/netlist_io.hpp"
 #include "io/verilog_io.hpp"
+#include "serve/serve.hpp"
 #include "util/atomic_file.hpp"
+#include "util/socket.hpp"
 #include "util/build_info.hpp"
 #include "util/fault.hpp"
 #include "util/journal.hpp"
@@ -176,6 +218,63 @@ void saveAny(const std::string& path, const Netlist& nl) {
   } else {
     saveNetlist(path, nl);
   }
+}
+
+std::string formatOf(const std::string& path) {
+  if (endsWith(path, ".blif")) return "blif";
+  if (endsWith(path, ".v")) return "v";
+  return "netlist";
+}
+
+Result<std::string> readFileText(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    return Status::invalidInput("cannot open '" + path + "' for reading");
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// The binary the daemon execs per job: /proc/self/exe when resolvable
+/// (robust against chdir and PATH games), argv[0] otherwise.
+std::string selfExePath(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+/// Port-file hygiene, shared by the agent and the daemon: a file already
+/// present at startup is stale state from a previous life (a crash skipped
+/// the cleanup) - warn and overwrite rather than let a supervisor dial a
+/// dead port. removeStalePortFile() runs before binding; the exit paths
+/// unlink the file so the stale case stays rare.
+void removeStalePortFile(const std::string& path) {
+  if (path.empty()) return;
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return;
+  std::fprintf(stderr,
+               "warning: overwriting stale port file %s (left by a "
+               "previous run)\n",
+               path.c_str());
+  ::unlink(path.c_str());
+}
+
+void cleanupPortFile(const std::string& path) {
+  if (!path.empty()) ::unlink(path.c_str());
+}
+
+/// Shared --port-file hook: atomic write of the actually-bound port.
+std::function<void(std::uint16_t)> portFileHook(const std::string& path) {
+  return [path](std::uint16_t bound) {
+    const Status s = writeFileAtomic(path, std::to_string(bound) + "\n");
+    if (!s.isOk())
+      std::fprintf(stderr, "warning: cannot write port file %s: %s\n",
+                   path.c_str(), s.toString().c_str());
+  };
 }
 
 /// Machine-readable run report (schema documented in README.md).
@@ -302,8 +401,20 @@ void writeFailureReport(const std::string& reportPath,
                "[--repro-dir DIR]\n"
                "          [--seed S] [--version] [--verbose]\n"
                "       %s --serve-worker PORT [--serve-once] "
-               "[--port-file FILE] [--verbose]\n",
-               argv0, argv0);
+               "[--serve-cache-slots N]\n"
+               "          [--port-file FILE] [--verbose]\n"
+               "       %s --serve PORT --serve-state DIR [--serve-pool N] "
+               "[--serve-max-jobs N]\n"
+               "          [--serve-max-tenant N] [--serve-max-bytes-mb N] "
+               "[--serve-attempts N]\n"
+               "          [--port-file FILE] [--verbose]\n"
+               "       %s --connect HOST:PORT --impl FILE --spec FILE "
+               "[--tenant NAME]\n"
+               "          [--detach] [--out FILE] [--report FILE] [--seed S] "
+               "[--jobs N] [--isolate]\n"
+               "       %s --connect HOST:PORT "
+               "--status JOB | --wait JOB | --cancel JOB\n",
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(kExitUsage);
 }
 
@@ -314,6 +425,15 @@ int main(int argc, char** argv) {
   std::string journalDir, resumeDir, portFilePath;
   int servePort = -1;  ///< >= 0: run as a fleet agent instead of an engine
   bool serveOnce = false;
+  std::size_t serveCacheSlots = 4;
+  int daemonPort = -1;  ///< >= 0: run as the resident --serve daemon
+  std::string serveStateDir;
+  std::size_t servePool = 1;
+  serve::AdmissionLimits serveLimits;
+  int serveAttempts = 3;
+  std::string connectSpec, tenant = "default", submitFault;
+  std::string statusJob, waitJob, cancelJob;
+  bool detach = false;
   SysecoOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -393,6 +513,42 @@ int main(int argc, char** argv) {
           throw std::invalid_argument("port must be in 0..65535");
       }
       else if (arg == "--serve-once") serveOnce = true;
+      else if (arg == "--serve-cache-slots") {
+        serveCacheSlots = static_cast<std::size_t>(std::stoul(value()));
+        if (serveCacheSlots == 0)
+          throw std::invalid_argument("cache slots must be >= 1");
+      }
+      else if (arg == "--serve") {
+        daemonPort = std::stoi(value());
+        if (daemonPort < 0 || daemonPort > 65535)
+          throw std::invalid_argument("port must be in 0..65535");
+      }
+      else if (arg == "--serve-state") serveStateDir = value();
+      else if (arg == "--serve-pool") {
+        servePool = static_cast<std::size_t>(std::stoul(value()));
+        if (servePool == 0)
+          throw std::invalid_argument("pool size must be >= 1");
+      }
+      else if (arg == "--serve-max-jobs")
+        serveLimits.maxResidentJobs =
+            static_cast<std::size_t>(std::stoul(value()));
+      else if (arg == "--serve-max-tenant")
+        serveLimits.maxPerTenant =
+            static_cast<std::size_t>(std::stoul(value()));
+      else if (arg == "--serve-max-bytes-mb")
+        serveLimits.maxResidentBytes = std::stoull(value()) * 1024 * 1024;
+      else if (arg == "--serve-attempts") {
+        serveAttempts = std::stoi(value());
+        if (serveAttempts < 1)
+          throw std::invalid_argument("attempts must be >= 1");
+      }
+      else if (arg == "--connect") connectSpec = value();
+      else if (arg == "--tenant") tenant = value();
+      else if (arg == "--detach") detach = true;
+      else if (arg == "--status") statusJob = value();
+      else if (arg == "--wait") waitJob = value();
+      else if (arg == "--cancel") cancelJob = value();
+      else if (arg == "--submit-fault") submitFault = value();
       else if (arg == "--port-file") portFilePath = value();
       else if (arg == "--seed") opt.seed = std::stoull(value());
       else if (arg == "--journal") journalDir = value();
@@ -439,25 +595,163 @@ int main(int argc, char** argv) {
     // Fleet-agent mode: serve task requests over TCP until stopped. No
     // netlists are loaded here - the case arrives over the wire.
     installSignalHandlers();
+    removeStalePortFile(portFilePath);
     FleetAgentOptions agentOpt;
     agentOpt.port = static_cast<std::uint16_t>(servePort);
     agentOpt.serveOnce = serveOnce;
     agentOpt.verbose = opt.verbose;
+    agentOpt.cacheSlots = serveCacheSlots;
     agentOpt.stop = &gAgentStop;
-    if (!portFilePath.empty())
-      agentOpt.boundHook = [&](std::uint16_t bound) {
-        const Status s =
-            writeFileAtomic(portFilePath, std::to_string(bound) + "\n");
-        if (!s.isOk())
-          std::fprintf(stderr, "warning: cannot write port file %s: %s\n",
-                       portFilePath.c_str(), s.toString().c_str());
-      };
+    if (!portFilePath.empty()) agentOpt.boundHook = portFileHook(portFilePath);
     const Status served = runWorkerAgent(agentOpt);
+    cleanupPortFile(portFilePath);
     if (!served.isOk()) {
       std::fprintf(stderr, "error: %s\n", served.toString().c_str());
       return kExitUsage;
     }
     return kExitClean;  // a signal-initiated stop is the normal shutdown
+  }
+  if (daemonPort >= 0) {
+    // Resident-daemon mode: accept whole rectification jobs over TCP,
+    // queue them durably, dispatch to a supervised pool of exec'd engine
+    // workers. Survives kill -9 by construction (see src/serve/).
+    if (serveStateDir.empty()) {
+      std::fprintf(stderr, "error: --serve needs --serve-state DIR\n");
+      return kExitUsage;
+    }
+    installSignalHandlers();
+    removeStalePortFile(portFilePath);
+    serve::ServeOptions so;
+    so.port = static_cast<std::uint16_t>(daemonPort);
+    so.stateDir = serveStateDir;
+    so.selfExe = selfExePath(argv[0]);
+    so.poolSize = servePool;
+    so.limits = serveLimits;
+    so.maxAttempts = serveAttempts;
+    so.verbose = opt.verbose;
+    so.stop = &gAgentStop;
+    if (!portFilePath.empty()) so.boundHook = portFileHook(portFilePath);
+    const Status served = serve::runServeDaemon(so);
+    cleanupPortFile(portFilePath);
+    if (!served.isOk()) {
+      std::fprintf(stderr, "error: %s\n", served.toString().c_str());
+      return served.code() == StatusCode::kInvalidInput ? kExitInvalidInput
+                                                        : kExitUsage;
+    }
+    return kExitClean;
+  }
+  if (!connectSpec.empty()) {
+    // Client mode: talk to a --serve daemon. Transport failures exit 2;
+    // structured rejections and unknown jobs exit 3; otherwise the job's
+    // own verdict becomes the client's exit code.
+    Result<std::pair<std::string, std::uint16_t>> hostPort =
+        net::parseHostPort(connectSpec);
+    if (!hostPort.isOk()) {
+      std::fprintf(stderr, "error: %s\n",
+                   hostPort.status().toString().c_str());
+      return kExitInvalidInput;
+    }
+    Result<serve::ServeClient> connected = serve::ServeClient::connect(
+        hostPort.value().first, hostPort.value().second, 5000);
+    if (!connected.isOk()) {
+      std::fprintf(stderr, "error: %s\n",
+                   connected.status().toString().c_str());
+      return kExitUsage;
+    }
+    serve::ServeClient client = connected.take();
+    // Delivers a finished job's artifacts and maps its state to an exit
+    // code: the daemon's verdict passes through for done jobs.
+    auto finish = [&](const serve::JobState& st) -> int {
+      std::printf("job %s: %s", st.job.c_str(), st.state.c_str());
+      if (st.state == "done")
+        std::printf(" (exit %lld, attempt %lld)",
+                    static_cast<long long>(st.exitCode),
+                    static_cast<long long>(st.attempt));
+      else if (!st.cause.empty())
+        std::printf(" (%s: %s)", st.cause.c_str(), st.detail.c_str());
+      std::printf("\n");
+      if (!reportPath.empty() && !st.reportText.empty()) {
+        const Status s = writeFileAtomic(reportPath, st.reportText);
+        if (!s.isOk())
+          std::fprintf(stderr, "warning: cannot write %s: %s\n",
+                       reportPath.c_str(), s.toString().c_str());
+        else
+          std::printf("run report written to %s\n", reportPath.c_str());
+      }
+      if (!outPath.empty() && !st.outText.empty()) {
+        const Status s = writeFileAtomic(outPath, st.outText);
+        if (!s.isOk())
+          std::fprintf(stderr, "warning: cannot write %s: %s\n",
+                       outPath.c_str(), s.toString().c_str());
+        else
+          std::printf("rectified design written to %s\n", outPath.c_str());
+      }
+      if (st.state == "done") return static_cast<int>(st.exitCode);
+      if (st.state == "failed") return kExitUsage;
+      if (st.state == "cancelled") return kExitInterrupted;
+      return kExitInvalidInput;  // unknown job
+    };
+    auto clientAct = [&]() -> Result<int> {
+      if (!cancelJob.empty()) {
+        Result<serve::JobState> st = client.cancel(cancelJob);
+        if (!st.isOk()) return st.status();
+        std::printf("job %s: %s\n", st.value().job.c_str(),
+                    st.value().state.c_str());
+        return st.value().state == "unknown" ? kExitInvalidInput
+                                             : kExitClean;
+      }
+      if (!statusJob.empty()) {
+        Result<serve::JobState> st = client.status(statusJob);
+        if (!st.isOk()) return st.status();
+        std::printf("job %s: %s", st.value().job.c_str(),
+                    st.value().state.c_str());
+        if (!st.value().cause.empty())
+          std::printf(" (%s: %s)", st.value().cause.c_str(),
+                      st.value().detail.c_str());
+        std::printf("\n");
+        return st.value().state == "unknown" ? kExitInvalidInput
+                                             : kExitClean;
+      }
+      if (!waitJob.empty()) {
+        Result<serve::JobState> st = client.wait(waitJob);
+        if (!st.isOk()) return st.status();
+        return finish(st.value());
+      }
+      if (implPath.empty() || specPath.empty()) usage(argv[0]);
+      Result<std::string> implText = readFileText(implPath);
+      if (!implText.isOk()) return implText.status();
+      Result<std::string> specText = readFileText(specPath);
+      if (!specText.isOk()) return specText.status();
+      serve::SubmitRequest req;
+      req.tenant = tenant;
+      req.format = formatOf(implPath);
+      req.implText = implText.take();
+      req.specText = specText.take();
+      req.seed = opt.seed;
+      req.jobs = static_cast<std::int64_t>(opt.jobs);
+      req.isolate = opt.isolate;
+      req.detach = detach;
+      req.faultInject = submitFault;
+      Result<serve::SubmitOutcome> sub = client.submit(req);
+      if (!sub.isOk()) return sub.status();
+      if (!sub.value().accepted) {
+        std::fprintf(stderr, "rejected: %s (%s)\n",
+                     sub.value().rejected.reason.c_str(),
+                     sub.value().rejected.detail.c_str());
+        return kExitInvalidInput;
+      }
+      std::printf("accepted: job %s\n", sub.value().job.c_str());
+      if (detach) return kExitClean;
+      Result<serve::JobState> st = client.wait(sub.value().job);
+      if (!st.isOk()) return st.status();
+      return finish(st.value());
+    };
+    Result<int> rc = clientAct();
+    if (!rc.isOk()) {
+      std::fprintf(stderr, "error: %s\n", rc.status().toString().c_str());
+      return kExitUsage;
+    }
+    return rc.value();
   }
   if (implPath.empty() || specPath.empty()) usage(argv[0]);
   if (!resumeDir.empty() && journalDir.empty()) journalDir = resumeDir;

@@ -44,6 +44,15 @@ inline constexpr std::uint32_t kTypeFleetCase = 5;       ///< supervisor -> agen
 inline constexpr std::uint32_t kTypeFleetHeartbeat = 6;  ///< agent -> supervisor
 inline constexpr std::uint32_t kTypeFleetResult = 7;     ///< agent -> supervisor
 inline constexpr std::uint32_t kTypeFleetFailure = 8;    ///< agent -> supervisor
+// ECO-as-a-service session protocol (src/serve/): a client submits whole
+// rectification jobs to the resident `--serve` daemon and polls their
+// durable queue state over the same SEF1 stream framing.
+inline constexpr std::uint32_t kTypeServeSubmit = 9;     ///< client -> daemon
+inline constexpr std::uint32_t kTypeServeAccepted = 10;  ///< daemon -> client
+inline constexpr std::uint32_t kTypeServeRejected = 11;  ///< daemon -> client
+inline constexpr std::uint32_t kTypeServeStatus = 12;    ///< client -> daemon
+inline constexpr std::uint32_t kTypeServeJobState = 13;  ///< daemon -> client
+inline constexpr std::uint32_t kTypeServeCancel = 14;    ///< client -> daemon
 
 struct Frame {
   std::uint32_t type = 0;

@@ -30,6 +30,17 @@ Status setNonblocking(int fd) {
   return Status::ok();
 }
 
+/// Every socket is close-on-exec: the --serve daemon execs a worker per
+/// job, and an inherited listener or session fd would keep connections
+/// half-open for as long as some unrelated worker lives (a client closing
+/// its end would never be seen as EOF while a worker holds a duplicate).
+Status setCloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) < 0)
+    return sockErr("fcntl(FD_CLOEXEC) failed", errno);
+  return Status::ok();
+}
+
 void setNodelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -102,6 +113,10 @@ Result<int> listenOn(std::uint16_t port, std::uint16_t* boundPort) {
     ioretry::closeFd(fd);
     return s;
   }
+  if (const Status s = setCloexec(fd); !s.isOk()) {
+    ioretry::closeFd(fd);
+    return s;
+  }
   if (boundPort != nullptr) {
     struct sockaddr_in bound;
     socklen_t len = sizeof(bound);
@@ -116,7 +131,13 @@ Result<int> listenOn(std::uint16_t port, std::uint16_t* boundPort) {
   return fd;
 }
 
-Result<int> acceptClient(int listenFd, int timeoutMs) {
+bool isTransientAcceptError(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM ||
+         err == ECONNABORTED;
+}
+
+Result<int> acceptClient(int listenFd, int timeoutMs, int* softErr) {
+  if (softErr != nullptr) *softErr = 0;
   const short re = pollOne(listenFd, POLLIN, timeoutMs);
   if (re == 0) return -1;
   int fd;
@@ -125,9 +146,21 @@ Result<int> acceptClient(int listenFd, int timeoutMs) {
   } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (isTransientAcceptError(errno)) {
+      // fd exhaustion and peer-aborted connects are load conditions, not
+      // listener failures: report them softly so the server backs off and
+      // retries instead of dying under pressure. (The pending connection,
+      // if any, stays queued until an fd frees up.)
+      if (softErr != nullptr) *softErr = errno;
+      return -1;
+    }
     return sockErr("accept() failed", errno);
   }
   if (const Status s = setNonblocking(fd); !s.isOk()) {
+    ioretry::closeFd(fd);
+    return s;
+  }
+  if (const Status s = setCloexec(fd); !s.isOk()) {
     ioretry::closeFd(fd);
     return s;
   }
@@ -158,6 +191,8 @@ Result<int> connectTo(const std::string& host, std::uint16_t port,
   }
   Status fail = Status::ok();
   if (const Status s = setNonblocking(fd); !s.isOk()) fail = s;
+  if (fail.isOk())
+    if (const Status s = setCloexec(fd); !s.isOk()) fail = s;
   if (fail.isOk()) {
     int rc;
     do {

@@ -34,9 +34,19 @@ Result<std::pair<std::string, std::uint16_t>> parseHostPort(
 /// non-null. The returned fd is nonblocking.
 Result<int> listenOn(std::uint16_t port, std::uint16_t* boundPort = nullptr);
 
+/// True for accept() errno values that mean "back off and retry", not "the
+/// listener is broken": fd-table exhaustion (EMFILE/ENFILE), transient
+/// kernel resource pressure (ENOBUFS/ENOMEM) and connections the peer
+/// aborted before accept could run (ECONNABORTED). A server loop must warn
+/// and keep serving through these instead of treating them as fatal.
+bool isTransientAcceptError(int err);
+
 /// Waits up to `timeoutMs` for a connection; returns the accepted
-/// (nonblocking) fd, or -1 on timeout.
-Result<int> acceptClient(int listenFd, int timeoutMs);
+/// (nonblocking) fd, or -1 on timeout. Transient accept failures
+/// (isTransientAcceptError) also return -1 and report the errno through
+/// `softErr` when non-null, so callers can journal a warning and back off
+/// instead of failing; only genuinely broken listeners return a Status.
+Result<int> acceptClient(int listenFd, int timeoutMs, int* softErr = nullptr);
 
 /// Connects with a deadline; the returned fd is nonblocking with
 /// TCP_NODELAY set (frames are small and latency-sensitive). Refused,

@@ -230,6 +230,55 @@ TEST(FleetCodec, CaseRejectsCorruption) {
       decodeFleetCase(encodeFleetCase(base, base, opt, {99})).isOk());
 }
 
+// --- The agent's resident-case LRU ----------------------------------------
+
+FleetCase cacheCase() {
+  FleetCase c;
+  c.base = resultBase();
+  c.spec = resultBase();
+  return c;
+}
+
+TEST(FleetCaseCache, EvictsLeastRecentlyUsedAndATouchRefreshes) {
+  CaseCacheLru cache(2);
+  EXPECT_EQ(cache.slots(), 2u);
+  EXPECT_EQ(cache.find(1), nullptr);
+
+  ASSERT_NE(cache.insert(1, cacheCase()), nullptr);
+  ASSERT_NE(cache.insert(2, cacheCase()), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.keysMruFirst(), (std::vector<std::uint32_t>{2, 1}));
+
+  // A hit moves its entry to the front, so the *other* key is now the
+  // eviction victim.
+  CaseCacheLru::Entry* hit = cache.find(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->crc, 1u);
+  EXPECT_NE(hit->baseAnalysis, nullptr);
+  EXPECT_NE(hit->specAnalysis, nullptr);
+  EXPECT_EQ(cache.keysMruFirst(), (std::vector<std::uint32_t>{1, 2}));
+
+  ASSERT_NE(cache.insert(3, cacheCase()), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.keysMruFirst(), (std::vector<std::uint32_t>{3, 1}));
+  EXPECT_EQ(cache.find(2), nullptr) << "LRU key must have been evicted";
+
+  // Re-uploading a resident key refreshes in place instead of evicting an
+  // innocent bystander.
+  ASSERT_NE(cache.insert(1, cacheCase()), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.keysMruFirst(), (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST(FleetCaseCache, ZeroSlotsClampsToOne) {
+  CaseCacheLru cache(0);
+  EXPECT_EQ(cache.slots(), 1u);
+  ASSERT_NE(cache.insert(7, cacheCase()), nullptr);
+  ASSERT_NE(cache.insert(8, cacheCase()), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.keysMruFirst(), (std::vector<std::uint32_t>{8}));
+}
+
 // --- Transport-independent retry backoff ----------------------------------
 
 double backoffBaseSeconds(const SysecoOptions& opt, int failedAttempts) {
