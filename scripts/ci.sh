@@ -42,7 +42,7 @@ python3 - "$BENCH_JSON" <<'PYEOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc["bench"] == "e2e" and doc["schema_version"] == 1
+assert doc["bench"] == "e2e" and doc["schema_version"] == 2
 assert isinstance(doc["hardware_threads"], int)
 assert doc["cases"], "no cases recorded"
 for case in doc["cases"]:
@@ -53,14 +53,48 @@ for case in doc["cases"]:
     for run in case["runs"]:
         assert run["verified"] is True, "unverified bench run"
         assert run["identical_to_jobs1"] is True, "jobs-N result diverged"
-        assert run["seconds"] >= 0 and run["speedup_vs_jobs1"] > 0
-        assert all(k in run["phases"] for k in
+        assert run["wall_seconds"] >= 0 and run["speedup_vs_jobs1"] > 0
+        # phases are aggregate worker CPU, recorded separately from wall
+        assert run["cpu_seconds"] >= 0
+        assert all(k in run["phases_cpu"] for k in
                    ("sampling", "symbolic", "screening", "validation",
                     "fallback", "sweep", "verify"))
 s = doc["summary"]
 assert s["all_verified"] is True and s["all_jobs_identical"] is True
 assert s["geomean_speedup_jobs2"] > 0 and s["geomean_speedup_jobs4"] > 0
 print("BENCH_e2e.json schema OK")
+PYEOF
+
+echo "=== Perf smoke: quick bench vs committed BENCH_e2e.json ==="
+# Patch shape must match the committed baseline exactly (verdict identity is
+# always gated); wall time is gated at +25% per case, skipped on single-
+# threaded boxes where --jobs parallelism cannot be exercised meaningfully.
+python3 - "$BENCH_JSON" "$ROOT/BENCH_e2e.json" <<'PYEOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+assert base["schema_version"] == 2, "regenerate BENCH_e2e.json (schema v2)"
+base_cases = {c["name"]: c for c in base["cases"]}
+gate_wall = cur["hardware_threads"] > 1
+if not gate_wall:
+    print("single hardware thread: wall-time gating skipped")
+for case in cur["cases"]:
+    b = base_cases.get(case["name"])
+    assert b is not None, f"case {case['name']} missing from baseline"
+    assert case["failing_outputs"] == b["failing_outputs"], case["name"]
+    assert case["patch"] == b["patch"], (
+        f"{case['name']}: patch shape diverged from baseline "
+        f"{b['patch']} -> {case['patch']}")
+    if not gate_wall:
+        continue
+    for run in case["runs"]:
+        br = [r for r in b["runs"] if r["jobs"] == run["jobs"]][0]
+        limit = br["wall_seconds"] * 1.25 + 0.05  # floor absorbs tiny cases
+        assert run["wall_seconds"] <= limit, (
+            f"{case['name']} jobs={run['jobs']}: wall regression "
+            f"{br['wall_seconds']:.3f}s -> {run['wall_seconds']:.3f}s "
+            f"(>25% over baseline)")
+print("perf smoke OK vs committed baseline")
 PYEOF
 rm -f "$BENCH_JSON"
 
@@ -99,7 +133,7 @@ done
 [ "$rc" -eq 0 ] || { echo "resume chain never finished"; exit 1; }
 
 # The resumed report must equal the uninterrupted one, timing aside.
-normalize() { grep -v '"phase_seconds"' "$1" | sed 's/"seconds": [0-9.e+-]*/"seconds": T/g'; }
+normalize() { grep -v '"phase_cpu_seconds"' "$1" | sed -E 's/"(cpu_)?seconds": [0-9.e+-]*/"\1seconds": T/g'; }
 if ! diff <(normalize "$SMOKE/ref.json") <(normalize "$SMOKE/resumed.json"); then
   echo "resumed report diverged from the uninterrupted run"
   exit 1

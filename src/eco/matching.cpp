@@ -132,7 +132,7 @@ NetId MatchedSpecCloner::tryStructuralMatch(NetId specNet) {
   return kNullId;
 }
 
-NetId MatchedSpecCloner::tryMatch(NetId specNet) {
+NetId MatchedSpecCloner::tryMatch(NetId specNet, std::int64_t budget) {
   if (options_.mode == MatchMode::Structural)
     return tryStructuralMatch(specNet);
   const Signature& sig = specSim_.value(specNet);
@@ -145,8 +145,7 @@ NetId MatchedSpecCloner::tryMatch(NetId specNet) {
     for (NetId cand : it->second) {
       if (!signaturesEqual(implSim_.value(cand), sig, compl_)) continue;
       if (++tried > options_.candidatesPerNet) break;
-      if (confirm_.solveNetsDiff(cand, specNet, compl_,
-                                 options_.confirmBudget) ==
+      if (confirm_.solveNetsDiff(cand, specNet, compl_, budget) ==
           Solver::Result::Unsat) {
         // Pin the proven relation as clauses: later confirmations higher
         // up the cones become near-propositional (SAT sweeping).
@@ -182,13 +181,16 @@ NetId MatchedSpecCloner::clone(NetId specNet) {
         // Functional matching can short-circuit the whole sub-cone; when
         // the proof is too hard top-down (budget trip), resolve the fanins
         // first - their pinned equivalences usually make the retry cheap.
-        result = tryMatch(specNet);
+        const std::int64_t divisor = std::max<std::int64_t>(
+            options_.probeBudgetDivisor, 1);
+        result = tryMatch(specNet, std::max<std::int64_t>(
+            options_.confirmBudget / divisor, 64));
         if (result != kNullId) break;
         const auto& gate = spec_.gate(net.srcIdx);
         std::vector<NetId> fanins;
         fanins.reserve(gate.fanins.size());
         for (NetId f : gate.fanins) fanins.push_back(clone(f));
-        result = tryMatch(specNet);
+        result = tryMatch(specNet, options_.confirmBudget);
         if (result != kNullId) break;
         result = tracker_.netlist().addGate(gate.type, fanins);
       } else {
@@ -198,7 +200,7 @@ NetId MatchedSpecCloner::clone(NetId specNet) {
         std::vector<NetId> fanins;
         fanins.reserve(gate.fanins.size());
         for (NetId f : gate.fanins) fanins.push_back(clone(f));
-        result = tryMatch(specNet);
+        result = tryMatch(specNet, options_.confirmBudget);
         if (result == kNullId)
           result = tracker_.netlist().addGate(gate.type, fanins);
       }

@@ -40,6 +40,15 @@ struct MatcherOptions {
   std::int64_t confirmBudget = 20000;///< SAT conflicts per confirmation
   std::size_t candidatesPerNet = 4;  ///< impl candidates tried per spec net
   bool allowComplementMatch = true;
+  /// Functional matching probes each spec gate twice: a cheap top-down
+  /// probe at confirmBudget / probeBudgetDivisor conflicts (floor 64)
+  /// before its fanins are resolved, then a full-budget retry afterwards,
+  /// when the fanins' pinned equivalence clauses make the proof
+  /// near-propositional. Hard instances are hard because the sub-cones are
+  /// unresolved - burning the full budget on the first probe buys almost
+  /// no extra matches but dominates fallback time, so the schedule spends
+  /// it where it pays.
+  std::int64_t probeBudgetDivisor = 16;
 };
 
 /// Clones spec cones into the working netlist, cutting at confirmed
@@ -61,7 +70,7 @@ class MatchedSpecCloner {
   std::size_t matchesUsed() const { return matchesUsed_; }
 
  private:
-  NetId tryMatch(NetId specNet);
+  NetId tryMatch(NetId specNet, std::int64_t budget);
   NetId tryStructuralMatch(NetId specNet);
 
   PatchTracker& tracker_;

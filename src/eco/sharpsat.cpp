@@ -1,0 +1,90 @@
+#include "eco/sharpsat.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace syseco {
+
+namespace {
+
+/// Words needed to hold 2^numZ sample bits (numZ >= 6 always: one
+/// simulation word is 64 samples).
+std::size_t paddedWords(std::uint32_t numZ) {
+  return static_cast<std::size_t>(1) << (numZ - 6);
+}
+
+}  // namespace
+
+SharpSatRanker::SharpSatRanker(const Signature& pinSig,
+                               const std::vector<std::uint64_t>& errMask,
+                               const std::vector<std::uint64_t>& correctMask,
+                               const std::vector<std::uint64_t>& obsFullMask) {
+  words_ = errMask.size();
+  SYSECO_CHECK(words_ > 0 && pinSig.size() >= words_ &&
+               correctMask.size() >= words_);
+  // The sample count 64*words_ may not be a power of two; the truth-table
+  // domain is the next one up, with the tail padded to zero in every mask
+  // so it never contributes a model.
+  const std::size_t samples = words_ * 64;
+  numZ_ = static_cast<std::uint32_t>(std::bit_width(samples - 1));
+  const std::size_t pw = paddedWords(numZ_);
+
+  pinBits_.assign(pw, 0);
+  errBits_.assign(pw, 0);
+  obsCorrectBits_.assign(pw, 0);
+  for (std::size_t wd = 0; wd < words_; ++wd) {
+    const std::uint64_t obsF =
+        obsFullMask.empty() ? ~0ULL : obsFullMask[wd];
+    pinBits_[wd] = pinSig[wd];
+    errBits_[wd] = errMask[wd];
+    obsCorrectBits_[wd] = correctMask[wd] & obsF;
+  }
+
+  zVars_.resize(numZ_);
+  for (std::uint32_t v = 0; v < numZ_; ++v) zVars_[v] = v;
+  rebuild();
+  // Domain sizes double as exactness witnesses: a truth-table function's
+  // model count is its popcount, so these are integers representable
+  // exactly in double (counts stay far below 2^52).
+  errCount_ = mgr_->satCount(err_);
+  obsCorrectCount_ = mgr_->satCount(obsCorrect_);
+}
+
+void SharpSatRanker::rebuild() {
+  // Sample-index variables carry no structure worth sifting (any order is
+  // as good as any other for near-random signatures), so the manager
+  // keeps identity order; per-shortlist lifetime keeps it small anyway.
+  BddConfig cfg;
+  cfg.reorder = BddReorder::kOff;
+  mgr_ = std::make_unique<Bdd>(numZ_, cfg);
+  err_ = mgr_->fromTruthTable(errBits_, zVars_);
+  obsCorrect_ = mgr_->fromTruthTable(obsCorrectBits_, zVars_);
+}
+
+CoverageScore SharpSatRanker::score(const Signature& candSig) {
+  SYSECO_CHECK(candSig.size() >= words_);
+  // The arena is append-only; each query leaves its truth-table BDD
+  // behind. Reset once the garbage outweighs a fresh start.
+  if (mgr_->nodeCount() > (1u << 18)) rebuild();
+
+  std::vector<std::uint64_t> diffBits(pinBits_.size(), 0);
+  for (std::size_t wd = 0; wd < words_; ++wd)
+    diffBits[wd] = pinBits_[wd] ^ candSig[wd];
+  const Bdd::Ref diff = mgr_->fromTruthTable(diffBits, zVars_);
+
+  const double hit = mgr_->satCount(mgr_->bAnd(diff, err_));
+  const double risk = mgr_->satCount(mgr_->bAnd(diff, obsCorrect_));
+
+  CoverageScore s;
+  s.errorCoverage = hit / std::max(errCount_, 1.0);
+  s.breakRisk = risk / std::max(obsCorrectCount_, 1.0);
+  // hit and risk are exact integers in double; llround recovers the
+  // word-level key without any rounding slack.
+  s.rankKey = static_cast<std::ptrdiff_t>(std::llround(hit - 2.0 * risk));
+  return s;
+}
+
+}  // namespace syseco

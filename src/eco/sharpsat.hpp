@@ -1,0 +1,81 @@
+#pragma once
+// #SAT-driven candidate ranking.
+//
+// The §4.3 utility heuristic orders candidate rewiring nets by how often
+// their sampled signature differs from the target pin's inside the error
+// domain, penalized for differing where observable correct behavior would
+// break. The word-level implementation popcounts masked signature words.
+// This module computes the same measure as a model-counting query: an
+// N-bit signature is the truth table of a sampling-domain function over
+// the z variables (paper §5.1), so "how much of the error domain does
+// this candidate flip" is the satisfying fraction of
+//
+//   (cand XOR pin) AND E
+//
+// answered exactly by Bdd::satCount. On complete signatures the count is
+// the popcount, and counts up to 2^52 are exact in double, so the integer
+// rank key derived here equals the word-level key bit for bit: making
+// RankMode::kSharpSat the default changes no ordering and no verdicts,
+// while the measured coverage fractions become available to diagnostics
+// and the same query generalizes to partial/weighted domains.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "sim/simulator.hpp"
+
+namespace syseco {
+
+/// Measured error-domain coverage of one candidate signature.
+struct CoverageScore {
+  /// Satisfying fraction of (cand ^ pin) & E over the error domain:
+  /// exactly the §4.3 rectification utility.
+  double errorCoverage = 0.0;
+  /// Satisfying fraction of (cand ^ pin) & correct & observable over the
+  /// observable correct domain (0 when that domain is empty).
+  double breakRisk = 0.0;
+  /// Integer rank key: #error-domain flips - 2 * #observable correct
+  /// flips. Equals the word-level agreement key exactly.
+  std::ptrdiff_t rankKey = 0;
+};
+
+/// Scores candidate signatures against one pin via sampling-domain model
+/// counting. One instance serves one candidate shortlist: the pin
+/// signature and domain masks are fixed at construction, score() is
+/// called per candidate. Deterministic: a pure function of its inputs.
+class SharpSatRanker {
+ public:
+  /// Masks follow the candidateNets conventions: all vectors span the
+  /// same simulation word count (taken from errMask); an empty
+  /// obsFullMask means the pin is observable everywhere.
+  SharpSatRanker(const Signature& pinSig,
+                 const std::vector<std::uint64_t>& errMask,
+                 const std::vector<std::uint64_t>& correctMask,
+                 const std::vector<std::uint64_t>& obsFullMask);
+
+  CoverageScore score(const Signature& candSig);
+
+ private:
+  /// Fresh manager with the domain functions rebuilt. The arena is
+  /// append-only (no GC), so after enough score() calls the dead
+  /// truth-table BDDs are dropped wholesale instead of accumulating.
+  void rebuild();
+
+  std::vector<std::uint64_t> pinBits_;         // padded to 2^numZ samples
+  std::vector<std::uint64_t> errBits_;
+  std::vector<std::uint64_t> obsCorrectBits_;  // correct & observable
+  std::size_t words_ = 0;                      // live (unpadded) words
+  std::uint32_t numZ_ = 0;
+  double errCount_ = 0.0;
+  double obsCorrectCount_ = 0.0;
+
+  std::unique_ptr<Bdd> mgr_;
+  std::vector<std::uint32_t> zVars_;
+  Bdd::Ref err_ = Bdd::kFalse;
+  Bdd::Ref obsCorrect_ = Bdd::kFalse;
+};
+
+}  // namespace syseco

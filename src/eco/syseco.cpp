@@ -15,6 +15,7 @@
 #include "eco/isolate.hpp"
 #include "eco/matching.hpp"
 #include "eco/sampling.hpp"
+#include "eco/sharpsat.hpp"
 #include "netlist/analysis.hpp"
 #include "util/budget.hpp"
 #include "util/build_info.hpp"
@@ -738,6 +739,12 @@ class Engine {
     // All oracle randomness derives from the run seed so the verdict
     // records are bit-identical across execution modes.
     oopt.seed = opt_.seed ^ 0x0bac1e5eedULL;
+    // The oracle's BDD route runs the engine-wide tuning: in particular
+    // --bdd-reorder=off must restore the legacy identity-order engine
+    // everywhere at once.
+    oopt.bddReorder = opt_.bddReorder;
+    oopt.bddCacheBits = opt_.bddCacheBits;
+    oopt.bddReorderThreshold = opt_.bddReorderThreshold;
     CertificationOracle oracle(w, spec_, oopt);
     bool allCertified = true;
     bool anyQuarantine = false;
@@ -2456,6 +2463,26 @@ class Engine {
 
   // --- Feasible rectification point-sets via H(t) (§4.2) ------------------
 
+  /// Engine tunables for the sampling-domain managers (H(t) / Xi(c)).
+  /// These keep identity order regardless of opt_.bddReorder: their
+  /// variables are sample indices and selector bits - an arbitrary
+  /// encoding with no structure for sifting to exploit - and no root
+  /// provider is registered, so auto-reorder stays disarmed by design
+  /// (the knob governs the monolithic-cone managers: the certification
+  /// oracle's BDD route and, opted in, the exactfix engine). Cache and
+  /// table sizing still apply.
+  BddConfig samplingBddConfig() const {
+    BddConfig cfg;
+    cfg.nodeLimit = opt_.bddNodeLimit;
+    if (opt_.bddCacheBits != 0) {
+      cfg.cacheBits = opt_.bddCacheBits;
+      cfg.maxCacheBits = std::max(cfg.maxCacheBits, opt_.bddCacheBits);
+    }
+    if (opt_.bddReorderThreshold != 0)
+      cfg.reorderThreshold = opt_.bddReorderThreshold;
+    return cfg;
+  }
+
   std::vector<std::vector<std::size_t>> enumeratePointSets(
       std::uint32_t o, const SampleSet& samples, const Simulator& wSim,
       const Simulator& sSim, const std::vector<PinCandidate>& pins, int m,
@@ -2469,7 +2496,7 @@ class Engine {
         nz + static_cast<std::uint32_t>(m) +
         static_cast<std::uint32_t>(m) * tb;
 
-    Bdd mgr(numVars, opt_.bddNodeLimit);
+    Bdd mgr(numVars, samplingBddConfig());
     mgr.setResourceGuard(activeGuard_);
     std::vector<std::uint32_t> zVars(nz);
     for (std::uint32_t i = 0; i < nz; ++i) zVars[i] = i;
@@ -2709,6 +2736,36 @@ class Engine {
     for (NetCandidate& c : ranked)
       c.sig = c.fromSpec ? sSim.value(c.net) : wSim.value(c.net);
 
+    // #SAT re-ranking: the popcount key above is the cheap prefilter over
+    // the full netlist scan; the shortlist that validation will actually
+    // try is re-scored by exact model counting over the sampling domain
+    // (satisfying fraction of diff & E, see sharpsat.hpp). The counts are
+    // exactly the popcounts, so the re-sort provably reproduces the
+    // prefilter order - kSharpSat changes measurements, not verdicts.
+    std::optional<SharpSatRanker> sharp;
+    if (opt_.rankMode == RankMode::kSharpSat) {
+      sharp.emplace(pinSig, errMask, correctMask, pin.obsFullMask);
+      for (NetCandidate& c : ranked) {
+        const CoverageScore s = sharp->score(c.sig);
+        c.utility = s.errorCoverage;
+        c.rankScore = s.rankKey;
+      }
+      if (opt_.useUtilityHeuristic) {
+        auto rankKey = [&](const NetCandidate& c) {
+          return static_cast<double>(c.rankScore) -
+                 0.02 * static_cast<double>(std::min<std::uint32_t>(
+                            c.cloneCost, 500));
+        };
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [&](const NetCandidate& a, const NetCandidate& b) {
+                           const double ka = rankKey(a), kb = rankKey(b);
+                           if (opt_.levelDriven && std::abs(ka - kb) < 1e-9)
+                             return a.level < b.level;
+                           return ka > kb;
+                         });
+      }
+    }
+
     // Rectification function synthesis (extension of the paper's "future
     // work ... rectification logic synthesis"): when no existing net
     // realizes the needed function, try small algebraic combinations of
@@ -2744,8 +2801,14 @@ class Engine {
             synthesizeCandidates(pin, pinSig, ranked, required, careMask,
                                  forbidden, wLevels, scanLimit);
         for (NetCandidate& c : synth) {
-          c.utility = utilityOf(c.sig);
-          c.rankScore = agreementOf(c.sig);
+          if (sharp) {
+            const CoverageScore s = sharp->score(c.sig);
+            c.utility = s.errorCoverage;
+            c.rankScore = s.rankKey;
+          } else {
+            c.utility = utilityOf(c.sig);
+            c.rankScore = agreementOf(c.sig);
+          }
           // Synthesized exact matches outrank everything; put them first.
           ranked.insert(ranked.begin(), std::move(c));
         }
@@ -2929,7 +2992,7 @@ class Engine {
     }
     const std::uint32_t numVars =
         nz + static_cast<std::uint32_t>(m) + totalC;
-    Bdd mgr(numVars, opt_.bddNodeLimit);
+    Bdd mgr(numVars, samplingBddConfig());
     mgr.setResourceGuard(activeGuard_);
 
     std::vector<std::uint32_t> zVars(nz);
@@ -3368,7 +3431,213 @@ class Engine {
         break;
       }
     }
+    const bool minimize =
+        opt_.minimizePatch == PatchMinimize::kOn ||
+        (opt_.minimizePatch == PatchMinimize::kAuto &&
+         opt_.bddReorder != BddReorder::kOff);
+    if (minimize) minimizePatchLogic();
     w.sweepDeadLogic();
+  }
+
+  // --- ISOP patch minimization ----------------------------------------------
+  // Rewrites multi-level added patch cones as irredundant two-level AND-OR
+  // covers (Minato-Morreale, the same isop primitive that seeds §4.2's
+  // prime cubes) when the cover is strictly smaller. Rewire-based patches
+  // accrete shape from whichever candidates validated first; the exact
+  // cover forgets that history. Every rewrite is SAT-confirmed before the
+  // sinks move, so this changes patch *shape*, never function.
+
+  void minimizePatchLogic() {
+    Netlist& w = working();
+    constexpr std::size_t kMaxLeaves = 12;    // BDD stays trivially small
+    constexpr std::size_t kMaxConeGates = 64;
+
+    // Boundary roots: added nets feeding original logic or outputs.
+    // Snapshot first - the rebuild below adds gates while we iterate. The
+    // topo index doubles as the fanin-first evaluation order inside each
+    // cone (DFS preorder reversed is NOT topological under reconvergence).
+    std::vector<NetId> roots;
+    std::unordered_map<GateId, std::size_t> topoIdx;
+    for (GateId g : w.topoOrder()) {
+      topoIdx.emplace(g, topoIdx.size());
+      const auto& gate = w.gate(g);
+      if (gate.dead || tracker().isOriginalNet(gate.out)) continue;
+      bool boundary = false;
+      for (const Sink& s : w.net(gate.out).sinks)
+        boundary |= s.isOutput() || tracker().isOriginalNet(w.gate(s.gate).out);
+      if (boundary) roots.push_back(gate.out);
+    }
+
+    for (NetId root : roots) {
+      // Collect the added-gate cone under `root`; leaves are original nets
+      // or primary inputs. DFS order then sort gives a deterministic
+      // variable order regardless of container layout.
+      std::vector<GateId> coneGates;
+      std::unordered_set<GateId> coneSet;
+      std::vector<NetId> leaves;
+      std::unordered_set<NetId> leafSet;
+      bool viable = true;
+      std::vector<NetId> stack{root};
+      std::unordered_set<NetId> visited{root};
+      while (!stack.empty() && viable) {
+        const NetId n = stack.back();
+        stack.pop_back();
+        const auto& net = w.net(n);
+        const bool original = tracker().isOriginalNet(n) ||
+                              net.srcKind == Netlist::SourceKind::Input;
+        if (original) {
+          if (leafSet.insert(n).second) leaves.push_back(n);
+          viable = leaves.size() <= kMaxLeaves;
+          continue;
+        }
+        SYSECO_CHECK(net.srcKind == Netlist::SourceKind::Gate);
+        const GateId g = net.srcIdx;
+        // Gates added by an earlier rebuild in this loop have no topo
+        // index; their cones were already minimal, so skip.
+        if (!topoIdx.count(g)) {
+          viable = false;
+          continue;
+        }
+        if (!coneSet.insert(g).second) continue;
+        coneGates.push_back(g);
+        viable = coneGates.size() <= kMaxConeGates;
+        for (NetId f : w.gate(g).fanins)
+          if (visited.insert(f).second) stack.push_back(f);
+      }
+      if (!viable || coneGates.size() < 2) continue;
+      // The gate-count comparison assumes the whole cone dies with the
+      // root; an interior gate with sinks outside the cone survives the
+      // rewrite, so skip cones that share logic with the rest of the
+      // netlist (the reuse sweep above deliberately creates such shares).
+      bool shared = false;
+      for (GateId g : coneGates) {
+        const NetId out = w.gate(g).out;
+        if (out == root) continue;
+        for (const Sink& s : w.net(out).sinks)
+          shared |= s.isOutput() || !coneSet.count(s.gate);
+      }
+      if (shared) continue;
+
+      std::sort(leaves.begin(), leaves.end());
+      std::unordered_map<NetId, std::uint32_t> varOf;
+      for (std::uint32_t v = 0; v < leaves.size(); ++v)
+        varOf.emplace(leaves[v], v);
+
+      std::vector<BddCube> cover;
+      try {
+        // Exact function of the cone. Tiny support, so no reordering and a
+        // tight node limit; an overflow just skips this cone.
+        BddConfig cfg;
+        cfg.nodeLimit = 1u << 16;
+        Bdd mgr(static_cast<std::uint32_t>(leaves.size()), cfg);
+        std::unordered_map<NetId, Bdd::Ref> val;
+        for (auto [net, v] : varOf) val.emplace(net, mgr.var(v));
+        // Fanin-first evaluation: sort the cone by global topo index.
+        std::sort(coneGates.begin(), coneGates.end(),
+                  [&](GateId a, GateId b) {
+                    return topoIdx.at(a) < topoIdx.at(b);
+                  });
+        for (GateId cg : coneGates) {
+          const auto& gate = w.gate(cg);
+          std::vector<Bdd::Ref> in;
+          in.reserve(gate.fanins.size());
+          for (NetId f : gate.fanins) in.push_back(val.at(f));
+          Bdd::ScopedRef r(mgr, Bdd::kFalse);
+          switch (gate.type) {
+            case GateType::Const0: r = Bdd::kFalse; break;
+            case GateType::Const1: r = Bdd::kTrue; break;
+            case GateType::Buf: r = in[0]; break;
+            case GateType::Not: r = mgr.bNot(in[0]); break;
+            case GateType::And: r = mgr.andMany(in); break;
+            case GateType::Nand:
+              r = mgr.andMany(in);
+              r = mgr.bNot(r);
+              break;
+            case GateType::Or: r = mgr.orMany(in); break;
+            case GateType::Nor:
+              r = mgr.orMany(in);
+              r = mgr.bNot(r);
+              break;
+            case GateType::Xor:
+            case GateType::Xnor: {
+              r = in[0];
+              for (std::size_t k = 1; k < in.size(); ++k)
+                r = mgr.bXor(r, in[k]);
+              if (gate.type == GateType::Xnor) r = mgr.bNot(r);
+              break;
+            }
+            case GateType::Mux: r = mgr.ite(in[0], in[2], in[1]); break;
+          }
+          val[gate.out] = r;
+        }
+        cover = mgr.isop(val.at(root));
+      } catch (const BddLimitExceeded&) {
+        continue;
+      }
+
+      // Two-level cost: one shared NOT per negated leaf, one AND per
+      // multi-literal cube, one OR to collect. Rebuild only on a strict
+      // win (dead-cone removal is the final sweep's job).
+      std::unordered_set<std::uint32_t> negated;
+      std::size_t ands = 0;
+      for (const BddCube& cube : cover) {
+        std::size_t lits = 0;
+        for (std::uint32_t v = 0; v < leaves.size(); ++v) {
+          if (cube.lits[v] < 0) continue;
+          ++lits;
+          if (cube.lits[v] == 0) negated.insert(v);
+        }
+        if (lits != 1) ++ands;  // empty cube becomes a Const1 gate
+      }
+      const std::size_t cost =
+          negated.size() + ands + (cover.size() == 1 ? 0 : 1);
+      if (cost >= coneGates.size()) continue;
+
+      // Instantiate the cover, mirroring the exact-fix synthesis shape.
+      std::unordered_map<std::uint32_t, NetId> invOf;
+      std::vector<NetId> terms;
+      for (const BddCube& cube : cover) {
+        std::vector<NetId> lits;
+        for (std::uint32_t v = 0; v < leaves.size(); ++v) {
+          if (cube.lits[v] < 0) continue;
+          if (cube.lits[v] == 1) {
+            lits.push_back(leaves[v]);
+          } else {
+            auto it = invOf.find(v);
+            if (it == invOf.end())
+              it = invOf.emplace(v, w.addGate(GateType::Not, {leaves[v]}))
+                       .first;
+            lits.push_back(it->second);
+          }
+        }
+        if (lits.empty()) {
+          terms.push_back(w.addGate(GateType::Const1, {}));
+        } else if (lits.size() == 1) {
+          terms.push_back(lits[0]);
+        } else {
+          terms.push_back(w.addGate(GateType::And, lits));
+        }
+      }
+      NetId rebuilt;
+      if (terms.empty()) {
+        rebuilt = w.addGate(GateType::Const0, {});
+      } else if (terms.size() == 1) {
+        rebuilt = terms[0];
+      } else {
+        rebuilt = w.addGate(GateType::Or, terms);
+      }
+      // The BDD is exact, but confirm anyway before moving sinks: an
+      // Unknown (budget) or a latent bug leaves the rebuilt logic dead for
+      // the final sweep instead of corrupting the patch.
+      if (rebuilt == root ||
+          checkNetsEquiv(w, root, rebuilt, false, opt_.validationBudget) !=
+              Solver::Result::Unsat)
+        continue;
+      const std::vector<Sink> sinks = w.net(root).sinks;  // copy
+      for (const Sink& s : sinks) tracker().rewire(s, rebuilt);
+      ++diag_.isopRewrites;
+      diag_.isopGatesSaved += coneGates.size() - cost;
+    }
   }
 
   const Netlist& spec_;
@@ -3442,6 +3711,10 @@ Status validateSysecoOptions(const SysecoOptions& o) {
     return invalid("isolateCpuSeconds must be non-negative");
   if (o.isolateBackoffMs < 0.0)
     return invalid("isolateBackoffMs must be non-negative");
+  if (o.bddCacheBits > 28)
+    return invalid("bddCacheBits must be at most 28 (2^28 cache entries)");
+  if (o.oracle.bddCacheBits > 28)
+    return invalid("oracle.bddCacheBits must be at most 28");
   if (o.oracle.simWords == 0) return invalid("oracle.simWords must be positive");
   if (o.oracle.bddNodeBudget == 0)
     return invalid("oracle.bddNodeBudget must be positive");

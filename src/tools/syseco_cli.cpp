@@ -291,13 +291,20 @@ void writeReport(std::ostream& os, const std::string& engine,
   os << "  \"run_limit\": \"" << statusCodeName(diag.runLimit) << "\",\n";
   os << "  \"failing_outputs\": " << result.failingOutputsBefore << ",\n";
   os << "  \"seconds\": " << result.seconds << ",\n";
+  // "seconds" above is wall clock; the per-phase numbers below are summed
+  // across worker threads, so their total exceeds wall under --jobs N.
+  os << "  \"cpu_seconds\": "
+     << (diag.secondsSampling + diag.secondsSymbolic + diag.secondsScreening +
+         diag.secondsValidation + diag.secondsFallback + diag.secondsSweep +
+         diag.secondsVerify)
+     << ",\n";
   os << "  \"patch\": {\"inputs\": " << result.stats.inputs
      << ", \"outputs\": " << result.stats.outputs
      << ", \"gates\": " << result.stats.gates
      << ", \"nets\": " << result.stats.nets << "},\n";
   os << "  \"budget\": {\"conflicts_used\": " << diag.conflictsUsed
      << ", \"bdd_nodes_used\": " << diag.bddNodesUsed << "},\n";
-  os << "  \"phase_seconds\": {"
+  os << "  \"phase_cpu_seconds\": {"
      << "\"sampling\": " << diag.secondsSampling
      << ", \"symbolic\": " << diag.secondsSymbolic
      << ", \"screening\": " << diag.secondsScreening
@@ -305,6 +312,9 @@ void writeReport(std::ostream& os, const std::string& engine,
      << ", \"fallback\": " << diag.secondsFallback
      << ", \"sweep\": " << diag.secondsSweep
      << ", \"verify\": " << diag.secondsVerify << "},\n";
+  os << "  \"sweep\": {\"merges\": " << diag.sweepMerges
+     << ", \"isop_rewrites\": " << diag.isopRewrites
+     << ", \"isop_gates_saved\": " << diag.isopGatesSaved << "},\n";
   // Invariant audits: boundary count and findings (a written report means
   // every audit passed - failures abort the run - but the findings field
   // keeps the schema honest either way).
@@ -330,12 +340,21 @@ void writeReport(std::ostream& os, const std::string& engine,
      << ", \"outputs\": [";
   for (std::size_t i = 0; i < diag.certificates.size(); ++i) {
     const OutputCertificate& c = diag.certificates[i];
+    // Per-output BDD telemetry (deterministic for a fixed seed and
+    // identical across --jobs/--isolate/--resume: certification runs
+    // post-search in the main process).
     os << (i ? ", " : "") << "{\"output\": " << c.output << ", \"name\": \""
        << jsonEscape(c.name) << "\", \"sat\": \""
        << routeVerdictName(c.sat.verdict) << "\", \"bdd\": \""
        << routeVerdictName(c.bdd.verdict) << "\", \"sim\": \""
        << routeVerdictName(c.sim.verdict) << "\", \"certified\": "
-       << (c.certified ? "true" : "false") << "}";
+       << (c.certified ? "true" : "false")
+       << ", \"bdd_stats\": {\"peak_nodes\": " << c.bddStats.peakNodes
+       << ", \"unique_hits\": " << c.bddStats.uniqueHits
+       << ", \"cache_bits\": " << c.bddStats.cacheBitsNow
+       << ", \"cache_hit_rate\": " << c.bddStats.cacheHitRate()
+       << ", \"reorders\": " << c.bddStats.reorders
+       << ", \"swaps\": " << c.bddStats.swaps << "}}";
   }
   os << "]},\n";
   os << "  \"outputs\": [";
@@ -387,6 +406,11 @@ void writeFailureReport(const std::string& reportPath,
                "[--max-points M]\n"
                "          [--deadline-ms MS] [--total-conflict-budget N] "
                "[--bdd-node-budget N]\n"
+               "          [--bdd-reorder off|sift|sift-converge] "
+               "[--bdd-cache-bits N]\n"
+               "          [--bdd-reorder-threshold N] "
+               "[--rank structural|sharpsat]\n"
+               "          [--patch-minimize auto|on|off]\n"
                "          [--level-driven] [--uniform-sampling] [--no-sweep]"
                "\n          [--jobs N] [--isolate] [--isolate-max-attempts N]"
                " [--isolate-mem-mb N]\n"
@@ -435,6 +459,9 @@ int main(int argc, char** argv) {
   std::string statusJob, waitJob, cancelJob;
   bool detach = false;
   SysecoOptions opt;
+  // The exact-fix baseline keeps reordering off unless the user asks: its
+  // ISOP patch shapes depend on the variable order.
+  bool bddReorderSet = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -470,6 +497,36 @@ int main(int argc, char** argv) {
         opt.totalConflictBudget = std::stoll(value());
       else if (arg == "--bdd-node-budget")
         opt.totalBddNodeBudget = std::stoll(value());
+      else if (arg == "--bdd-reorder") {
+        const std::string mode = value();
+        if (mode == "off") opt.bddReorder = BddReorder::kOff;
+        else if (mode == "sift") opt.bddReorder = BddReorder::kSift;
+        else if (mode == "sift-converge")
+          opt.bddReorder = BddReorder::kSiftConverge;
+        else throw std::invalid_argument(
+            "expected off|sift|sift-converge, got '" + mode + "'");
+        bddReorderSet = true;
+      }
+      else if (arg == "--bdd-cache-bits")
+        opt.bddCacheBits = static_cast<std::uint32_t>(std::stoul(value()));
+      else if (arg == "--bdd-reorder-threshold")
+        opt.bddReorderThreshold =
+            static_cast<std::size_t>(std::stoull(value()));
+      else if (arg == "--rank") {
+        const std::string mode = value();
+        if (mode == "structural") opt.rankMode = RankMode::kStructural;
+        else if (mode == "sharpsat") opt.rankMode = RankMode::kSharpSat;
+        else throw std::invalid_argument(
+            "expected structural|sharpsat, got '" + mode + "'");
+      }
+      else if (arg == "--patch-minimize") {
+        const std::string mode = value();
+        if (mode == "auto") opt.minimizePatch = PatchMinimize::kAuto;
+        else if (mode == "on") opt.minimizePatch = PatchMinimize::kOn;
+        else if (mode == "off") opt.minimizePatch = PatchMinimize::kOff;
+        else throw std::invalid_argument("expected auto|on|off, got '" +
+                                         mode + "'");
+      }
       else if (arg == "--level-driven") opt.levelDriven = true;
       else if (arg == "--uniform-sampling") opt.useErrorDomainSampling = false;
       else if (arg == "--no-sweep") opt.enableSweeping = false;
@@ -962,6 +1019,9 @@ int main(int argc, char** argv) {
     } else if (engine == "exactfix") {
       ExactFixOptions x;
       x.seed = opt.seed;
+      if (bddReorderSet) x.bddReorder = opt.bddReorder;
+      x.bddCacheBits = opt.bddCacheBits;
+      x.bddReorderThreshold = opt.bddReorderThreshold;
       result = runExactFix(impl, spec, x);
     } else if (engine == "interpfix") {
       InterpFixOptions x;
@@ -980,9 +1040,9 @@ int main(int argc, char** argv) {
                 result.stats.gates, result.stats.nets);
     if (engine == "syseco") {
       std::printf("rewired in place: %zu, cone fallbacks: %zu, sweep "
-                  "merges: %zu\n",
+                  "merges: %zu, isop rewrites: %zu (-%zu gates)\n",
                   diag.outputsViaRewire, diag.outputsViaFallback,
-                  diag.sweepMerges);
+                  diag.sweepMerges, diag.isopRewrites, diag.isopGatesSaved);
       if (diag.resourceDegraded()) {
         std::size_t degraded = 0, fallback = 0;
         for (const OutputReport& r : diag.outputs) {

@@ -1,5 +1,6 @@
 #include "verify/oracle.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 
@@ -21,12 +22,23 @@ double secondsSince(Clock::time_point start) {
 /// Inputs absent from `varOfInput` read constant 0 (the same convention as
 /// CertificationOracle::mapToSpec, so all three routes check the identical
 /// correspondence). Throws BddLimitExceeded when the manager budget trips.
+///
+/// `live` doubles as the memo map and the reorder root set: the caller's
+/// root provider enumerates it, so a mid-build auto-reorder sees exactly
+/// the refs later gates will still read. Entries whose remaining fanout
+/// uses drop to zero are erased - that shrinking frontier is what makes
+/// sifting's live-size objective meaningful on a cone build.
 Bdd::Ref buildCone(Bdd& mgr, const Netlist& nl, NetId root,
                    const std::unordered_map<std::uint32_t, std::uint32_t>&
-                       varOfInput) {
-  std::unordered_map<NetId, Bdd::Ref> refOf;
+                       varOfInput,
+                   std::unordered_map<NetId, Bdd::Ref>& live) {
+  const std::vector<GateId> cone = nl.coneGates({root});
+  std::unordered_map<NetId, std::uint32_t> usesLeft;
+  for (GateId g : cone)
+    for (NetId f : nl.gate(g).fanins) ++usesLeft[f];
+  ++usesLeft[root];
   auto netRef = [&](NetId n) -> Bdd::Ref {
-    if (auto it = refOf.find(n); it != refOf.end()) return it->second;
+    if (auto it = live.find(n); it != live.end()) return it->second;
     // Not a gate output we computed: a PI (or an undriven net, which the
     // auditor would have flagged; treat it as constant 0 like evalOnce).
     Bdd::Ref ref = Bdd::kFalse;
@@ -34,15 +46,17 @@ Bdd::Ref buildCone(Bdd& mgr, const Netlist& nl, NetId root,
       const auto it = varOfInput.find(nl.net(n).srcIdx);
       if (it != varOfInput.end()) ref = mgr.var(it->second);
     }
-    refOf.emplace(n, ref);
+    live.emplace(n, ref);
     return ref;
   };
-  for (GateId g : nl.coneGates({root})) {
+  for (GateId g : cone) {
     const Netlist::Gate& gate = nl.gate(g);
     std::vector<Bdd::Ref> fan;
     fan.reserve(gate.fanins.size());
     for (NetId f : gate.fanins) fan.push_back(netRef(f));
-    Bdd::Ref out = Bdd::kFalse;
+    // Every partial lands in the pinned slot before the next operation
+    // starts, so a reorder at any operation boundary keeps it live.
+    Bdd::ScopedRef out(mgr, Bdd::kFalse);
     switch (gate.type) {
       case GateType::Const0: out = Bdd::kFalse; break;
       case GateType::Const1: out = Bdd::kTrue; break;
@@ -50,18 +64,25 @@ Bdd::Ref buildCone(Bdd& mgr, const Netlist& nl, NetId root,
       case GateType::Not: out = mgr.bNot(fan[0]); break;
       case GateType::And: out = mgr.andMany(fan); break;
       case GateType::Or: out = mgr.orMany(fan); break;
-      case GateType::Nand: out = mgr.bNot(mgr.andMany(fan)); break;
-      case GateType::Nor: out = mgr.bNot(mgr.orMany(fan)); break;
+      case GateType::Nand:
+        out = mgr.andMany(fan);
+        out = mgr.bNot(out);
+        break;
+      case GateType::Nor:
+        out = mgr.orMany(fan);
+        out = mgr.bNot(out);
+        break;
       case GateType::Xor:
       case GateType::Xnor: {
-        out = Bdd::kFalse;
         for (Bdd::Ref f : fan) out = mgr.bXor(out, f);
         if (gate.type == GateType::Xnor) out = mgr.bNot(out);
         break;
       }
       case GateType::Mux: out = mgr.ite(fan[0], fan[2], fan[1]); break;
     }
-    refOf[gate.out] = out;
+    live[gate.out] = out;
+    for (NetId f : gate.fanins)
+      if (--usesLeft[f] == 0) live.erase(f);
   }
   return netRef(root);
 }
@@ -117,7 +138,8 @@ RouteResult CertificationOracle::satRoute(std::uint32_t o, std::uint32_t op,
 }
 
 RouteResult CertificationOracle::bddRoute(std::uint32_t o, std::uint32_t op,
-                                          InputPattern* cex) {
+                                          InputPattern* cex,
+                                          BddStats* stats) {
   const Clock::time_point start = Clock::now();
   RouteResult result;
   // Deterministic budget-trip injection for the skipped(budget) tests: the
@@ -153,11 +175,36 @@ RouteResult CertificationOracle::bddRoute(std::uint32_t o, std::uint32_t op,
     }
     specVar.emplace(pi, numVars++);
   }
+  BddConfig cfg;
+  cfg.nodeLimit = opt_.bddNodeBudget;
+  cfg.reorder = opt_.bddReorder;
+  if (opt_.bddCacheBits != 0) {
+    cfg.cacheBits = opt_.bddCacheBits;
+    cfg.maxCacheBits = std::max(cfg.maxCacheBits, opt_.bddCacheBits);
+  }
+  if (opt_.bddReorderThreshold != 0)
+    cfg.reorderThreshold = opt_.bddReorderThreshold;
+  Bdd mgr(numVars, cfg);
+  // Reorder roots: the in-progress cone frontier plus every finished
+  // function still held across the remaining operations.
+  std::unordered_map<NetId, Bdd::Ref> frontier;
+  std::vector<Bdd::Ref> held;
+  mgr.setRootProvider([&](std::vector<Bdd::Ref>& roots) {
+    roots.reserve(roots.size() + frontier.size() + held.size());
+    for (const auto& [net, ref] : frontier) roots.push_back(ref);
+    roots.insert(roots.end(), held.begin(), held.end());
+  });
   try {
-    Bdd mgr(numVars, opt_.bddNodeBudget);
-    const Bdd::Ref fImpl = buildCone(mgr, impl_, impl_.outputNet(o), implVar);
-    const Bdd::Ref fSpec = buildCone(mgr, spec_, spec_.outputNet(op), specVar);
+    const Bdd::Ref fImpl =
+        buildCone(mgr, impl_, impl_.outputNet(o), implVar, frontier);
+    held.push_back(fImpl);
+    frontier.clear();
+    const Bdd::Ref fSpec =
+        buildCone(mgr, spec_, spec_.outputNet(op), specVar, frontier);
+    held.push_back(fSpec);
+    frontier.clear();
     const Bdd::Ref diff = mgr.bXor(fImpl, fSpec);
+    held.assign(1, diff);
     if (diff == Bdd::kFalse) {
       result.verdict = RouteVerdict::kEquivalent;
       result.detail =
@@ -181,6 +228,7 @@ RouteResult CertificationOracle::bddRoute(std::uint32_t o, std::uint32_t op,
     result.detail = "node budget exceeded at " +
                     std::to_string(opt_.bddNodeBudget) + " nodes";
   }
+  if (stats) *stats = mgr.stats();
   result.seconds = secondsSince(start);
   return result;
 }
@@ -284,7 +332,7 @@ OutputCertificate CertificationOracle::certify(std::uint32_t o,
   cert.name = impl_.outputName(o);
   InputPattern satCex, bddCex, simCex;
   cert.sat = satRoute(o, op, &satCex);
-  cert.bdd = bddRoute(o, op, &bddCex);
+  cert.bdd = bddRoute(o, op, &bddCex, &cert.bddStats);
   cert.sim = simRoute(o, op, &simCex);
 
   int provers = 0;

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -66,6 +67,14 @@ struct OracleOptions {
   std::size_t bddNodeBudget = 1u << 20;  ///< fresh-manager node limit
   std::int64_t satConflictBudget = -1;   ///< -1 = unbounded (exact route)
   std::uint64_t seed = 1;  ///< all oracle randomness derives from this
+  /// BDD-route engine tuning. Sifting is on by default: monolithic output
+  /// cones at identity order are exactly where dynamic reordering pays,
+  /// and the route's verdict is order-independent (a cone either completes
+  /// - same function - or trips the same node budget). `kOff` restores the
+  /// identity-order engine bit-for-bit.
+  BddReorder bddReorder = BddReorder::kSift;
+  std::uint32_t bddCacheBits = 0;       ///< 0 = engine default
+  std::size_t bddReorderThreshold = 0;  ///< 0 = engine default
 };
 
 /// Per-output certification record, one per (impl output, spec output) pair.
@@ -85,6 +94,10 @@ struct OutputCertificate {
   InputPattern cex;
   std::size_t cexDeviations = 0;  ///< nonzero bits after minimization
   bool cexReproduced = false;     ///< simulator confirmed the mismatch
+  /// BDD-route engine telemetry (peak nodes, cache hit rate, reorders) for
+  /// the --report observability block; zeros when the route never built a
+  /// manager (fault-injected skip).
+  BddStats bddStats;
 };
 
 /// A certified-wrong patch: the engine committed this output as correct,
@@ -115,7 +128,8 @@ class CertificationOracle {
 
  private:
   RouteResult satRoute(std::uint32_t o, std::uint32_t op, InputPattern* cex);
-  RouteResult bddRoute(std::uint32_t o, std::uint32_t op, InputPattern* cex);
+  RouteResult bddRoute(std::uint32_t o, std::uint32_t op, InputPattern* cex,
+                       BddStats* stats = nullptr);
   RouteResult simRoute(std::uint32_t o, std::uint32_t op, InputPattern* cex);
 
   const Netlist& impl_;

@@ -437,10 +437,10 @@ class IsolateCliTest : public ::testing::Test {
     std::istringstream in(text);
     std::string line;
     while (std::getline(in, line)) {
-      if (line.find("\"phase_seconds\"") != std::string::npos) continue;
+      if (line.find("\"phase_cpu_seconds\"") != std::string::npos) continue;
       std::size_t pos = 0;
-      while ((pos = line.find("\"seconds\": ", pos)) != std::string::npos) {
-        pos += 11;
+      while ((pos = line.find("seconds\": ", pos)) != std::string::npos) {
+        pos += 10;
         std::size_t end = pos;
         while (end < line.size() && line[end] != ',' && line[end] != '}')
           ++end;
@@ -541,6 +541,9 @@ TEST_P(IsolateFaultMatrix, InjectedFaultQuarantinesExactlyOneOutput) {
     if (refLine.find("\"run_limit\"") != std::string::npos) continue;
     if (refLine.find("\"patch\"") != std::string::npos) continue;
     if (refLine.find("\"budget\"") != std::string::npos) continue;
+    // The quarantined output falls back to a cone clone whose shape the
+    // ISOP minimizer may compress, so the global sweep stats differ.
+    if (refLine.find("\"sweep\"") != std::string::npos) continue;
     EXPECT_EQ(gotLine, refLine);
   }
 }

@@ -343,10 +343,10 @@ class ResumeCliTest : public ::testing::Test {
     std::istringstream in(text);
     std::string line;
     while (std::getline(in, line)) {
-      if (line.find("\"phase_seconds\"") != std::string::npos) continue;
+      if (line.find("\"phase_cpu_seconds\"") != std::string::npos) continue;
       std::size_t pos = 0;
-      while ((pos = line.find("\"seconds\": ", pos)) != std::string::npos) {
-        pos += 11;
+      while ((pos = line.find("seconds\": ", pos)) != std::string::npos) {
+        pos += 10;
         std::size_t end = pos;
         while (end < line.size() && line[end] != ',' && line[end] != '}' &&
                line[end] != '\n')

@@ -1,0 +1,138 @@
+// Property tests for the #SAT candidate ranker: on complete sampled
+// signatures the model-counting score must reproduce the word-level
+// popcount key *exactly* (this equality is what lets RankMode::kSharpSat
+// default on without perturbing any verdict), and the measured fractions
+// must match the popcount ratios.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "eco/sharpsat.hpp"
+#include "util/rng.hpp"
+
+namespace syseco {
+namespace {
+
+/// The legacy word-level agreement key from candidateNets, verbatim.
+std::ptrdiff_t wordKey(const Signature& pinSig, const Signature& candSig,
+                       const std::vector<std::uint64_t>& errMask,
+                       const std::vector<std::uint64_t>& correctMask,
+                       const std::vector<std::uint64_t>& obsFullMask) {
+  std::ptrdiff_t key = 0;
+  for (std::size_t wd = 0; wd < errMask.size(); ++wd) {
+    const std::uint64_t obsF = obsFullMask.empty() ? ~0ULL : obsFullMask[wd];
+    const std::uint64_t diff = pinSig[wd] ^ candSig[wd];
+    key += std::popcount(diff & errMask[wd]);
+    key -= 2 * std::popcount(diff & correctMask[wd] & obsF);
+  }
+  return key;
+}
+
+std::size_t popMasked(const Signature& pinSig, const Signature& candSig,
+                      const std::vector<std::uint64_t>& mask) {
+  std::size_t n = 0;
+  for (std::size_t wd = 0; wd < mask.size(); ++wd)
+    n += static_cast<std::size_t>(
+        std::popcount((pinSig[wd] ^ candSig[wd]) & mask[wd]));
+  return n;
+}
+
+std::vector<std::uint64_t> randomWords(Rng& rng, std::size_t words) {
+  std::vector<std::uint64_t> v(words);
+  for (auto& w : v) w = rng.next();
+  return v;
+}
+
+TEST(SharpSat, KeyEqualsWordLevelKeyOnRandomSignatures) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    // Word counts straddle the power-of-two boundary on purpose: 3 and 5
+    // exercise the zero-padded truth-table tail.
+    for (std::size_t words : {1u, 3u, 4u, 5u, 16u}) {
+      const Signature pinSig = randomWords(rng, words);
+      const auto errMask = randomWords(rng, words);
+      auto correctMask = randomWords(rng, words);
+      // Disjoint domains, as in the engine (error vs. correct samples).
+      for (std::size_t wd = 0; wd < words; ++wd) correctMask[wd] &= ~errMask[wd];
+      const auto obsFull = randomWords(rng, words);
+
+      SharpSatRanker ranker(pinSig, errMask, correctMask, obsFull);
+      for (int c = 0; c < 12; ++c) {
+        const Signature cand = randomWords(rng, words);
+        const CoverageScore s = ranker.score(cand);
+        EXPECT_EQ(s.rankKey,
+                  wordKey(pinSig, cand, errMask, correctMask, obsFull));
+      }
+    }
+  }
+}
+
+TEST(SharpSat, FractionsMatchPopcountRatios) {
+  Rng rng(7);
+  const std::size_t words = 8;
+  const Signature pinSig = randomWords(rng, words);
+  const auto errMask = randomWords(rng, words);
+  auto correctMask = randomWords(rng, words);
+  for (std::size_t wd = 0; wd < words; ++wd) correctMask[wd] &= ~errMask[wd];
+
+  std::vector<std::uint64_t> obsCorrect(words);
+  // Empty obsFullMask means observable everywhere.
+  for (std::size_t wd = 0; wd < words; ++wd) obsCorrect[wd] = correctMask[wd];
+
+  SharpSatRanker ranker(pinSig, errMask, correctMask, {});
+  std::size_t errCount = 0, obsCount = 0;
+  for (std::size_t wd = 0; wd < words; ++wd) {
+    errCount += static_cast<std::size_t>(std::popcount(errMask[wd]));
+    obsCount += static_cast<std::size_t>(std::popcount(obsCorrect[wd]));
+  }
+  for (int c = 0; c < 8; ++c) {
+    const Signature cand = randomWords(rng, words);
+    const CoverageScore s = ranker.score(cand);
+    const double cov = static_cast<double>(popMasked(pinSig, cand, errMask)) /
+                       static_cast<double>(std::max<std::size_t>(errCount, 1));
+    const double risk =
+        static_cast<double>(popMasked(pinSig, cand, obsCorrect)) /
+        static_cast<double>(std::max<std::size_t>(obsCount, 1));
+    EXPECT_DOUBLE_EQ(s.errorCoverage, cov);
+    EXPECT_DOUBLE_EQ(s.breakRisk, risk);
+  }
+}
+
+TEST(SharpSat, ManyQueriesSurviveArenaRecycling) {
+  // Enough queries to cross the internal manager-reset threshold; scores
+  // must stay exact across the rebuild.
+  Rng rng(11);
+  const std::size_t words = 16;
+  const Signature pinSig = randomWords(rng, words);
+  const auto errMask = randomWords(rng, words);
+  auto correctMask = randomWords(rng, words);
+  for (std::size_t wd = 0; wd < words; ++wd) correctMask[wd] &= ~errMask[wd];
+
+  SharpSatRanker ranker(pinSig, errMask, correctMask, {});
+  for (int c = 0; c < 600; ++c) {
+    const Signature cand = randomWords(rng, words);
+    EXPECT_EQ(ranker.score(cand).rankKey,
+              wordKey(pinSig, cand, errMask, correctMask, {}));
+  }
+}
+
+TEST(SharpSat, IdenticalSignatureScoresZero) {
+  Rng rng(3);
+  const std::size_t words = 4;
+  const Signature pinSig = randomWords(rng, words);
+  const auto errMask = randomWords(rng, words);
+  auto correctMask = randomWords(rng, words);
+  for (std::size_t wd = 0; wd < words; ++wd) correctMask[wd] &= ~errMask[wd];
+
+  SharpSatRanker ranker(pinSig, errMask, correctMask, {});
+  const CoverageScore s = ranker.score(pinSig);
+  EXPECT_EQ(s.rankKey, 0);
+  EXPECT_EQ(s.errorCoverage, 0.0);
+  EXPECT_EQ(s.breakRisk, 0.0);
+}
+
+}  // namespace
+}  // namespace syseco
