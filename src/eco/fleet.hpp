@@ -12,6 +12,13 @@
 // a bad task: compute-side exceptions become failure frames, and transport
 // errors just drop the connection (the supervisor classifies the break).
 //
+// Batch fan-out dispatches *whole cases* over the same connection
+// (kTypeFleetCaseTask): the agent runs the full engine on the resident
+// case - same seed, same options, agent-local --jobs - and answers with one
+// epoch-stamped envelope carrying the run report, the oracle's verdicts
+// record and the patched netlist, so a batch drains to artifacts
+// bit-identical to running every case locally.
+//
 // Fault-injection sites "fleet.agent" and "fleet.agent.o<output>" make the
 // agent misbehave on the wire deterministically (net-truncate / net-reset /
 // net-delay and the isolation kinds), so the supervisor's network failure
@@ -47,26 +54,43 @@ class CaseCacheLru {
     std::unique_ptr<NetlistAnalysis> specAnalysis;
   };
 
+  /// Lifetime counters: how well crc32 content-addressing amortizes case
+  /// uploads across tasks, retries and whole-case batch dispatch. Surfaced
+  /// in the agent's log lines and shipped back in every case-result
+  /// envelope so batch reports can aggregate them fleet-wide.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
   explicit CaseCacheLru(std::size_t slots) : slots_(slots ? slots : 1) {}
 
   /// Resident lookup; marks the entry most-recently used. Null on a miss.
+  /// Counts one hit or one miss.
   Entry* find(std::uint32_t crc);
 
   /// Makes `c` resident (building its analyses), evicting the
   /// least-recently-used entry when every slot is taken. Returns the
-  /// resident entry, already marked most-recently used.
+  /// resident entry, already marked most-recently used. Counts evictions
+  /// but neither hits nor misses (the preceding find() already did).
   Entry* insert(std::uint32_t crc, FleetCase c);
 
   std::size_t size() const { return entries_.size(); }
   std::size_t slots() const { return slots_; }
+  const Stats& stats() const { return stats_; }
 
   /// Resident keys, most-recently used first (the eviction-order test
   /// surface; also what a status probe would report).
   std::vector<std::uint32_t> keysMruFirst() const;
 
  private:
+  /// find() without the hit/miss accounting (insert's same-key refresh).
+  Entry* lookup(std::uint32_t crc);
+
   std::size_t slots_ = 1;
   std::list<Entry> entries_;  ///< front = most recently used
+  Stats stats_;
 };
 
 struct FleetAgentOptions {

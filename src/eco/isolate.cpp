@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "io/journal_io.hpp"
+#include "util/ipc.hpp"
 #include "util/journal.hpp"
 
 namespace syseco {
@@ -570,6 +571,112 @@ Result<FleetFailure> decodeFleetFailure(std::string_view payload) {
     return badFleet("malformed failure");
   if (f.detail.size() > 4096) f.detail.resize(4096);
   return f;
+}
+
+// --- Whole-case batch fan-out payloads ------------------------------------
+
+namespace {
+
+// The report and verdicts are bounded text documents; the netlist snapshot
+// dominates the frame and is bounded by the frame cap itself. Each bound is
+// checked at decode so a corrupt length can't drive supervisor allocation.
+constexpr std::size_t kMaxCaseTextBytes = 4u << 20;  // report / verdicts
+
+}  // namespace
+
+bool validFleetCaseName(std::string_view name) {
+  if (name.empty() || name.size() > 64 || name.front() == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string encodeFleetCaseTask(const FleetCaseTask& task) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"name\":\"" << jsonEscape(task.name)
+     << "\",\"case_crc\":" << task.caseCrc << ",\"epoch\":";
+  putU64String(os, task.epoch);
+  os << ",\"lease_seconds\":" << task.leaseSeconds << ",\"jobs\":" << task.jobs
+     << ",\"attempt\":" << task.attempt << "}";
+  return os.str();
+}
+
+Result<FleetCaseTask> decodeFleetCaseTask(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  if (v.kind != JsonValue::Kind::Object) return badFleet("not an object");
+  FleetCaseTask task;
+  if (!getString(v, "name", &task.name) || !validFleetCaseName(task.name) ||
+      !getU32(v, "case_crc", &task.caseCrc) ||
+      !getU64String(v, "epoch", &task.epoch) ||
+      !getDouble(v, "lease_seconds", &task.leaseSeconds) ||
+      task.leaseSeconds <= 0.0 || !getU32(v, "jobs", &task.jobs) ||
+      task.jobs < 1 || task.jobs > 256 ||
+      !getI64(v, "attempt", &task.attempt) || task.attempt < 1 ||
+      task.attempt > kMaxSmallCount)
+    return badFleet("malformed case task");
+  return task;
+}
+
+std::string encodeFleetCaseResult(const FleetCaseResult& result) {
+  std::ostringstream os;
+  os << "{\"epoch\":";
+  putU64String(os, result.epoch);
+  os << ",\"exit_code\":" << result.exitCode << ",\"report\":\""
+     << jsonEscape(result.report) << "\",\"verdicts\":\""
+     << jsonEscape(result.verdicts) << "\",\"netlist\":\""
+     << jsonEscape(result.netlist) << "\",\"cache_hits\":" << result.cacheHits
+     << ",\"cache_misses\":" << result.cacheMisses
+     << ",\"cache_evictions\":" << result.cacheEvictions << "}";
+  return os.str();
+}
+
+Result<FleetCaseResult> decodeFleetCaseResult(std::string_view payload) {
+  Result<JsonValue> parsed = parseJson(payload);
+  if (!parsed.isOk()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  if (v.kind != JsonValue::Kind::Object) return badFleet("not an object");
+  FleetCaseResult r;
+  std::int64_t exitCode = 0;
+  if (!getU64String(v, "epoch", &r.epoch) ||
+      !getI64(v, "exit_code", &exitCode) || exitCode < 0 || exitCode > 255 ||
+      !getString(v, "report", &r.report) ||
+      !getString(v, "verdicts", &r.verdicts) ||
+      !getString(v, "netlist", &r.netlist) ||
+      !getU64(v, "cache_hits", &r.cacheHits) ||
+      !getU64(v, "cache_misses", &r.cacheMisses) ||
+      !getU64(v, "cache_evictions", &r.cacheEvictions))
+    return badFleet("malformed case result");
+  r.exitCode = static_cast<int>(exitCode);
+  if (r.report.size() > kMaxCaseTextBytes ||
+      r.verdicts.size() > kMaxCaseTextBytes)
+    return badFleet("oversized case result text");
+  // The report must at least parse as a JSON object (it is re-served to
+  // clients verbatim); the verdicts record, when present, must be a single
+  // journal line - one JSON object tagged "verdicts", no embedded newline -
+  // because the supervisor compares it byte-for-byte with local runs.
+  if (Result<JsonValue> rep = parseJson(r.report);
+      !rep.isOk() || rep.value().kind != JsonValue::Kind::Object)
+    return badFleet("case result report is not a JSON object");
+  if (!r.verdicts.empty()) {
+    if (r.verdicts.find('\n') != std::string::npos)
+      return badFleet("verdicts record contains a newline");
+    Result<JsonValue> ver = parseJson(r.verdicts);
+    std::string type;
+    if (!ver.isOk() || ver.value().kind != JsonValue::Kind::Object ||
+        !getString(ver.value(), "type", &type) || type != "verdicts")
+      return badFleet("malformed verdicts record");
+  }
+  // The netlist snapshot is validated by the caller via restoreRawString
+  // (it needs the Netlist anyway); the codec only bounds it.
+  if (r.netlist.size() > ipc::kMaxPayloadBytes)
+    return badFleet("oversized netlist snapshot");
+  return r;
 }
 
 double retryBackoffSeconds(const SysecoOptions& opt, std::uint32_t output,

@@ -142,6 +142,55 @@ struct FleetFailure {
 std::string encodeFleetFailure(const FleetFailure& failure);
 Result<FleetFailure> decodeFleetFailure(std::string_view payload);
 
+// --- Whole-case batch fan-out payloads (--batch / daemon dispatch) --------
+//
+// Batch mode dispatches an *entire case* to an agent: the case upload reuses
+// encodeFleetCase + crc32 content addressing (so the agent's CaseCacheLru
+// amortizes it across retries), and the result envelope carries everything a
+// local run would have written to disk - the full report JSON, the verdicts
+// record and the patched netlist snapshot - plus the agent's cache counters
+// so batch-level cache amortization is observable at the supervisor.
+
+/// Case names come from user manifests and name artifact directories on the
+/// supervisor; the codec accepts only short portable path components:
+/// 1..64 chars of [A-Za-z0-9._-], not starting with '.'.
+bool validFleetCaseName(std::string_view name);
+
+/// Supervisor -> agent: run one whole case. `jobs` is the agent-local
+/// per-output parallelism (the engine's --jobs), part of the wire contract
+/// because verdicts must be bit-identical to a local `--jobs N` run.
+struct FleetCaseTask {
+  std::string name;
+  std::uint32_t caseCrc = 0;
+  std::uint64_t epoch = 0;
+  double leaseSeconds = 10.0;
+  std::uint32_t jobs = 1;
+  std::int64_t attempt = 1;
+};
+
+std::string encodeFleetCaseTask(const FleetCaseTask& task);
+Result<FleetCaseTask> decodeFleetCaseTask(std::string_view payload);
+
+/// Agent -> supervisor: the whole-case outcome. `report` is the full run
+/// report JSON text; `verdicts` is the oracle's verdicts journal record
+/// (empty when the oracle was disabled); `netlist` is the patched
+/// implementation as a raw-restore snapshot - the supervisor re-validates it
+/// through Netlist::restoreRawString before writing any artifact. The cache
+/// counters snapshot the agent's CaseCacheLru at completion time.
+struct FleetCaseResult {
+  std::uint64_t epoch = 0;
+  int exitCode = 0;  ///< the engine exit classification (0/1/4)
+  std::string report;
+  std::string verdicts;
+  std::string netlist;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t cacheEvictions = 0;
+};
+
+std::string encodeFleetCaseResult(const FleetCaseResult& result);
+Result<FleetCaseResult> decodeFleetCaseResult(std::string_view payload);
+
 /// Deterministic capped exponential retry backoff, shared by every worker
 /// transport (forked pipe workers and fleet agents). The exponential base
 /// grows with the attempt count (doubling from opt.isolateBackoffMs, capped

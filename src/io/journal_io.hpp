@@ -167,6 +167,36 @@ std::string serializeServeEvent(const JournalServeEvent& r);
 /// kInvalidInput, never UB.
 Result<JournalServeEvent> parseServeEvent(std::string_view payload);
 
+/// One durable state transition of a --batch sweep's case ledger (the batch
+/// WAL: same framing and fold-on-open recovery style as the serve WAL, its
+/// own directory). Engine-type-free: src/serve/batch_ledger owns the
+/// semantics.
+struct JournalBatchEvent {
+  std::string event;  ///< registered|dispatched|done|failed|requeued|note
+  std::string name;   ///< manifest case name; empty for batch-wide notes
+  std::string impl;   ///< manifest paths (registered only, else empty)
+  std::string spec;
+  std::uint64_t seed = 0;
+  std::int64_t jobs = 1;      ///< per-case worker threads (--jobs)
+  std::string worker;         ///< "host:port" for dispatched; "" for local
+  std::uint64_t epoch = 0;    ///< fleet assignment epoch for dispatched
+  std::int64_t attempt = 0;   ///< dispatch ordinal
+  std::int64_t exitCode = 0;  ///< engine exit classification for done
+  std::string cause;          ///< failure classification
+  std::string detail;
+  /// Agent CaseCacheLru counters snapshotted at case completion (done
+  /// events from remote dispatch; zero for local fallback runs).
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t cacheEvictions = 0;
+};
+
+std::string serializeBatchEvent(const JournalBatchEvent& r);
+
+/// Parses one batch WAL payload (a single JSON object with type "batch").
+/// Hardened like the rest of the journal parsers.
+Result<JournalBatchEvent> parseBatchEvent(std::string_view payload);
+
 /// Every intelligible record recovered from a journal directory.
 struct JournalContents {
   bool hasRunStart = false;

@@ -1,0 +1,325 @@
+#include "serve/batch_ledger.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "io/journal_io.hpp"
+
+namespace syseco::serve {
+
+namespace {
+
+constexpr const char* kLedgerSubdir = "/ledger";
+
+Status ensureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) return Status::ok();
+  return Status::internal("mkdir('" + path + "') failed: " +
+                          std::strerror(errno));
+}
+
+std::string pathExtension(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return ".netlist";
+  const std::string ext = path.substr(dot);
+  if (ext == ".blif" || ext == ".v") return ext;
+  return ".netlist";
+}
+
+/// Folds one WAL record into the recovered case list. Unknown events are
+/// skipped (a newer driver's WAL degrades to what this one understands).
+void foldEvent(const JournalBatchEvent& ev,
+               std::vector<std::unique_ptr<BatchCase>>& cases) {
+  if (ev.event == "note" || ev.name.empty()) return;
+  BatchCase* c = nullptr;
+  for (std::unique_ptr<BatchCase>& existing : cases)
+    if (existing->name == ev.name) {
+      c = existing.get();
+      break;
+    }
+  if (ev.event == "registered") {
+    if (c != nullptr) return;  // duplicate register: first one wins
+    auto fresh = std::make_unique<BatchCase>();
+    fresh->name = ev.name;
+    fresh->implPath = ev.impl;
+    fresh->specPath = ev.spec;
+    fresh->seed = ev.seed;
+    fresh->jobs = ev.jobs;
+    cases.push_back(std::move(fresh));
+    return;
+  }
+  if (c == nullptr) return;  // transition without a register: dropped frame
+  if (ev.event == "dispatched") {
+    c->state = CaseState::kRunning;
+    c->attempt = ev.attempt;
+    c->worker = ev.worker;
+  } else if (ev.event == "requeued") {
+    c->state = CaseState::kQueued;
+    c->resume = true;
+    c->attempt = ev.attempt;
+    c->cause = ev.cause;
+    c->detail = ev.detail;
+  } else if (ev.event == "done") {
+    c->state = CaseState::kDone;
+    c->exitCode = ev.exitCode;
+    c->worker = ev.worker;
+    c->cacheHits = ev.cacheHits;
+    c->cacheMisses = ev.cacheMisses;
+    c->cacheEvictions = ev.cacheEvictions;
+    c->cause.clear();
+    c->detail.clear();
+  } else if (ev.event == "failed") {
+    c->state = CaseState::kFailed;
+    c->cause = ev.cause;
+    c->detail = ev.detail;
+  }
+}
+
+JournalBatchEvent eventFor(const std::string& event, const BatchCase& c,
+                           std::uint64_t epoch) {
+  JournalBatchEvent ev;
+  ev.event = event;
+  ev.name = c.name;
+  ev.impl = c.implPath;
+  ev.spec = c.specPath;
+  ev.seed = c.seed;
+  ev.jobs = c.jobs;
+  ev.worker = c.worker;
+  ev.epoch = epoch;
+  ev.attempt = c.attempt;
+  ev.exitCode = c.exitCode;
+  ev.cause = c.cause;
+  ev.detail = c.detail;
+  ev.cacheHits = c.cacheHits;
+  ev.cacheMisses = c.cacheMisses;
+  ev.cacheEvictions = c.cacheEvictions;
+  return ev;
+}
+
+}  // namespace
+
+const char* caseStateName(CaseState s) {
+  switch (s) {
+    case CaseState::kQueued: return "queued";
+    case CaseState::kRunning: return "running";
+    case CaseState::kDone: return "done";
+    case CaseState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+Result<BatchLedger> BatchLedger::open(const std::string& stateDir) {
+  BatchLedger l;
+  l.stateDir_ = stateDir;
+  if (Status s = ensureDir(stateDir); !s.isOk()) return s;
+  if (Status s = ensureDir(stateDir + "/cases"); !s.isOk()) return s;
+
+  // Fold whatever WAL a previous driver life left behind. A missing
+  // journal is an empty scan; torn tails and corrupt lines were already
+  // dropped (with diagnostics) by the framing layer.
+  Result<JournalScan> scan = scanJournal(stateDir + kLedgerSubdir);
+  if (!scan.isOk()) return scan.status();
+  std::size_t droppedPayloads = 0;
+  for (const JournalFrame& frame : scan.value().frames) {
+    Result<JournalBatchEvent> ev = parseBatchEvent(frame.payload);
+    if (!ev.isOk()) {
+      ++droppedPayloads;
+      continue;
+    }
+    foldEvent(ev.value(), l.cases_);
+  }
+  for (const std::string& d : scan.value().diagnostics)
+    l.recoveryNotes_.push_back("batch WAL: " + d);
+  if (droppedPayloads > 0)
+    l.recoveryNotes_.push_back("batch WAL: dropped " +
+                               std::to_string(droppedPayloads) +
+                               " unparseable record(s)");
+  l.hadCases_ = !l.cases_.empty();
+
+  // Cases that were mid-dispatch when the driver died come back queued with
+  // the resume flag: their engine journals hold every committed checkpoint
+  // (remote dispatch leaves no local journal, and --resume over an empty
+  // journal simply runs fresh - either way the verdicts stay identical).
+  for (std::unique_ptr<BatchCase>& c : l.cases_) {
+    if (c->state == CaseState::kRunning) {
+      c->state = CaseState::kQueued;
+      c->resume = true;
+      l.recoveryNotes_.push_back(
+          "case " + c->name +
+          " was mid-dispatch at shutdown; re-queued with resume (attempt " +
+          std::to_string(c->attempt) + ")");
+    } else if (c->state == CaseState::kQueued && c->resume) {
+      l.recoveryNotes_.push_back("case " + c->name +
+                                 " restored as queued-with-resume");
+    }
+  }
+
+  // Compact: rewrite the WAL from the folded state so its length tracks
+  // case count, not driver lifetime.
+  Result<JournalWriter> wal = JournalWriter::create(stateDir + kLedgerSubdir);
+  if (!wal.isOk()) return wal.status();
+  l.wal_ = wal.take();
+  for (std::unique_ptr<BatchCase>& c : l.cases_) {
+    if (Status s =
+            l.wal_.append(serializeBatchEvent(eventFor("registered", *c, 0)));
+        !s.isOk())
+      return s;
+    const char* transition = nullptr;
+    switch (c->state) {
+      case CaseState::kQueued:
+        if (c->resume) transition = "requeued";
+        break;
+      case CaseState::kRunning: transition = "dispatched"; break;
+      case CaseState::kDone: transition = "done"; break;
+      case CaseState::kFailed: transition = "failed"; break;
+    }
+    if (transition != nullptr)
+      if (Status s = l.wal_.append(
+              serializeBatchEvent(eventFor(transition, *c, 0)));
+          !s.isOk())
+        return s;
+  }
+  return l;
+}
+
+Result<BatchCase*> BatchLedger::registerCase(const std::string& name,
+                                             const std::string& implPath,
+                                             const std::string& specPath,
+                                             std::uint64_t seed,
+                                             std::int64_t jobs) {
+  if (BatchCase* existing = find(name)) {
+    if (existing->implPath != implPath || existing->specPath != specPath ||
+        existing->seed != seed || existing->jobs != jobs)
+      return Status::invalidInput(
+          "case '" + name +
+          "' already in the ledger with different inputs; refusing to "
+          "resume a different manifest");
+    return existing;
+  }
+  auto fresh = std::make_unique<BatchCase>();
+  fresh->name = name;
+  fresh->implPath = implPath;
+  fresh->specPath = specPath;
+  fresh->seed = seed;
+  fresh->jobs = jobs;
+  if (Status s = ensureDir(caseDir(name)); !s.isOk()) return s;
+  if (Status s = appendEvent("registered", *fresh, 0); !s.isOk()) return s;
+  cases_.push_back(std::move(fresh));
+  return cases_.back().get();
+}
+
+BatchCase* BatchLedger::find(const std::string& name) {
+  for (std::unique_ptr<BatchCase>& c : cases_)
+    if (c->name == name) return c.get();
+  return nullptr;
+}
+
+std::vector<BatchCase*> BatchLedger::all() {
+  std::vector<BatchCase*> out;
+  out.reserve(cases_.size());
+  for (std::unique_ptr<BatchCase>& c : cases_) out.push_back(c.get());
+  return out;
+}
+
+Status BatchLedger::appendEvent(const std::string& event, const BatchCase& c,
+                                std::uint64_t epoch) {
+  return wal_.append(serializeBatchEvent(eventFor(event, c, epoch)));
+}
+
+Status BatchLedger::markDispatched(BatchCase& c, std::int64_t attempt,
+                                   const std::string& worker,
+                                   std::uint64_t epoch) {
+  BatchCase next = c;
+  next.attempt = attempt;
+  next.worker = worker;
+  if (Status s = appendEvent("dispatched", next, epoch); !s.isOk()) return s;
+  c.state = CaseState::kRunning;
+  c.attempt = attempt;
+  c.worker = worker;
+  return Status::ok();
+}
+
+Status BatchLedger::markDone(BatchCase& c, std::int64_t exitCode,
+                             std::uint64_t cacheHits,
+                             std::uint64_t cacheMisses,
+                             std::uint64_t cacheEvictions) {
+  BatchCase next = c;
+  next.exitCode = exitCode;
+  next.cacheHits = cacheHits;
+  next.cacheMisses = cacheMisses;
+  next.cacheEvictions = cacheEvictions;
+  next.cause.clear();
+  next.detail.clear();
+  if (Status s = appendEvent("done", next, 0); !s.isOk()) return s;
+  c.state = CaseState::kDone;
+  c.exitCode = exitCode;
+  c.cacheHits = cacheHits;
+  c.cacheMisses = cacheMisses;
+  c.cacheEvictions = cacheEvictions;
+  c.cause.clear();
+  c.detail.clear();
+  return Status::ok();
+}
+
+Status BatchLedger::markFailed(BatchCase& c, const std::string& cause,
+                               const std::string& detail) {
+  BatchCase next = c;
+  next.cause = cause;
+  next.detail = detail;
+  if (Status s = appendEvent("failed", next, 0); !s.isOk()) return s;
+  c.state = CaseState::kFailed;
+  c.cause = cause;
+  c.detail = detail;
+  return Status::ok();
+}
+
+Status BatchLedger::markRequeued(BatchCase& c, const std::string& cause,
+                                 const std::string& detail) {
+  BatchCase next = c;
+  next.cause = cause;
+  next.detail = detail;
+  if (Status s = appendEvent("requeued", next, 0); !s.isOk()) return s;
+  c.state = CaseState::kQueued;
+  c.resume = true;
+  c.cause = cause;
+  c.detail = detail;
+  return Status::ok();
+}
+
+Status BatchLedger::note(const std::string& detail) {
+  JournalBatchEvent ev;
+  ev.event = "note";
+  ev.detail = detail;
+  return wal_.append(serializeBatchEvent(ev));
+}
+
+std::string BatchLedger::caseDir(const std::string& name) const {
+  return stateDir_ + "/cases/" + name;
+}
+
+std::string BatchLedger::engineJournalDir(const BatchCase& c) const {
+  return caseDir(c.name) + "/journal";
+}
+
+std::string BatchLedger::reportPath(const BatchCase& c) const {
+  return caseDir(c.name) + "/report.json";
+}
+
+std::string BatchLedger::outPath(const BatchCase& c) const {
+  return caseDir(c.name) + "/out" + pathExtension(c.implPath);
+}
+
+std::string BatchLedger::verdictsPath(const BatchCase& c) const {
+  return caseDir(c.name) + "/verdicts.txt";
+}
+
+std::string BatchLedger::workerLogPath(const BatchCase& c) const {
+  return caseDir(c.name) + "/worker.log";
+}
+
+}  // namespace syseco::serve

@@ -1,0 +1,137 @@
+#pragma once
+// WAL-backed durable case ledger for --batch sweeps.
+//
+// The batch ledger is the job queue's sibling (same fold-on-open recovery
+// style, same fsync-per-record util/journal WAL) at case granularity: every
+// per-case transition (registered, dispatched, done, failed, requeued) is
+// appended to the WAL *before* the in-memory state mutates. A batch driver
+// killed with SIGKILL at any instant recovers the sweep exactly by folding
+// the WAL: finished cases stay finished, queued cases stay queued, and
+// cases that were mid-dispatch come back as queued-with-resume so the next
+// run re-dispatches them with --resume against their own engine journals -
+// which is what keeps post-crash verdicts bit-identical to an
+// uninterrupted sweep.
+//
+// On-disk layout under the batch state directory:
+//
+//   ledger/           the WAL (journal.jsonl + COMMIT), batch-event records
+//   cases/<name>/     one directory per case:
+//     journal/                 the case's own engine run journal
+//     report.json, out.<fmt>   the finished run's artifacts
+//     verdicts.txt             the oracle's verdicts record (one line)
+//     worker.log               captured output of a local fallback worker
+//
+// The WAL is compacted on every open, so its length is bounded by case
+// count, not driver lifetime. Case names come from user manifests and name
+// directories here, which is why the codec layer only admits portable path
+// components (validFleetCaseName).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/journal.hpp"
+#include "util/status.hpp"
+
+namespace syseco::serve {
+
+enum class CaseState { kQueued, kRunning, kDone, kFailed };
+
+const char* caseStateName(CaseState s);
+
+/// One case's durable record plus dispatch bookkeeping.
+struct BatchCase {
+  std::string name;      ///< manifest name, also the artifact directory
+  std::string implPath;  ///< manifest input paths (not copied in)
+  std::string specPath;
+  std::uint64_t seed = 1;
+  std::int64_t jobs = 1;  ///< per-case engine parallelism (--jobs)
+  CaseState state = CaseState::kQueued;
+  std::int64_t attempt = 0;   ///< dispatch ordinal (1 = first attempt)
+  std::int64_t exitCode = 0;  ///< engine exit classification when done
+  std::string cause;          ///< failure classification
+  std::string detail;
+  std::string worker;  ///< last dispatch target ("host:port", "" = local)
+  /// A previous attempt (possibly in a previous driver life) left an engine
+  /// journal behind: run with --resume so committed per-output progress is
+  /// kept and the final verdicts stay bit-identical.
+  bool resume = false;
+  /// Agent cache counters snapshotted with the remote result (zero for
+  /// local fallback runs).
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t cacheEvictions = 0;
+};
+
+class BatchLedger {
+ public:
+  /// Opens (creating if needed) the state directory, folds the WAL to
+  /// recover every case, re-queues cases that were mid-dispatch with the
+  /// resume flag set, and compacts the WAL. recoveryNotes() describes what
+  /// was recovered.
+  static Result<BatchLedger> open(const std::string& stateDir);
+
+  /// True when the WAL already held cases at open() - the resume-vs-fresh
+  /// signal for the CLI (`--batch ... --resume DIR` expects it, a fresh
+  /// `--batch-state DIR` rejects it).
+  bool hadCases() const { return hadCases_; }
+
+  /// Registers a manifest case, appending its WAL record. Idempotent on
+  /// resume: a case already recovered under `name` with the same inputs is
+  /// returned as-is; the same name with different inputs is kInvalidInput
+  /// (the ledger guards against resuming a different manifest).
+  Result<BatchCase*> registerCase(const std::string& name,
+                                  const std::string& implPath,
+                                  const std::string& specPath,
+                                  std::uint64_t seed, std::int64_t jobs);
+
+  BatchCase* find(const std::string& name);
+  std::vector<BatchCase*> all();
+
+  // Durable transitions: WAL append first (fsync'd), then the mutation.
+  Status markDispatched(BatchCase& c, std::int64_t attempt,
+                        const std::string& worker, std::uint64_t epoch);
+  Status markDone(BatchCase& c, std::int64_t exitCode,
+                  std::uint64_t cacheHits, std::uint64_t cacheMisses,
+                  std::uint64_t cacheEvictions);
+  Status markFailed(BatchCase& c, const std::string& cause,
+                    const std::string& detail);
+  /// Reclaims a dispatched case (lease expiry, peer death, driver
+  /// recovery): back to queued-with-resume for the next dispatch.
+  Status markRequeued(BatchCase& c, const std::string& cause,
+                      const std::string& detail);
+
+  /// Appends a batch-wide note record (observability only; folded away on
+  /// the next compaction).
+  Status note(const std::string& detail);
+
+  // Artifact paths inside the case's directory.
+  std::string caseDir(const std::string& name) const;
+  std::string engineJournalDir(const BatchCase& c) const;
+  std::string reportPath(const BatchCase& c) const;
+  std::string outPath(const BatchCase& c) const;  ///< extension from implPath
+  std::string verdictsPath(const BatchCase& c) const;
+  std::string workerLogPath(const BatchCase& c) const;
+
+  const std::string& stateDir() const { return stateDir_; }
+  const std::vector<std::string>& recoveryNotes() const {
+    return recoveryNotes_;
+  }
+
+ private:
+  BatchLedger() = default;
+
+  Status appendEvent(const std::string& event, const BatchCase& c,
+                     std::uint64_t epoch);
+
+  std::string stateDir_;
+  JournalWriter wal_;
+  /// Stable addresses (the scheduler holds BatchCase* across ticks),
+  /// registration order (= manifest order on a fresh ledger).
+  std::vector<std::unique_ptr<BatchCase>> cases_;
+  bool hadCases_ = false;
+  std::vector<std::string> recoveryNotes_;
+};
+
+}  // namespace syseco::serve

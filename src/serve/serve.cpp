@@ -10,7 +10,10 @@
 #include "io/blif_io.hpp"
 #include "io/netlist_io.hpp"
 #include "io/verilog_io.hpp"
+#include "serve/batch.hpp"
 #include "serve/watchdog.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
 #include "util/io_retry.hpp"
 #include "util/ipc.hpp"
 #include "util/socket.hpp"
@@ -63,7 +66,11 @@ class Daemon {
       : opt_(opt),
         queue_(std::move(queue)),
         watchdog_(PoolWatchdog::Options{opt.poolSize, opt.maxAttempts,
-                                        opt.backoffBaseMs}) {}
+                                        opt.backoffBaseMs}),
+        dispatcher_(CaseDispatcher::Options{opt.workers, opt.fleetLeaseSeconds,
+                                            opt.fleetConnectTimeoutMs,
+                                            opt.fleetMinWorkers,
+                                            opt.verbose}) {}
 
   Status run();
 
@@ -93,13 +100,22 @@ class Daemon {
   void dropConnection(Conn& conn);
   JobState stateOf(Job& job, bool withArtifacts);
   void dispatchQueued();
+  bool dispatchRemote(Job& job);
+  void serviceFleet();
+  void settleFleetEvent(const CaseDispatcher::Event& ev, double now);
   void reapExits();
   void cancelJob(Job& job, const std::string& cause,
                  const std::string& detail);
+  void requeueRemote(Job& job, const std::string& cause,
+                     const std::string& detail, double now);
 
   const ServeOptions& opt_;
   JobQueue queue_;
   PoolWatchdog watchdog_;
+  /// Whole-case remote dispatch over --workers agents; idle (and never
+  /// polled) when the daemon was started without workers.
+  CaseDispatcher dispatcher_;
+  bool fleetDegraded_ = false;
   std::vector<Conn> conns_;
   /// Retry pacing: job id -> monotonic seconds before which it must not
   /// be re-dispatched.
@@ -124,9 +140,11 @@ Status Daemon::run() {
     std::vector<int> fds;
     fds.push_back(listenFd);
     for (const Conn& c : conns_) fds.push_back(c.fd);
+    for (int fd : dispatcher_.pollFds()) fds.push_back(fd);
     subprocess::pollReadable(fds, kTickMs);
     acceptClients(listenFd);
     serviceConnections();
+    serviceFleet();
     reapExits();
     dispatchQueued();
   }
@@ -138,6 +156,7 @@ Status Daemon::run() {
       " in-flight worker(s)");
   queue_.note("shutdown");
   watchdog_.terminateAll(kTerminateGraceSeconds);
+  dispatcher_.closeAll();
   for (Conn& c : conns_) net::closeSocket(c.fd);
   int fd = listenFd;
   net::closeSocket(fd);
@@ -337,11 +356,19 @@ void Daemon::dropConnection(Conn& conn) {
 
 void Daemon::dispatchQueued() {
   for (Job* job : queue_.all()) {
-    if (!watchdog_.hasIdleSlot()) return;
     if (job->state != QueueState::kQueued) continue;
     if (auto it = notBefore_.find(job->id);
         it != notBefore_.end() && clock_.seconds() < it->second)
       continue;  // still backing off; later queued jobs may proceed
+    // Plain jobs ride the fleet while it is healthy; --isolate and
+    // fault-inject jobs always run on the local pool (their semantics are
+    // local by construction).
+    const bool fleetEligible = !job->isolate && job->faultInject.empty();
+    if (fleetEligible && !fleetDegraded_ && dispatcher_.enabled() &&
+        dispatcher_.fleetUsable() && dispatcher_.hasIdlePeer()) {
+      if (dispatchRemote(*job)) continue;
+    }
+    if (!watchdog_.hasIdleSlot()) return;
     const std::int64_t attempt = job->attempt + 1;
     const bool resume = job->resume;
     if (Status s = queue_.markRunning(*job, attempt); !s.isOk()) {
@@ -374,6 +401,141 @@ void Daemon::dispatchQueued() {
     }
     log("dispatched job " + job->id + " (attempt " +
         std::to_string(attempt) + (resume ? ", resume)" : ")"));
+  }
+}
+
+bool Daemon::dispatchRemote(Job& job) {
+  // Rebuild the case upload from the job's admitted payload files; any
+  // hiccup here falls back to the local pool rather than failing the job.
+  const std::string implText = slurp(queue_.implPath(job));
+  const std::string specText = slurp(queue_.specPath(job));
+  if (implText.empty() || specText.empty()) {
+    warn("job " + job.id + ": payload files unreadable; using the local pool");
+    return false;
+  }
+  auto parse = [&](const std::string& text) -> Result<Netlist> {
+    std::istringstream is(text);
+    return job.format == "blif" ? readBlifChecked(is)
+           : job.format == "v"  ? readVerilogChecked(is)
+                                : readNetlistChecked(is);
+  };
+  Result<Netlist> base = parse(implText);
+  Result<Netlist> spec = parse(specText);
+  if (!base.isOk() || !spec.isOk()) {
+    warn("job " + job.id + ": payload re-parse failed; using the local pool");
+    return false;
+  }
+  SysecoOptions eopt;
+  eopt.seed = job.seed;
+  const std::int64_t attempt = job.attempt + 1;
+  if (Status s = queue_.markRunning(job, attempt); !s.isOk()) {
+    warn("cannot journal dispatch of " + job.id + ": " +
+         std::string(s.message()));
+    return true;  // still queued; retried next tick
+  }
+  Result<CaseDispatcher::Assignment> a = dispatcher_.assign(
+      job.id, encodeFleetCase(base.value(), spec.value(), eopt, {}), job.jobs,
+      attempt, clock_.seconds());
+  if (!a.isOk()) {
+    requeueRemote(job, "conn-refused", "no usable agent accepted the case",
+                  clock_.seconds());
+    return true;
+  }
+  queue_.note("job " + job.id + " dispatched to " + a.value().worker +
+              " (epoch " + std::to_string(a.value().epoch) + ", attempt " +
+              std::to_string(attempt) + ")");
+  log("dispatched job " + job.id + " to " + a.value().worker + " (attempt " +
+      std::to_string(attempt) + ")");
+  return true;
+}
+
+void Daemon::requeueRemote(Job& job, const std::string& cause,
+                           const std::string& detail, double now) {
+  if (job.attempt >= opt_.maxAttempts) {
+    queue_.markFailed(job, cause,
+                      "quarantined after " + std::to_string(job.attempt) +
+                          " attempt(s); last failure: " + detail);
+    log("job " + job.id + " quarantined (" + cause + "): " + detail);
+    return;
+  }
+  queue_.markRequeued(job, cause, detail);
+  // Case-level redispatch rides the per-output transports' deterministic
+  // backoff contract, keyed by the job id's crc32 as the case ordinal.
+  notBefore_[job.id] =
+      now + caseRedispatchBackoffSeconds(opt_.backoffBaseMs, job.seed,
+                                         crc32(job.id),
+                                         static_cast<int>(job.attempt));
+  log("job " + job.id + " re-queued after remote failure (" + cause + "): " +
+      detail);
+}
+
+void Daemon::serviceFleet() {
+  if (!dispatcher_.enabled()) return;
+  if (!fleetDegraded_ && !dispatcher_.fleetUsable()) {
+    fleetDegraded_ = true;
+    const std::string why =
+        std::to_string(dispatcher_.usableWorkers()) +
+        " usable worker(s), minimum " + std::to_string(opt_.fleetMinWorkers);
+    warn("fleet degraded (" + why +
+         "); continuing with the local watchdog pool");
+    // closeAll reclaims in-flight remote cases; poll() below surfaces them
+    // as failure events that re-queue onto the local pool.
+    dispatcher_.closeAll();
+  }
+  const double now = clock_.seconds();
+  for (const CaseDispatcher::Event& ev : dispatcher_.poll(now))
+    settleFleetEvent(ev, now);
+}
+
+void Daemon::settleFleetEvent(const CaseDispatcher::Event& ev, double now) {
+  switch (ev.kind) {
+    case CaseDispatcher::EventKind::kResult: {
+      Job* job = queue_.find(ev.name);
+      if (job == nullptr || job->state != QueueState::kRunning)
+        return;  // cancelled while the result was in flight
+      Result<Netlist> nl = Netlist::restoreRawString(ev.result.netlist);
+      if (!nl.isOk()) {
+        requeueRemote(*job, "garbage-ipc",
+                      "result netlist failed validation: " +
+                          std::string(nl.status().message()),
+                      now);
+        return;
+      }
+      if (Status s = writeFileAtomic(queue_.reportPath(*job),
+                                     ev.result.report);
+          !s.isOk())
+        warn("cannot write report for " + job->id + ": " +
+             std::string(s.message()));
+      if (job->format == "blif")
+        saveBlif(queue_.outPath(*job), nl.value());
+      else if (job->format == "v")
+        saveVerilog(queue_.outPath(*job), nl.value());
+      else
+        saveNetlist(queue_.outPath(*job), nl.value());
+      queue_.markDone(*job, ev.result.exitCode);
+      queue_.note("job " + job->id + " completed on " + ev.worker +
+                  "; agent case cache: hits " +
+                  std::to_string(ev.result.cacheHits) + ", misses " +
+                  std::to_string(ev.result.cacheMisses) + ", evictions " +
+                  std::to_string(ev.result.cacheEvictions));
+      log("job " + job->id + " done on " + ev.worker + " (exit " +
+          std::to_string(ev.result.exitCode) + ")");
+      return;
+    }
+    case CaseDispatcher::EventKind::kFailure: {
+      Job* job = queue_.find(ev.name);
+      if (job == nullptr || job->state != QueueState::kRunning) return;
+      requeueRemote(*job, ev.cause, ev.detail, now);
+      return;
+    }
+    case CaseDispatcher::EventKind::kStaleDiscard:
+      queue_.note("stale-epoch duplicate from " + ev.worker +
+                  " discarded (job " + ev.name + "): " + ev.detail);
+      return;
+    case CaseDispatcher::EventKind::kPeerDead:
+      queue_.note("worker " + ev.worker + " marked dead (" + ev.cause +
+                  "): " + ev.detail);
+      return;
   }
 }
 

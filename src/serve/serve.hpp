@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "serve/codec.hpp"
 #include "serve/job_queue.hpp"
@@ -45,6 +46,15 @@ struct ServeOptions {
   AdmissionLimits limits;
   int maxAttempts = 3;           ///< dispatches per job before quarantine
   double backoffBaseMs = 100.0;  ///< retry pacing (doubled, capped at 5 s)
+  /// Remote whole-case dispatch (--workers): plain queued jobs are shipped
+  /// to --serve-worker agents as whole cases; --isolate and fault-inject
+  /// jobs stay on the local pool. When the usable fleet shrinks below
+  /// minWorkers the daemon degrades - permanently for its lifetime - to
+  /// the local watchdog pool alone.
+  std::vector<std::string> workers;
+  double fleetLeaseSeconds = 10.0;
+  int fleetConnectTimeoutMs = 2000;
+  int fleetMinWorkers = 1;
   bool verbose = false;
   /// Polled every tick; a set flag drains to a clean shutdown (running
   /// jobs are terminated and recovered as queued-with-resume next start).

@@ -81,6 +81,22 @@
 //   --serve-max-bytes-mb N daemon: resident payload watermark (default 256)
 //   --serve-attempts N  daemon: worker deaths per job before quarantine
 //                       (default 3)
+//                       With --workers, the daemon also dispatches whole
+//                       queued jobs to --serve-worker agents (case upload +
+//                       lease + epoch protocol); when the usable fleet
+//                       shrinks below --fleet-min-workers it degrades to
+//                       the local pool.
+//   --batch MANIFEST    sweep mode: run every case of a JSON manifest
+//                       ({"cases":[{"name","impl","spec"[,"seed"][,"jobs"]}
+//                       ...]}) through a WAL-backed case ledger. Cases are
+//                       dispatched whole to --workers agents (or the local
+//                       pool), retried with deterministic backoff, and
+//                       quarantined past --serve-attempts. kill -9 of the
+//                       driver resumes with --resume DIR, draining to
+//                       verdicts bit-identical to serial local runs.
+//   --batch-state DIR   batch: fresh sweep state directory (ledger WAL +
+//                       per-case artifacts); refuses a dir that already
+//                       holds a sweep (use --resume DIR for that)
 //   --connect HOST:PORT client mode: submit --impl/--spec as a job to a
 //                       --serve daemon, wait for it, and write --out /
 //                       --report from the delivered artifacts. Structured
@@ -148,6 +164,7 @@
 #include "eco/deltasyn.hpp"
 #include "eco/exactfix.hpp"
 #include "eco/fleet.hpp"
+#include "eco/report.hpp"
 #include "eco/resume.hpp"
 #include "eco/syseco.hpp"
 #include "itp/interp_fix.hpp"
@@ -155,6 +172,7 @@
 #include "io/journal_io.hpp"
 #include "io/netlist_io.hpp"
 #include "io/verilog_io.hpp"
+#include "serve/batch.hpp"
 #include "serve/serve.hpp"
 #include "util/atomic_file.hpp"
 #include "util/socket.hpp"
@@ -277,105 +295,6 @@ std::function<void(std::uint16_t)> portFileHook(const std::string& path) {
   };
 }
 
-/// Machine-readable run report (schema documented in README.md).
-void writeReport(std::ostream& os, const std::string& engine,
-                 const EcoResult& result, const SysecoDiagnostics& diag,
-                 AuditLevel auditLevel, bool oracleEnabled, int exitCode) {
-  os << "{\n";
-  os << "  \"engine\": \"" << jsonEscape(engine) << "\",\n";
-  os << "  \"build\": " << buildInfoJson("  ") << ",\n";
-  os << "  \"success\": " << (result.success ? "true" : "false") << ",\n";
-  os << "  \"degraded\": " << (diag.resourceDegraded() ? "true" : "false")
-     << ",\n";
-  os << "  \"exit_code\": " << exitCode << ",\n";
-  os << "  \"run_limit\": \"" << statusCodeName(diag.runLimit) << "\",\n";
-  os << "  \"failing_outputs\": " << result.failingOutputsBefore << ",\n";
-  os << "  \"seconds\": " << result.seconds << ",\n";
-  // "seconds" above is wall clock; the per-phase numbers below are summed
-  // across worker threads, so their total exceeds wall under --jobs N.
-  os << "  \"cpu_seconds\": "
-     << (diag.secondsSampling + diag.secondsSymbolic + diag.secondsScreening +
-         diag.secondsValidation + diag.secondsFallback + diag.secondsSweep +
-         diag.secondsVerify)
-     << ",\n";
-  os << "  \"patch\": {\"inputs\": " << result.stats.inputs
-     << ", \"outputs\": " << result.stats.outputs
-     << ", \"gates\": " << result.stats.gates
-     << ", \"nets\": " << result.stats.nets << "},\n";
-  os << "  \"budget\": {\"conflicts_used\": " << diag.conflictsUsed
-     << ", \"bdd_nodes_used\": " << diag.bddNodesUsed << "},\n";
-  os << "  \"phase_cpu_seconds\": {"
-     << "\"sampling\": " << diag.secondsSampling
-     << ", \"symbolic\": " << diag.secondsSymbolic
-     << ", \"screening\": " << diag.secondsScreening
-     << ", \"validation\": " << diag.secondsValidation
-     << ", \"fallback\": " << diag.secondsFallback
-     << ", \"sweep\": " << diag.secondsSweep
-     << ", \"verify\": " << diag.secondsVerify << "},\n";
-  os << "  \"sweep\": {\"merges\": " << diag.sweepMerges
-     << ", \"isop_rewrites\": " << diag.isopRewrites
-     << ", \"isop_gates_saved\": " << diag.isopGatesSaved << "},\n";
-  // Invariant audits: boundary count and findings (a written report means
-  // every audit passed - failures abort the run - but the findings field
-  // keeps the schema honest either way).
-  os << "  \"audit\": {\"level\": \"" << auditLevelName(auditLevel)
-     << "\", \"boundaries\": " << diag.audits.size()
-     << ", \"seconds\": " << diag.secondsAudit << ", \"findings\": [";
-  {
-    bool first = true;
-    for (const AuditReport& a : diag.audits)
-      for (const AuditFinding& f : a.findings) {
-        os << (first ? "" : ", ") << "{\"phase\": \"" << jsonEscape(a.phase)
-           << "\", \"check\": \"" << jsonEscape(f.check)
-           << "\", \"detail\": \"" << jsonEscape(f.detail) << "\"}";
-        first = false;
-      }
-  }
-  os << "]},\n";
-  // Oracle certificates: per-output verdicts, deliberately timing-free so
-  // reports from --jobs/--isolate/--resume runs diff clean after the
-  // standard timing normalization.
-  os << "  \"oracle\": {\"enabled\": " << (oracleEnabled ? "true" : "false")
-     << ", \"disagreements\": " << diag.oracleDisagreements.size()
-     << ", \"outputs\": [";
-  for (std::size_t i = 0; i < diag.certificates.size(); ++i) {
-    const OutputCertificate& c = diag.certificates[i];
-    // Per-output BDD telemetry (deterministic for a fixed seed and
-    // identical across --jobs/--isolate/--resume: certification runs
-    // post-search in the main process).
-    os << (i ? ", " : "") << "{\"output\": " << c.output << ", \"name\": \""
-       << jsonEscape(c.name) << "\", \"sat\": \""
-       << routeVerdictName(c.sat.verdict) << "\", \"bdd\": \""
-       << routeVerdictName(c.bdd.verdict) << "\", \"sim\": \""
-       << routeVerdictName(c.sim.verdict) << "\", \"certified\": "
-       << (c.certified ? "true" : "false")
-       << ", \"bdd_stats\": {\"peak_nodes\": " << c.bddStats.peakNodes
-       << ", \"unique_hits\": " << c.bddStats.uniqueHits
-       << ", \"cache_bits\": " << c.bddStats.cacheBitsNow
-       << ", \"cache_hit_rate\": " << c.bddStats.cacheHitRate()
-       << ", \"reorders\": " << c.bddStats.reorders
-       << ", \"swaps\": " << c.bddStats.swaps << "}}";
-  }
-  os << "]},\n";
-  os << "  \"outputs\": [";
-  for (std::size_t i = 0; i < diag.outputs.size(); ++i) {
-    const OutputReport& r = diag.outputs[i];
-    os << (i ? ",\n    " : "\n    ");
-    os << "{\"output\": " << r.output << ", \"name\": \""
-       << jsonEscape(r.name) << "\", \"status\": \""
-       << outputRectStatusName(r.status) << "\", \"limit\": \""
-       << statusCodeName(r.limit) << "\", \"conflicts_used\": "
-       << r.conflictsUsed << ", \"bdd_nodes_used\": " << r.bddNodesUsed
-       << ", \"seconds\": " << r.seconds
-       << ", \"degrade_steps\": " << r.degradeSteps
-       << ", \"attempts\": " << r.workerFailedAttempts
-       << ", \"exit_cause\": \"" << workerExitCauseName(r.workerExitCause)
-       << "\"}";
-  }
-  os << (diag.outputs.empty() ? "]\n" : "\n  ]\n");
-  os << "}\n";
-}
-
 /// Atomic failure report: a run that dies before producing diagnostics
 /// still leaves machine-readable evidence of what went wrong. Best-effort -
 /// a report-write failure must not mask the original error.
@@ -432,13 +351,19 @@ void writeFailureReport(const std::string& reportPath,
                "          [--serve-max-tenant N] [--serve-max-bytes-mb N] "
                "[--serve-attempts N]\n"
                "          [--port-file FILE] [--verbose]\n"
+               "       %s --batch MANIFEST (--batch-state DIR | --resume "
+               "DIR)\n"
+               "          [--workers host:port,...] [--fleet-lease-ms MS] "
+               "[--fleet-min-workers N]\n"
+               "          [--serve-pool N] [--serve-attempts N] [--seed S] "
+               "[--jobs N] [--verbose]\n"
                "       %s --connect HOST:PORT --impl FILE --spec FILE "
                "[--tenant NAME]\n"
                "          [--detach] [--out FILE] [--report FILE] [--seed S] "
                "[--jobs N] [--isolate]\n"
                "       %s --connect HOST:PORT "
                "--status JOB | --wait JOB | --cancel JOB\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(kExitUsage);
 }
 
@@ -457,6 +382,7 @@ int main(int argc, char** argv) {
   int serveAttempts = 3;
   std::string connectSpec, tenant = "default", submitFault;
   std::string statusJob, waitJob, cancelJob;
+  std::string batchManifest, batchStateDir;
   bool detach = false;
   SysecoOptions opt;
   // The exact-fix baseline keeps reordering off unless the user asks: its
@@ -599,6 +525,8 @@ int main(int argc, char** argv) {
         if (serveAttempts < 1)
           throw std::invalid_argument("attempts must be >= 1");
       }
+      else if (arg == "--batch") batchManifest = value();
+      else if (arg == "--batch-state") batchStateDir = value();
       else if (arg == "--connect") connectSpec = value();
       else if (arg == "--tenant") tenant = value();
       else if (arg == "--detach") detach = true;
@@ -685,6 +613,11 @@ int main(int argc, char** argv) {
     so.poolSize = servePool;
     so.limits = serveLimits;
     so.maxAttempts = serveAttempts;
+    so.backoffBaseMs = opt.isolateBackoffMs;
+    so.workers = opt.workers;
+    so.fleetLeaseSeconds = opt.fleetLeaseSeconds;
+    so.fleetConnectTimeoutMs = opt.fleetConnectTimeoutMs;
+    so.fleetMinWorkers = opt.fleetMinWorkers;
     so.verbose = opt.verbose;
     so.stop = &gAgentStop;
     if (!portFilePath.empty()) so.boundHook = portFileHook(portFilePath);
@@ -696,6 +629,55 @@ int main(int argc, char** argv) {
                                                         : kExitUsage;
     }
     return kExitClean;
+  }
+  if (!batchManifest.empty()) {
+    // Batch-sweep mode: drive a manifest of whole cases through the
+    // WAL-backed batch ledger - remote over --workers agents while the
+    // fleet is healthy, a local watchdog pool otherwise. SIGKILL-safe:
+    // re-run with --resume to drain the same sweep to identical verdicts.
+    if (!batchStateDir.empty() && !resumeDir.empty()) {
+      std::fprintf(stderr,
+                   "error: --batch takes --batch-state DIR (fresh sweep) or "
+                   "--resume DIR (continue), not both\n");
+      return kExitUsage;
+    }
+    installSignalHandlers();
+    serve::BatchOptions bo;
+    bo.manifestPath = batchManifest;
+    bo.expectResume = !resumeDir.empty();
+    bo.stateDir = bo.expectResume ? resumeDir : batchStateDir;
+    if (bo.stateDir.empty()) {
+      std::fprintf(stderr,
+                   "error: --batch needs --batch-state DIR (fresh sweep) or "
+                   "--resume DIR (continue)\n");
+      return kExitUsage;
+    }
+    bo.selfExe = selfExePath(argv[0]);
+    bo.workers = opt.workers;
+    bo.leaseSeconds = opt.fleetLeaseSeconds;
+    bo.connectTimeoutMs = opt.fleetConnectTimeoutMs;
+    bo.minWorkers = opt.fleetMinWorkers;
+    bo.poolSize = servePool;
+    bo.maxAttempts = serveAttempts;
+    bo.backoffBaseMs = opt.isolateBackoffMs;
+    bo.defaultSeed = opt.seed;
+    bo.defaultJobs = static_cast<std::int64_t>(opt.jobs);
+    bo.verbose = opt.verbose;
+    bo.stop = &gAgentStop;
+    Result<serve::BatchOutcome> ran = serve::runBatch(bo);
+    if (!ran.isOk()) {
+      std::fprintf(stderr, "error: %s\n", ran.status().toString().c_str());
+      return ran.status().code() == StatusCode::kInvalidInput
+                 ? kExitInvalidInput
+                 : kExitUsage;
+    }
+    const serve::BatchOutcome& oc = ran.value();
+    std::printf("batch: %zu done, %zu failed%s%s\n", oc.done, oc.failed,
+                oc.degradedToLocal ? ", degraded to local pool" : "",
+                oc.interrupted ? ", interrupted" : "");
+    if (oc.interrupted) return kExitInterrupted;
+    if (oc.failed > 0) return kExitDegraded;
+    return static_cast<int>(oc.worstCaseExit);
   }
   if (!connectSpec.empty()) {
     // Client mode: talk to a --serve daemon. Transport failures exit 2;
@@ -1092,7 +1074,8 @@ int main(int argc, char** argv) {
       // Atomic temp-file + rename write: a crash mid-report leaves either
       // the previous report or none, never a truncated JSON document.
       std::ostringstream rf;
-      writeReport(rf, engine, result, diag, opt.audit, oracleRan, exitCode);
+      writeRunReport(rf, engine, result, diag, opt.audit, oracleRan,
+                     exitCode);
       const Status s = writeFileAtomic(reportPath, rf.str());
       if (!s.isOk()) {
         std::fprintf(stderr, "error: cannot write report file %s: %s\n",

@@ -31,7 +31,7 @@ Status bad(const std::string& what) {
 }
 
 bool knownType(std::uint32_t type) {
-  return type >= kTypeTaskRequest && type <= kTypeServeCancel;
+  return type >= kTypeTaskRequest && type <= kTypeFleetCaseResult;
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "io/journal_io.hpp"
 #include "io/netlist_io.hpp"
 #include "io/verilog_io.hpp"
+#include "serve/batch.hpp"
 #include "sim/simulator.hpp"
 #include "util/fault.hpp"
 #include "util/ipc.hpp"
@@ -352,6 +353,152 @@ TEST(IpcFuzz, OversizedAndRandomGarbageNeverCrash) {
                         base);
     decodeIpcEverywhere(ipc::encodeFrame(ipc::kTypeWorkerResult, payload),
                         base);
+  }
+}
+
+// --- Case-dispatch and batch-ledger codec robustness ------------------------
+// The whole-case batch protocol adds two frame payloads (case task, case
+// result) and two text formats (batch manifest, ledger WAL event). All of
+// them take bytes from the network or from user files: every decode must
+// fail closed - a Status, never UB, an abort, or an attacker-sized
+// allocation.
+
+void decodeCaseDispatchEverywhere(const std::string& bytes) {
+  const Result<ipc::Frame> frame = ipc::decodeFrame(bytes);
+  if (!frame.isOk()) return;
+  (void)decodeFleetCaseTask(frame.value().payload);
+  (void)decodeFleetCaseResult(frame.value().payload);
+}
+
+TEST(IpcFuzz, TruncatedCaseDispatchFramesNeverCrash) {
+  FleetCaseTask task;
+  task.name = "fuzz-case";
+  task.caseCrc = 0x12345678;
+  task.epoch = 99;
+  FleetCaseResult result;
+  result.epoch = 99;
+  result.report = "{\"success\": true}";
+  result.verdicts = "{\"type\":\"verdicts\",\"disagreements\":0}";
+  result.netlist = std::string(512, 'n');
+  const std::string frames[] = {
+      ipc::encodeFrame(ipc::kTypeFleetCaseTask, encodeFleetCaseTask(task)),
+      ipc::encodeFrame(ipc::kTypeFleetCaseResult,
+                       encodeFleetCaseResult(result)),
+  };
+  for (const std::string& ref : frames)
+    for (std::size_t cut = 0; cut <= ref.size(); ++cut)
+      decodeCaseDispatchEverywhere(ref.substr(0, cut));
+}
+
+TEST(IpcFuzz, BitFlippedCaseDispatchFramesNeverCrash) {
+  Rng rng(34);
+  FleetCaseResult result;
+  result.report = "{}";
+  result.netlist = "snapshot";
+  const std::string ref = ipc::encodeFrame(ipc::kTypeFleetCaseResult,
+                                           encodeFleetCaseResult(result));
+  for (std::size_t byte = 0; byte < ref.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = ref;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      decodeCaseDispatchEverywhere(mutated);
+    }
+  }
+}
+
+TEST(IpcFuzz, HostileCaseDispatchPayloadsFailClosed) {
+  // Hand-built payloads covering hostile names, oversized embedded texts
+  // and boundary forgeries; each must be a clean rejection.
+  const std::string oversized(static_cast<std::size_t>(4u << 20) + 1, 'x');
+  const std::string payloads[] = {
+      "",
+      "{}",
+      "null",
+      "[]",
+      // path-escaping and hidden case names
+      "{\"name\":\"../../etc\",\"case_crc\":0,\"epoch\":\"1\","
+      "\"lease_seconds\":1,\"jobs\":1,\"attempt\":1}",
+      "{\"name\":\".hidden\",\"case_crc\":0,\"epoch\":\"1\","
+      "\"lease_seconds\":1,\"jobs\":1,\"attempt\":1}",
+      "{\"name\":\"" + std::string(65, 'a') + "\",\"case_crc\":0,"
+      "\"epoch\":\"1\",\"lease_seconds\":1,\"jobs\":1,\"attempt\":1}",
+      // absurd lease / jobs / attempt
+      "{\"name\":\"x\",\"case_crc\":0,\"epoch\":\"1\","
+      "\"lease_seconds\":-5,\"jobs\":1,\"attempt\":1}",
+      "{\"name\":\"x\",\"case_crc\":0,\"epoch\":\"1\","
+      "\"lease_seconds\":1,\"jobs\":4294967295,\"attempt\":1}",
+      "{\"name\":\"x\",\"case_crc\":0,\"epoch\":\"1\","
+      "\"lease_seconds\":1,\"jobs\":1,\"attempt\":-3}",
+      // result envelopes: non-JSON report, newline verdicts, huge texts
+      "{\"epoch\":\"1\",\"exit_code\":0,\"report\":\"nope\","
+      "\"verdicts\":\"\",\"netlist\":\"\",\"cache_hits\":0,"
+      "\"cache_misses\":0,\"cache_evictions\":0}",
+      "{\"epoch\":\"1\",\"exit_code\":0,\"report\":\"{}\","
+      "\"verdicts\":\"{\\\"type\\\":\\\"verdicts\\\"}\\n{}\","
+      "\"netlist\":\"\",\"cache_hits\":0,\"cache_misses\":0,"
+      "\"cache_evictions\":0}",
+      "{\"epoch\":\"1\",\"exit_code\":999,\"report\":\"{}\","
+      "\"verdicts\":\"\",\"netlist\":\"\",\"cache_hits\":0,"
+      "\"cache_misses\":0,\"cache_evictions\":0}",
+      "{\"epoch\":\"1\",\"exit_code\":0,\"report\":\"" + oversized +
+      "\",\"verdicts\":\"\",\"netlist\":\"\",\"cache_hits\":0,"
+      "\"cache_misses\":0,\"cache_evictions\":0}",
+  };
+  for (const std::string& payload : payloads) {
+    EXPECT_FALSE(decodeFleetCaseTask(payload).isOk());
+    EXPECT_FALSE(decodeFleetCaseResult(payload).isOk());
+  }
+  // Random garbage straight into the semantic decoders.
+  Rng rng(35);
+  for (int round = 0; round < 128; ++round) {
+    std::string bytes(rng.below(200), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.below(256));
+    (void)decodeFleetCaseTask(bytes);
+    (void)decodeFleetCaseResult(bytes);
+  }
+}
+
+TEST(ParserFuzz, HostileBatchManifestsAndLedgerEventsFailClosed) {
+  Rng rng(36);
+  // Structured near-misses.
+  const char* corpus[] = {
+      "",
+      "null",
+      "{\"cases\": 7}",
+      "{\"cases\": [7]}",
+      "{\"cases\": [{\"name\": 7, \"impl\": \"i\", \"spec\": \"s\"}]}",
+      "{\"cases\": [{\"name\": \"a\", \"impl\": \"i\", \"spec\": \"s\","
+      " \"seed\": \"lots\"}]}",
+      "{\"cases\": [{\"name\": \"a\\u0000b\", \"impl\": \"i\","
+      " \"spec\": \"s\"}]}",
+      "{\"type\":\"batch\"}",
+      "{\"type\":\"batch\",\"event\":\"done\"}",
+      "{\"type\":\"output\",\"event\":\"done\",\"name\":\"a\"}",
+  };
+  for (const char* text : corpus) {
+    EXPECT_FALSE(serve::parseBatchManifest(text).isOk()) << text;
+    (void)parseBatchEvent(text);
+  }
+  // A valid ledger event, bit-flipped: parse must classify, never crash.
+  JournalBatchEvent e;
+  e.event = "dispatched";
+  e.name = "a";
+  e.impl = "i";
+  e.spec = "s";
+  const std::string ref = serializeBatchEvent(e);
+  for (int round = 0; round < 128; ++round) {
+    std::string mutated = ref;
+    for (int edit = 0; edit < 3; ++edit) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<char>(rng.below(256));
+    }
+    (void)parseBatchEvent(mutated);
+  }
+  // Random garbage through the manifest parser.
+  for (int round = 0; round < 128; ++round) {
+    std::string bytes(rng.below(160), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.below(256));
+    (void)serve::parseBatchManifest(bytes);
   }
 }
 
