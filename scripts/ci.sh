@@ -20,21 +20,44 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# Stage harness: every stage prints exactly one machine-greppable
+#   STAGE <name> OK|FAIL
+# line. The script is linear (no stage functions) because `set -e` is
+# silently disabled inside a function called from a condition - the
+# classic bash footgun that turns a failing stage into a green run.
+CURRENT_STAGE="setup"
+begin_stage() { CURRENT_STAGE="$1"; }
+end_stage() { echo "STAGE $CURRENT_STAGE OK"; CURRENT_STAGE="setup"; }
+on_exit() {
+  status=$?
+  [ -n "${SMOKE:-}" ] && rm -rf "$SMOKE"
+  [ "$status" -ne 0 ] && echo "STAGE $CURRENT_STAGE FAIL"
+  exit "$status"
+}
+trap on_exit EXIT
+
+begin_stage release-tests
 echo "=== Release build + tier-1 tests ==="
 cmake -B "$ROOT/build-ci" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build-ci" -j "$JOBS"
 ctest --test-dir "$ROOT/build-ci" --output-on-failure -j "$JOBS"
 
+end_stage
+begin_stage asan
 echo "=== Sanitizer build (ASan+UBSan) + robustness suite ==="
 cmake -B "$ROOT/build-ci-asan" -S "$ROOT" -DSYSECO_SANITIZE=address
 cmake --build "$ROOT/build-ci-asan" -j "$JOBS"
 ctest --test-dir "$ROOT/build-ci-asan" --output-on-failure -j "$JOBS" -L sanitize
 
+end_stage
+begin_stage tsan
 echo "=== ThreadSanitizer build + parallel suite ==="
 cmake -B "$ROOT/build-ci-tsan" -S "$ROOT" -DSYSECO_SANITIZE=thread
 cmake --build "$ROOT/build-ci-tsan" -j "$JOBS"
 ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" -L sanitize
 
+end_stage
+begin_stage bench-smoke
 echo "=== Bench smoke (scripts/bench.sh --quick) + schema validation ==="
 BENCH_JSON="$(mktemp)"
 "$ROOT/scripts/bench.sh" --quick --out "$BENCH_JSON"
@@ -65,6 +88,8 @@ assert s["geomean_speedup_jobs2"] > 0 and s["geomean_speedup_jobs4"] > 0
 print("BENCH_e2e.json schema OK")
 PYEOF
 
+end_stage
+begin_stage perf-smoke
 echo "=== Perf smoke: quick bench vs committed BENCH_e2e.json ==="
 # Patch shape must match the committed baseline exactly (verdict identity is
 # always gated); wall time is gated at +25% per case, skipped on single-
@@ -103,10 +128,11 @@ print("perf smoke OK vs committed baseline "
 PYEOF
 rm -f "$BENCH_JSON"
 
+end_stage
+begin_stage kill-resume
 echo "=== Kill-and-resume smoke test ==="
 CLI="$ROOT/build-ci/src/tools/syseco_cli"
-SMOKE="$(mktemp -d)"
-trap 'rm -rf "$SMOKE"' EXIT
+SMOKE="$(mktemp -d)"  # removed by the on_exit trap
 IMPL="$ROOT/data/alu_impl.blif"
 SPEC="$ROOT/data/alu_spec.blif"
 
@@ -144,6 +170,8 @@ if ! diff <(normalize "$SMOKE/ref.json") <(normalize "$SMOKE/resumed.json"); the
   exit 1
 fi
 
+end_stage
+begin_stage isolation-matrix
 echo "=== Isolation fault-injection matrix ==="
 # Reference: a clean isolated run must be bit-identical to the in-process
 # run (the report smoke above) in everything but wall-clock timing.
@@ -205,6 +233,8 @@ print(f"fault {kind}: contained (fallback, {want_cause}, 2 attempts)")
 PYEOF
 done
 
+end_stage
+begin_stage verify-oracle
 echo "=== Certification oracle (verify-oracle) ==="
 # Example suite under paranoid auditing: every output pair must certify
 # through the three independent routes with zero audit findings, and the
@@ -296,6 +326,8 @@ cmp "$SMOKE/v_jobs.txt" "$SMOKE/v_res.txt" \
     || { echo "--resume verdict record diverged"; exit 1; }
 echo "verify-oracle: verdict records identical across jobs/isolate/resume"
 
+end_stage
+begin_stage fleet-loopback
 echo "=== Distributed worker fleet (loopback) ==="
 # Two --serve-worker agents on loopback ephemeral ports; one is killed
 # mid-run. The supervisor must reclaim the dead agent's lease, finish on
@@ -355,6 +387,8 @@ cmp "$FLEET/v_dead.txt" "$FLEET/v_ref.txt" \
     || { echo "degraded fleet verdict record diverged"; exit 1; }
 echo "fleet: dead fleet degraded to in-process, verdicts identical"
 
+end_stage
+begin_stage daemon-soak
 echo "=== Daemon soak: SIGKILL mid-queue, recover, drain ==="
 # A resident --serve daemon takes three jobs whose workers self-crash at
 # every checkpoint commit (one output of progress per attempt), is killed
@@ -418,6 +452,8 @@ kill "$DAEMON" 2>/dev/null
 wait "$DAEMON" 2>/dev/null || true
 echo "daemon soak: SIGKILL mid-queue recovered, 3 jobs drained bit-identical"
 
+end_stage
+begin_stage batch-fanout
 echo "=== Batch fan-out (loopback): kill an agent mid-case and the driver mid-batch ==="
 # A 4-case --batch sweep over two loopback agents. The driver is SIGKILLed
 # mid-batch, restarted with --resume, and then one agent is SIGKILLed while
@@ -519,5 +555,27 @@ for SEED in 1 2 3 4; do
       || { echo "batch case alu-s$SEED verdicts diverged"; exit 1; }
 done
 echo "batch fan-out: driver and agent SIGKILLs recovered, 4 cases bit-identical"
+
+end_stage
+begin_stage chaos-soak
+echo "=== Chaos soak: seeded storage-fault schedules (ASan) ==="
+# Seeded fault schedules swept across every execution mode under the ASan
+# build: each faulted run must end in a structured exit (no signal death,
+# hang, or silent corruption), a fault-free heal must converge on verdicts
+# and netlists bit-identical to the reference, and the state trees must
+# hold no leaked staging files - chaos_soak exits nonzero on any of those.
+# Quick set always; SYSECO_SOAK=1 triples the sweep for nightly runs.
+# Repro bundles for violated schedules live outside $SMOKE so they survive
+# the exit trap.
+SCHEDULES=20
+[ "${SYSECO_SOAK:-0}" = "1" ] && SCHEDULES=60
+CHAOS="$(mktemp -d -t syseco-chaos-XXXXXX)"
+"$ROOT/build-ci-asan/bench/chaos_soak" \
+    --cli "$ROOT/build-ci-asan/src/tools/syseco_cli" \
+    --impl "$IMPL" --spec "$SPEC" \
+    --out-dir "$CHAOS" --schedules "$SCHEDULES" --seed-base 1 \
+    || { echo "chaos soak failed; repro bundles kept in $CHAOS"; exit 1; }
+rm -rf "$CHAOS"
+end_stage
 
 echo "=== CI passed ==="

@@ -753,6 +753,19 @@ Result<BatchOutcome> runBatch(const BatchOptions& opt) {
       d.interrupted = true;
       break;
     }
+    // Fail closed on a poisoned WAL: once a storage fault latches the
+    // ledger's journal, no transition can be made durable - continuing
+    // would spin on un-journalable dispatches and lose progress records.
+    // Drain and return the structured cause; `--batch ... --resume` heals
+    // from the last COMMIT-consistent prefix.
+    if (ledger.walPoisoned()) {
+      pool.terminateAll(kTerminateGraceSeconds);
+      dispatcher.closeAll();
+      return Status::internal(
+          "batch ledger WAL unusable (" + ledger.walPoisonCause() +
+          "); sweep stopping - rerun with `--batch " + opt.manifestPath +
+          " --resume " + opt.stateDir + "` to recover");
+    }
     std::size_t open = 0;
     for (const BatchCase* c : ledger.all())
       if (c->state == CaseState::kQueued || c->state == CaseState::kRunning)

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "io/journal_io.hpp"
+#include "util/atomic_file.hpp"
 
 namespace syseco::serve {
 
@@ -159,16 +160,21 @@ Result<BatchLedger> BatchLedger::open(const std::string& stateDir) {
     }
   }
 
+  // A crash mid-writeFileAtomic legitimately strands a staging file in the
+  // state tree; recovery sweeps them so they never accumulate (and so the
+  // chaos harness can treat a surviving one as a leak).
+  removeStaleStaging(stateDir);
+  removeStaleStaging(stateDir + "/cases");
+  for (const std::unique_ptr<BatchCase>& c : l.cases_)
+    removeStaleStaging(l.caseDir(c->name));
+
   // Compact: rewrite the WAL from the folded state so its length tracks
-  // case count, not driver lifetime.
-  Result<JournalWriter> wal = JournalWriter::create(stateDir + kLedgerSubdir);
-  if (!wal.isOk()) return wal.status();
-  l.wal_ = wal.take();
+  // case count, not driver lifetime. The rewrite is staged and renamed
+  // (createCompacted), so a kill at any instant leaves either the complete
+  // old WAL or the complete new one - never a truncated mix.
+  std::vector<std::string> compacted;
   for (std::unique_ptr<BatchCase>& c : l.cases_) {
-    if (Status s =
-            l.wal_.append(serializeBatchEvent(eventFor("registered", *c, 0)));
-        !s.isOk())
-      return s;
+    compacted.push_back(serializeBatchEvent(eventFor("registered", *c, 0)));
     const char* transition = nullptr;
     switch (c->state) {
       case CaseState::kQueued:
@@ -179,11 +185,12 @@ Result<BatchLedger> BatchLedger::open(const std::string& stateDir) {
       case CaseState::kFailed: transition = "failed"; break;
     }
     if (transition != nullptr)
-      if (Status s = l.wal_.append(
-              serializeBatchEvent(eventFor(transition, *c, 0)));
-          !s.isOk())
-        return s;
+      compacted.push_back(serializeBatchEvent(eventFor(transition, *c, 0)));
   }
+  Result<JournalWriter> wal = JournalWriter::createCompacted(
+      stateDir + kLedgerSubdir, compacted, "ledger.wal");
+  if (!wal.isOk()) return wal.status();
+  l.wal_ = wal.take();
   return l;
 }
 

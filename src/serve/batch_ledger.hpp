@@ -119,6 +119,13 @@ class BatchLedger {
     return recoveryNotes_;
   }
 
+  /// True once a storage fault latched the WAL writer (failed write/fsync
+  /// or COMMIT-marker replacement). The driver fails closed on it: no
+  /// transition can be made durable, so the sweep must stop with a
+  /// structured cause and be healed by `--batch ... --resume`.
+  bool walPoisoned() const { return wal_.poisoned(); }
+  const std::string& walPoisonCause() const { return wal_.poisonCause(); }
+
  private:
   BatchLedger() = default;
 

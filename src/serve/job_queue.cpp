@@ -161,16 +161,20 @@ Result<JobQueue> JobQueue::open(const std::string& stateDir) {
     }
   }
 
+  // A crash mid-writeFileAtomic legitimately strands a staging file in the
+  // state tree; recovery sweeps them so they never accumulate (and so the
+  // chaos harness can treat a surviving one as a leak).
+  removeStaleStaging(stateDir);
+  removeStaleStaging(stateDir + "/jobs");
+  for (const auto& [id, job] : folded) removeStaleStaging(q.jobDir(id));
+
   // Compact: rewrite the WAL from the folded state so its length tracks
-  // queue occupancy, not daemon lifetime.
-  Result<JournalWriter> wal = JournalWriter::create(stateDir + kQueueSubdir);
-  if (!wal.isOk()) return wal.status();
-  q.wal_ = wal.take();
+  // queue occupancy, not daemon lifetime. The rewrite is staged and
+  // renamed (createCompacted), so a kill at any instant leaves either the
+  // complete old WAL or the complete new one - never a truncated mix.
+  std::vector<std::string> compacted;
   for (auto& [id, job] : folded) {
-    if (Status s = q.wal_.append(serializeServeEvent(eventFor("submitted",
-                                                              job)));
-        !s.isOk())
-      return s;
+    compacted.push_back(serializeServeEvent(eventFor("submitted", job)));
     const char* transition = nullptr;
     switch (job.state) {
       case QueueState::kQueued:
@@ -182,13 +186,14 @@ Result<JobQueue> JobQueue::open(const std::string& stateDir) {
       case QueueState::kCancelled: transition = "cancelled"; break;
     }
     if (transition != nullptr)
-      if (Status s = q.wal_.append(serializeServeEvent(eventFor(transition,
-                                                                job)));
-          !s.isOk())
-        return s;
+      compacted.push_back(serializeServeEvent(eventFor(transition, job)));
     q.nextId_ = std::max(q.nextId_, numericSuffix(id) + 1);
     q.jobs_.push_back(std::make_unique<Job>(std::move(job)));
   }
+  Result<JournalWriter> wal = JournalWriter::createCompacted(
+      stateDir + kQueueSubdir, compacted, "queue.wal");
+  if (!wal.isOk()) return wal.status();
+  q.wal_ = wal.take();
   std::sort(q.jobs_.begin(), q.jobs_.end(),
             [](const std::unique_ptr<Job>& a, const std::unique_ptr<Job>& b) {
               return numericSuffix(a->id) < numericSuffix(b->id);

@@ -135,6 +135,13 @@ class JobQueue {
     return recoveryNotes_;
   }
 
+  /// True once a storage fault latched the WAL writer (failed write/fsync
+  /// or COMMIT-marker replacement). The daemon fails closed on it: no
+  /// transition can be made durable, so no further work may be accepted
+  /// or dispatched - restart and recover instead.
+  bool walPoisoned() const { return wal_.poisoned(); }
+  const std::string& walPoisonCause() const { return wal_.poisonCause(); }
+
  private:
   JobQueue() = default;
 

@@ -136,7 +136,21 @@ Status Daemon::run() {
   log("listening on port " + std::to_string(bound) + ", state dir " +
       queue_.stateDir());
 
+  Status walFault = Status::ok();
   while (!stopped()) {
+    // Fail closed on a poisoned WAL: once a storage fault latches the
+    // queue's journal, no transition can be made durable, so continuing
+    // to accept or dispatch work would silently drop state. Drain and
+    // exit with the cause; a restart folds the WAL back to the last
+    // COMMIT-consistent prefix and recovers every job.
+    if (queue_.walPoisoned()) {
+      walFault = Status::internal(
+          "queue WAL unusable (" + queue_.walPoisonCause() +
+          "); daemon stopping - restart to recover from the last COMMIT");
+      std::fprintf(stderr, "[syseco-serve] fatal: %s\n",
+                   walFault.message().c_str());
+      break;
+    }
     std::vector<int> fds;
     fds.push_back(listenFd);
     for (const Conn& c : conns_) fds.push_back(c.fd);
@@ -160,7 +174,7 @@ Status Daemon::run() {
   for (Conn& c : conns_) net::closeSocket(c.fd);
   int fd = listenFd;
   net::closeSocket(fd);
-  return Status::ok();
+  return walFault;
 }
 
 void Daemon::acceptClients(int listenFd) {

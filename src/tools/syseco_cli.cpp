@@ -112,6 +112,12 @@
 //   --cancel JOB        client: cancel JOB (terminates a running worker)
 //   --submit-fault SPEC client test hook: SYSECO_FAULT_INJECT spec exported
 //                       into the job's worker process
+//   --fault-plan FILE   chaos hook: load a seeded fault schedule (see
+//                       util/fault_plan.hpp for the `at <hit> <site>
+//                       <kind> [arg]` format) and export it via
+//                       SYSECO_FAULT_PLAN so exec'd workers inherit it.
+//                       One-shot firings are consumed through FILE.fired,
+//                       so a restarted process does not re-inject them.
 //   --seed S            RNG seed                          (default 1)
 //   --journal DIR       crash-safe run journal: one checksummed record per
 //                       completed per-output rectification (syseco only)
@@ -178,6 +184,7 @@
 #include "util/socket.hpp"
 #include "util/build_info.hpp"
 #include "util/fault.hpp"
+#include "util/fault_plan.hpp"
 #include "util/journal.hpp"
 #include "util/status.hpp"
 #include "util/timer.hpp"
@@ -342,7 +349,8 @@ void writeFailureReport(const std::string& reportPath,
                "[--audit off|boundaries|paranoid]\n"
                "          [--no-oracle] [--oracle-bdd-budget N] "
                "[--repro-dir DIR]\n"
-               "          [--seed S] [--version] [--verbose]\n"
+               "          [--fault-plan FILE] [--seed S] [--version] "
+               "[--verbose]\n"
                "       %s --serve-worker PORT [--serve-once] "
                "[--serve-cache-slots N]\n"
                "          [--port-file FILE] [--verbose]\n"
@@ -381,6 +389,7 @@ int main(int argc, char** argv) {
   serve::AdmissionLimits serveLimits;
   int serveAttempts = 3;
   std::string connectSpec, tenant = "default", submitFault;
+  std::string faultPlanPath;
   std::string statusJob, waitJob, cancelJob;
   std::string batchManifest, batchStateDir;
   bool detach = false;
@@ -534,6 +543,7 @@ int main(int argc, char** argv) {
       else if (arg == "--wait") waitJob = value();
       else if (arg == "--cancel") cancelJob = value();
       else if (arg == "--submit-fault") submitFault = value();
+      else if (arg == "--fault-plan") faultPlanPath = value();
       else if (arg == "--port-file") portFilePath = value();
       else if (arg == "--seed") opt.seed = std::stoull(value());
       else if (arg == "--journal") journalDir = value();
@@ -575,6 +585,17 @@ int main(int argc, char** argv) {
                          kExitInvalidInput);
       return kExitInvalidInput;
     }
+  }
+  // Chaos schedules load before any mode dispatch, so every storage and
+  // process fault site in daemon, batch, agent and engine modes is armed
+  // from the first syscall. Exec'd workers inherit SYSECO_FAULT_PLAN and
+  // arm themselves the same way (minus entries already consumed through
+  // the .fired log).
+  if (!faultPlanPath.empty())
+    ::setenv("SYSECO_FAULT_PLAN", faultPlanPath.c_str(), 1);
+  if (const Status s = fault::loadFaultPlanFromEnv(); !s.isOk()) {
+    std::fprintf(stderr, "error: %s\n", s.toString().c_str());
+    return kExitInvalidInput;
   }
   if (servePort >= 0) {
     // Fleet-agent mode: serve task requests over TCP until stopped. No
@@ -863,6 +884,10 @@ int main(int argc, char** argv) {
       Netlist restoredWorking;
       bool resumed = false;
       bool haveRunStart = false;
+      // First storage fault the journal hooks observe; once set, the
+      // checkpoint hook stops the run (fail closed) instead of silently
+      // losing durability for later outputs.
+      std::string journalFault;
       if (!resumeDir.empty()) {
         Result<JournalContents> read = readJournal(resumeDir);
         if (!read.isOk()) {
@@ -925,21 +950,29 @@ int main(int argc, char** argv) {
           if (haveRunStart) return;  // the resumed journal already has one
           const Status s = journal.append(serializeRunStart(
               makeRunStartRecord(impl, spec, opt, order, failingBefore)));
-          if (!s.isOk())
+          if (!s.isOk()) {
+            if (journalFault.empty()) journalFault = s.toString();
             std::fprintf(stderr, "warning: journal write failed: %s\n",
                          s.toString().c_str());
+          }
         };
         opt.checkpointHook = [&](const RunCheckpoint& cp) -> bool {
           const Status s =
               journal.append(serializeOutputRecord(makeOutputRecord(cp)));
-          if (!s.isOk())
+          if (!s.isOk()) {
+            if (journalFault.empty()) journalFault = s.toString();
             std::fprintf(stderr, "warning: journal write failed: %s\n",
                          s.toString().c_str());
+          }
           // Crash-injection site, deliberately *after* the commit: a crash
           // here loses no progress, which is exactly what the
           // kill-and-resume tests assert.
           fault::fire("journal.checkpoint");
-          return gInterrupted == 0;
+          // Fail closed on a storage fault: the journal can no longer
+          // commit progress, so continuing would burn work that a crash
+          // would silently lose. Stop as interrupted; --resume recovers
+          // from the last COMMIT-consistent prefix.
+          return gInterrupted == 0 && journalFault.empty();
         };
         // Fleet lifecycle events become "fleet" records: the journal keeps
         // the full failure/retry/degradation history of a --workers run.
@@ -976,6 +1009,11 @@ int main(int argc, char** argv) {
         if (!s.isOk())
           std::fprintf(stderr, "warning: journal write failed: %s\n",
                        s.toString().c_str());
+        if (!journalFault.empty())
+          std::fprintf(stderr,
+                       "fatal: journal unusable (%s); run stopped at the "
+                       "last committed checkpoint\n",
+                       journalFault.c_str());
         std::printf("interrupted: %zu output(s) journaled to %s; rerun "
                     "with --resume %s to continue\n",
                     diag.outputs.size(), journalDir.c_str(),

@@ -1,11 +1,14 @@
 #include "util/atomic_file.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include "util/fault.hpp"
 
 namespace syseco {
 
@@ -38,16 +41,19 @@ Status syncDirectory(const std::string& dir) {
   return Status::ok();
 }
 
-Status writeFileAtomic(const std::string& path, std::string_view content) {
+Status writeFileAtomic(const std::string& path, std::string_view content,
+                       std::string_view site) {
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const std::string writeSite = std::string(site) + ".write";
+  const std::string fsyncSite = std::string(site) + ".fsync";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return errnoStatus("cannot create", tmp);
 
   std::size_t written = 0;
   while (written < content.size()) {
-    const ::ssize_t n =
-        ::write(fd, content.data() + written, content.size() - written);
+    const ::ssize_t n = fault::fallibleWrite(
+        fd, content.data() + written, content.size() - written, writeSite);
     if (n < 0) {
       if (errno == EINTR) continue;
       const Status s = errnoStatus("cannot write", tmp);
@@ -57,7 +63,7 @@ Status writeFileAtomic(const std::string& path, std::string_view content) {
     }
     written += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (fault::fallibleFsync(fd, fsyncSite) != 0) {
     const Status s = errnoStatus("cannot fsync", tmp);
     ::close(fd);
     ::unlink(tmp.c_str());
@@ -74,6 +80,20 @@ Status writeFileAtomic(const std::string& path, std::string_view content) {
     return s;
   }
   return syncDirectory(parentDirectory(path));
+}
+
+std::size_t removeStaleStaging(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  std::size_t removed = 0;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string_view name(entry->d_name);
+    if (name.find(".tmp.") == std::string_view::npos) continue;
+    const std::string path = dir + "/" + std::string(name);
+    if (::unlink(path.c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 }  // namespace syseco

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -12,6 +13,7 @@
 
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
+#include "util/fault.hpp"
 
 namespace syseco {
 
@@ -77,6 +79,11 @@ bool verifyFrame(std::string_view line, std::string* payload,
   return true;
 }
 
+bool allZeroBytes(std::string_view text) {
+  return !text.empty() &&
+         text.find_first_not_of('\0') == std::string_view::npos;
+}
+
 }  // namespace
 
 std::string jsonEscape(std::string_view s) {
@@ -133,6 +140,14 @@ Result<JournalScan> scanJournal(const std::string& dir) {
   buf << f.rdbuf();
   const std::string data = buf.str();
 
+  // Per-frame extents, so the tail fixups below can roll retainBytes back
+  // past a frame they decide to drop.
+  struct Extent {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;  ///< one past the trailing newline
+  };
+  std::vector<Extent> extents;
+
   std::size_t pos = 0, lineNo = 0;
   while (pos < data.size()) {
     ++lineNo;
@@ -143,7 +158,16 @@ Result<JournalScan> scanJournal(const std::string& dir) {
     std::string payload, why;
     if (verifyFrame(line, &payload, &why) && !torn) {
       scan.frames.push_back(JournalFrame{lineNo, std::move(payload)});
+      extents.push_back(Extent{pos, eol + 1});
       scan.retainBytes = eol + 1;
+    } else if (allZeroBytes(data.substr(pos))) {
+      // A power cut on some filesystems materializes the allocated tail as
+      // zeros. One diagnostic for the whole region, not one per fake line.
+      scan.diagnostics.push_back(
+          "journal.jsonl line " + std::to_string(lineNo) +
+          ": zero-filled tail truncated (" +
+          std::to_string(data.size() - pos) + " bytes)");
+      break;
     } else if (torn) {
       scan.diagnostics.push_back("journal.jsonl line " + std::to_string(lineNo) +
                                  ": torn final record dropped (" +
@@ -154,6 +178,46 @@ Result<JournalScan> scanJournal(const std::string& dir) {
     }
     pos = eol + 1;
   }
+
+  // Tail artifacts of a torn-then-retried append. Both are physically
+  // truncated on resume (retainBytes rolls back past them), and both warn
+  // rather than quarantine: the prefix before them is intact and the
+  // marker proves how far the committed history really ran.
+  if (!scan.frames.empty() && scan.retainBytes == extents.back().end) {
+    // A zero-length frame is never a legitimate record (payloads are JSON
+    // objects); a trailing one is the header of an append that tore right
+    // after its fixed-width prefix.
+    if (scan.frames.back().payload.empty()) {
+      scan.diagnostics.push_back(
+          "journal.jsonl line " + std::to_string(scan.frames.back().line) +
+          ": trailing zero-length record truncated (torn append)");
+      scan.frames.pop_back();
+      scan.retainBytes = extents.back().begin;
+      extents.pop_back();
+    }
+  }
+  if (scan.frames.size() >= 2 && scan.retainBytes == extents.back().end &&
+      scan.markerValid && scan.committedRecords + 1 == scan.frames.size()) {
+    // A retried append can land the same record twice with only one COMMIT
+    // advance. Only the marker gate lets us drop it: two genuinely equal
+    // committed records would have committedRecords == frames.size().
+    const Extent& last = extents[extents.size() - 1];
+    const Extent& prev = extents[extents.size() - 2];
+    const std::string_view lastRaw(data.data() + last.begin,
+                                   last.end - last.begin);
+    const std::string_view prevRaw(data.data() + prev.begin,
+                                   prev.end - prev.begin);
+    if (lastRaw == prevRaw) {
+      scan.diagnostics.push_back(
+          "journal.jsonl line " + std::to_string(scan.frames.back().line) +
+          ": duplicate final record truncated (retried append beyond "
+          "COMMIT)");
+      scan.frames.pop_back();
+      scan.retainBytes = last.begin;
+      extents.pop_back();
+    }
+  }
+
   if (scan.markerValid && scan.frames.size() < scan.committedRecords) {
     scan.diagnostics.push_back(
         "journal lost committed records: marker attests " +
@@ -168,8 +232,11 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
     dir_ = std::move(other.dir_);
+    site_ = std::move(other.site_);
     records_ = other.records_;
     bytes_ = other.bytes_;
+    poisoned_ = other.poisoned_;
+    poisonCause_ = std::move(other.poisonCause_);
     appendMutex_ = std::move(other.appendMutex_);
     other.fd_ = -1;
   }
@@ -180,11 +247,14 @@ JournalWriter::~JournalWriter() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<JournalWriter> JournalWriter::create(const std::string& dir) {
+Result<JournalWriter> JournalWriter::create(const std::string& dir,
+                                            std::string_view site) {
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
     return errnoStatus("cannot create journal directory", dir);
+  removeStaleStaging(dir);
   JournalWriter w;
   w.dir_ = dir;
+  w.site_ = std::string(site);
   w.appendMutex_ = std::make_unique<std::mutex>();
   const std::string path = journalDataPath(dir);
   w.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -195,9 +265,12 @@ Result<JournalWriter> JournalWriter::create(const std::string& dir) {
 }
 
 Result<JournalWriter> JournalWriter::resume(const std::string& dir,
-                                            const JournalScan& scan) {
+                                            const JournalScan& scan,
+                                            std::string_view site) {
+  removeStaleStaging(dir);
   JournalWriter w;
   w.dir_ = dir;
+  w.site_ = std::string(site);
   w.appendMutex_ = std::make_unique<std::mutex>();
   const std::string path = journalDataPath(dir);
   w.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
@@ -214,34 +287,100 @@ Result<JournalWriter> JournalWriter::resume(const std::string& dir,
   return w;
 }
 
+Result<JournalWriter> JournalWriter::createCompacted(
+    const std::string& dir, const std::vector<std::string>& payloads,
+    std::string_view site) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return errnoStatus("cannot create journal directory", dir);
+  removeStaleStaging(dir);
+  std::string content;
+  for (const std::string& payload : payloads) {
+    if (payload.find('\n') != std::string::npos)
+      return Status::invalidInput("journal payload must not contain newlines");
+    content += frameLine(payload);
+  }
+  const std::string path = journalDataPath(dir);
+  // Stage-and-rename: a crash at any instant leaves either the complete
+  // old journal or the complete new one, never an in-place half-truncate.
+  const Status replaced =
+      writeFileAtomic(path, content, std::string(site) + ".compact");
+  if (!replaced.isOk()) return replaced;
+  JournalWriter w;
+  w.dir_ = dir;
+  w.site_ = std::string(site);
+  w.appendMutex_ = std::make_unique<std::mutex>();
+  w.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (w.fd_ < 0) return errnoStatus("cannot open journal", path);
+  w.records_ = payloads.size();
+  w.bytes_ = content.size();
+  const Status marker = w.commitMarker();
+  if (!marker.isOk()) return marker;
+  return w;
+}
+
 Status JournalWriter::append(std::string_view payload) {
+  if (poisoned_)
+    return Status::internal("journal poisoned: " + poisonCause_);
   if (fd_ < 0) return Status::internal("journal writer is not open");
   if (payload.find('\n') != std::string_view::npos)
     return Status::invalidInput("journal payload must not contain newlines");
   const std::lock_guard<std::mutex> lock(*appendMutex_);
   const std::string line = frameLine(payload);
+  const std::string writeSite = site_ + ".write";
   std::size_t written = 0;
   while (written < line.size()) {
-    const ::ssize_t n =
-        ::write(fd_, line.data() + written, line.size() - written);
+    const ::ssize_t n = fault::fallibleWrite(
+        fd_, line.data() + written, line.size() - written, writeSite);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return errnoStatus("cannot append to journal", journalDataPath(dir_));
+      return poison("cannot append to journal " + journalDataPath(dir_) +
+                        ": " + std::strerror(errno),
+                    /*truncateBack=*/true);
     }
     written += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0)
-    return errnoStatus("cannot fsync journal", journalDataPath(dir_));
+  if (fault::fallibleFsync(fd_, site_ + ".fsync") != 0) {
+    // fsyncgate: after a failed fsync the kernel may have dropped the
+    // dirty pages; nothing about this append can be trusted. Truncate it
+    // away and refuse further writes through this handle.
+    return poison("cannot fsync journal " + journalDataPath(dir_) + ": " +
+                      std::strerror(errno),
+                  /*truncateBack=*/true);
+  }
   ++records_;
   bytes_ += line.size();
-  return commitMarker();
+  const Status marker = commitMarker();
+  if (!marker.isOk()) {
+    // The record itself is durable (fsync succeeded), so keep it: the
+    // scan tolerates frames running ahead of the marker. But the writer
+    // can no longer promise commit semantics - fail closed.
+    return poison("cannot advance COMMIT marker: " + marker.message(),
+                  /*truncateBack=*/false);
+  }
+  return Status::ok();
+}
+
+Status JournalWriter::poison(std::string cause, bool truncateBack) {
+  if (fd_ >= 0) {
+    if (truncateBack) {
+      // Best effort: physically drop the partial append so a reader of
+      // the live file never sees the torn frame. Replay would drop it
+      // anyway; this keeps the on-disk state honest immediately.
+      ::ftruncate(fd_, static_cast<off_t>(bytes_));
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+  poisoned_ = true;
+  poisonCause_ = std::move(cause);
+  return Status::internal("journal poisoned: " + poisonCause_);
 }
 
 Status JournalWriter::commitMarker() {
   std::string content(kMarkerMagic);
   content += " " + std::to_string(records_) + " " + std::to_string(bytes_) +
              "\n";
-  return writeFileAtomic(journalMarkerPath(dir_), content);
+  return writeFileAtomic(journalMarkerPath(dir_), content, site_ + ".marker");
 }
 
 }  // namespace syseco

@@ -17,6 +17,14 @@
 // checksum test on replay and is dropped - never silently half-applied.
 // This layer knows nothing about record content; parsing and the engine
 // coupling live in src/io and src/eco.
+//
+// Storage faults fail closed: every write and fsync goes through the
+// fault shim (util/fault) under a per-writer site prefix, and the first
+// failure - injected or real - poisons the writer fsyncgate-style: the
+// partial append is truncated back to the last committed prefix, the fd
+// is closed, and every later append returns the original cause. A
+// poisoned journal never lies about durability; recovery re-opens from
+// the COMMIT-consistent prefix.
 
 #include <cstdint>
 #include <memory>
@@ -53,7 +61,10 @@ struct JournalScan {
 
 /// Scans `dir`'s journal, dropping (with a diagnostic) every line whose
 /// frame header, length or checksum does not verify. A torn final record
-/// is tolerated; a missing journal file is an empty scan, not an error.
+/// is tolerated, as are the two artifacts a torn-then-retried append can
+/// leave behind: a trailing zero-length frame (truncated and warned) and
+/// a duplicated final frame that the COMMIT marker does not attest
+/// (likewise). A missing journal file is an empty scan, not an error.
 /// Only unreadable I/O (permissions, directory vanishing mid-read) fails.
 Result<JournalScan> scanJournal(const std::string& dir);
 
@@ -69,33 +80,60 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   /// Creates `dir` (one level) if needed and starts a fresh journal,
-  /// truncating any previous content.
-  static Result<JournalWriter> create(const std::string& dir);
+  /// truncating any previous content. `site` prefixes the fault-shim
+  /// sites this writer hits: `<site>.write`, `<site>.fsync`,
+  /// `<site>.marker.*` (and `<site>.compact.*` for createCompacted).
+  static Result<JournalWriter> create(const std::string& dir,
+                                      std::string_view site = "journal");
 
   /// Reopens an existing journal for appending after `scan` validated it.
   /// The file is truncated to scan.retainBytes first, so a torn tail from
   /// the previous crash is physically removed before new records follow.
   static Result<JournalWriter> resume(const std::string& dir,
-                                      const JournalScan& scan);
+                                      const JournalScan& scan,
+                                      std::string_view site = "journal");
+
+  /// Atomically replaces `dir`'s journal with exactly `payloads` (the
+  /// compaction path: fold, then rewrite). The new file is staged and
+  /// renamed over the old one, so a crash at any instant leaves either
+  /// the complete old journal or the complete new one - never a mix.
+  /// Returns a writer positioned to append after the last payload.
+  static Result<JournalWriter> createCompacted(
+      const std::string& dir, const std::vector<std::string>& payloads,
+      std::string_view site = "journal");
 
   /// Appends one framed record (payload must not contain raw newlines),
   /// fsyncs the data, then atomically advances the COMMIT marker.
   /// Serialized internally, so concurrent appenders interleave whole
   /// records and never tear a frame; open/resume/move stay
   /// single-threaded setup-time operations.
+  ///
+  /// Fails closed: on the first storage failure the partial append is
+  /// truncated away, the writer poisons itself, and this and every later
+  /// call return a structured internal Status naming the cause. A marker
+  /// failure after a durable append also poisons, but keeps the record -
+  /// the scan tolerates frames running ahead of the marker.
   Status append(std::string_view payload);
 
   bool isOpen() const { return fd_ >= 0; }
   std::size_t records() const { return records_; }
   const std::string& directory() const { return dir_; }
 
+  /// True once a storage failure has latched; the first cause is kept.
+  bool poisoned() const { return poisoned_; }
+  const std::string& poisonCause() const { return poisonCause_; }
+
  private:
   Status commitMarker();
+  Status poison(std::string cause, bool truncateBack);
 
   int fd_ = -1;
   std::string dir_;
+  std::string site_ = "journal";
   std::size_t records_ = 0;
   std::uint64_t bytes_ = 0;
+  bool poisoned_ = false;
+  std::string poisonCause_;
   // Owned by pointer to keep the writer movable; allocated by
   // create()/resume(), which are single-threaded by contract.
   std::unique_ptr<std::mutex> appendMutex_;

@@ -10,6 +10,7 @@
 
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
+#include "util/fault.hpp"
 
 namespace syseco {
 
@@ -22,19 +23,22 @@ Status ensureDirectory(const std::string& dir) {
 }
 
 Status writeAndSync(const std::string& path, const std::string& content) {
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-      return Status::internal("cannot create '" + path + "'");
-    out.write(content.data(),
-              static_cast<std::streamsize>(content.size()));
-    if (!out)
-      return Status::internal("short write to '" + path + "'");
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::internal("cannot create '" + path + "'");
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n = fault::fallibleWrite(
+        fd, content.data() + written, content.size() - written, "repro.write");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Status::internal("cannot write '" + path +
+                                        "': " + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    written += static_cast<std::size_t>(n);
   }
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0)
-    return Status::internal("cannot reopen '" + path + "' for fsync");
-  const int rc = ::fsync(fd);
+  const int rc = fault::fallibleFsync(fd, "repro.fsync");
   ::close(fd);
   if (rc != 0) return Status::internal("fsync failed on '" + path + "'");
   return Status::ok();
